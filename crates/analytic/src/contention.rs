@@ -1,0 +1,159 @@
+//! Classic closed-form approximations of lock contention, after Gray et
+//! al.'s "straw-man" analysis and Tay's locking models — the analytical
+//! lineage the paper positions itself against.
+//!
+//! With `n` concurrent transactions, each holding on average half of its
+//! `k` locks over a database of `D` objects:
+//!
+//! * a single lock request conflicts with probability ≈ `k·(n−1) / (2D)`;
+//! * a transaction waits at least once with probability ≈ `k²·(n−1) / (2D)`;
+//! * a transaction deadlocks with probability ≈ `k⁴·(n−1) / (4D²)`.
+//!
+//! These are first-order approximations (valid while ≪ 1); the simulator is
+//! the ground truth and the integration tests only demand order-of-magnitude
+//! agreement in the dilute regime, exactly how the paper uses them.
+
+use ccsim_workload::Params;
+
+/// Analytical contention estimates for a parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct Contention<'a> {
+    params: &'a Params,
+}
+
+impl<'a> Contention<'a> {
+    /// Build an estimator over validated parameters.
+    #[must_use]
+    pub fn new(params: &'a Params) -> Self {
+        Contention { params }
+    }
+
+    /// Effective lock-footprint per transaction: reads plus the write locks
+    /// (upgrades do not add objects, so this is just the readset size).
+    fn k(&self) -> f64 {
+        self.params.tran_size()
+    }
+
+    fn d(&self) -> f64 {
+        self.params.db_size as f64
+    }
+
+    /// Probability that one lock request conflicts with some holder, given
+    /// `n` concurrently active transactions.
+    #[must_use]
+    pub fn request_conflict_probability(&self, n: u32) -> f64 {
+        let others = f64::from(n.saturating_sub(1));
+        (self.k() * others / (2.0 * self.d())).min(1.0)
+    }
+
+    /// Probability that a transaction blocks at least once during its
+    /// execution.
+    #[must_use]
+    pub fn txn_wait_probability(&self, n: u32) -> f64 {
+        let others = f64::from(n.saturating_sub(1));
+        (self.k() * self.k() * others / (2.0 * self.d())).min(1.0)
+    }
+
+    /// Probability that a transaction participates in a deadlock.
+    #[must_use]
+    pub fn txn_deadlock_probability(&self, n: u32) -> f64 {
+        let others = f64::from(n.saturating_sub(1));
+        let k = self.k();
+        (k * k * k * k * others / (4.0 * self.d() * self.d())).min(1.0)
+    }
+
+    /// Expected number of blocks per transaction (the simulator's *block
+    /// ratio* for the blocking algorithm), first-order: `k` requests each
+    /// conflicting independently.
+    #[must_use]
+    pub fn expected_block_ratio(&self, n: u32) -> f64 {
+        self.k() * self.request_conflict_probability(n)
+    }
+
+    /// Tay's workload-contention factor `k²·n / D`. Rule of thumb: locking
+    /// systems begin thrashing as this exceeds ≈ 1.5.
+    #[must_use]
+    pub fn workload_factor(&self, n: u32) -> f64 {
+        self.k() * self.k() * f64::from(n) / self.d()
+    }
+
+    /// The multiprogramming level at which the workload factor crosses
+    /// `threshold` (Tay's thrashing heuristic).
+    #[must_use]
+    pub fn thrashing_mpl(&self, threshold: f64) -> u32 {
+        let n = threshold * self.d() / (self.k() * self.k());
+        n.max(1.0).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Params {
+        Params::paper_baseline()
+    }
+
+    #[test]
+    fn baseline_magnitudes() {
+        // k=8, D=1000: at n=25 concurrent transactions,
+        // request conflict ≈ 8·24/2000 = 0.096,
+        // wait prob ≈ 0.768, deadlock ≈ 8^4·24/4e6 ≈ 0.0246.
+        let p = baseline();
+        let c = Contention::new(&p);
+        assert!((c.request_conflict_probability(25) - 0.096).abs() < 1e-12);
+        assert!((c.txn_wait_probability(25) - 0.768).abs() < 1e-12);
+        assert!((c.txn_deadlock_probability(25) - 0.024576).abs() < 1e-9);
+        assert!((c.expected_block_ratio(25) - 0.768).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let p = baseline();
+        let c = Contention::new(&p);
+        assert_eq!(c.txn_wait_probability(10_000), 1.0);
+        assert!(c.request_conflict_probability(10_000) <= 1.0);
+    }
+
+    #[test]
+    fn single_transaction_never_conflicts() {
+        let p = baseline();
+        let c = Contention::new(&p);
+        assert_eq!(c.request_conflict_probability(1), 0.0);
+        assert_eq!(c.txn_wait_probability(1), 0.0);
+        assert_eq!(c.txn_deadlock_probability(1), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_population() {
+        let p = baseline();
+        let c = Contention::new(&p);
+        let mut last = 0.0;
+        for n in 1..100 {
+            let v = c.txn_wait_probability(n);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn low_conflict_db_is_an_order_of_magnitude_calmer() {
+        let hi = baseline();
+        let lo = Params::low_conflict();
+        let n = 10; // dilute regime: no clamping on either side
+        let ratio = Contention::new(&hi).txn_wait_probability(n)
+            / Contention::new(&lo).txn_wait_probability(n);
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn thrashing_mpl_matches_workload_factor() {
+        let p = baseline();
+        let c = Contention::new(&p);
+        // k²/D = 64/1000; factor 1.5 at n ≈ 23.4 → 23.
+        let mpl = c.thrashing_mpl(1.5);
+        assert_eq!(mpl, 23);
+        assert!(c.workload_factor(mpl) <= 1.6);
+        assert!(c.workload_factor(mpl + 2) > 1.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! `ccsim-analytic` — analytical companions to the simulator.
+//!
+//! The paper's whole point is that analytical and simulation studies of
+//! concurrency control disagreed because of their *assumptions*; this crate
+//! implements the standard analytical tools so the repository can put them
+//! side by side with the simulator:
+//!
+//! * [`mva::solve`] — exact Mean Value Analysis of the model's closed
+//!   queuing network (terminals + CPU pool + disks), the no-data-contention
+//!   ground truth the simulator must match when conflicts are turned off;
+//! * [`AnalyticModel`] — builds the network from [`ccsim_workload::Params`]
+//!   and computes the operational bounds (bottleneck law, population bound);
+//! * [`Contention`] — Gray/Tay-style first-order conflict, wait, and
+//!   deadlock probability approximations, including Tay's thrashing
+//!   heuristic.
+//!
+//! Integration tests in the workspace root validate these predictions
+//! against simulation in the regimes where they are supposed to hold.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod contention;
+mod model;
+pub mod mva;
+
+pub use contention::Contention;
+pub use model::AnalyticModel;
+pub use mva::{solve as solve_mva, MvaSolution, Station};

@@ -1,0 +1,203 @@
+//! Bridging [`Params`] to the analytical tools: build the MVA network for a
+//! parameter set and compute operational bounds.
+
+use ccsim_workload::{Params, ResourceSpec};
+
+use crate::mva::{solve, MvaSolution, Station};
+
+/// The no-data-contention analytical model of a parameter set.
+#[derive(Debug, Clone)]
+pub struct AnalyticModel {
+    params: Params,
+}
+
+impl AnalyticModel {
+    /// Build from validated parameters.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        params.validate().expect("AnalyticModel requires valid parameters");
+        AnalyticModel { params }
+    }
+
+    /// Mean resource visits per transaction: `(cpu_visits, io_visits)`.
+    /// Reads take one I/O and one CPU burst; writes one CPU burst at write
+    /// time and one deferred-update I/O.
+    fn visits(&self) -> (f64, f64) {
+        let reads = self.params.tran_size();
+        let writes = reads * self.params.write_prob;
+        (reads + writes, reads + writes)
+    }
+
+    /// The closed network of the model (terminals as a delay station, the
+    /// CPU pool, the disks as one pooled station — valid because each I/O
+    /// picks a disk uniformly at random).
+    ///
+    /// Returns `None` for infinite resources (the network degenerates to
+    /// pure delays; use [`AnalyticModel::infinite_resource_throughput`]).
+    #[must_use]
+    pub fn stations(&self) -> Option<Vec<Station>> {
+        let ResourceSpec::Physical {
+            num_cpus,
+            num_disks,
+        } = self.params.resources
+        else {
+            return None;
+        };
+        let (cpu_v, io_v) = self.visits();
+        let think = self.params.ext_think_time.as_secs_f64()
+            + self.params.int_think_time.as_secs_f64();
+        Some(vec![
+            Station::delay(think, 1.0),
+            Station::queueing(self.params.obj_cpu.as_secs_f64(), cpu_v, num_cpus),
+            Station::queueing(self.params.obj_io.as_secs_f64(), io_v, num_disks),
+        ])
+    }
+
+    /// Exact-MVA throughput prediction with population `n` (no data
+    /// contention, no mpl cap — compare against simulations with
+    /// `mpl = num_terms` and a low-conflict database).
+    #[must_use]
+    pub fn mva(&self, n: u32) -> Option<MvaSolution> {
+        self.stations().map(|s| solve(&s, n))
+    }
+
+    /// Exact-MVA throughput for a *saturated* multiprogramming cap: `n`
+    /// permanently active transactions with the ready queue keeping every
+    /// slot full (the think delay is served by the 200-terminal population
+    /// outside the cap). Compare against simulations where
+    /// `num_terms >> mpl` and the ready queue never empties.
+    #[must_use]
+    pub fn mva_saturated(&self, n: u32) -> Option<MvaSolution> {
+        self.stations().map(|stations| {
+            let no_think: Vec<Station> = stations
+                .into_iter()
+                .filter(|s| s.servers > 0)
+                .collect();
+            solve(&no_think, n)
+        })
+    }
+
+    /// Throughput under infinite resources and no contention: every
+    /// transaction takes exactly its service time, so
+    /// `X = N / (Z + service)`.
+    #[must_use]
+    pub fn infinite_resource_throughput(&self) -> f64 {
+        let n = f64::from(self.params.num_terms);
+        let z = self.params.ext_think_time.as_secs_f64();
+        let s = self.params.expected_service_time().as_secs_f64();
+        n / (z + s)
+    }
+
+    /// The bottleneck bound: no schedule can exceed
+    /// `min_i (servers_i / demand_i)` transactions per second.
+    #[must_use]
+    pub fn bottleneck_bound(&self) -> f64 {
+        match self.params.resources {
+            ResourceSpec::Infinite => f64::INFINITY,
+            ResourceSpec::Physical {
+                num_cpus,
+                num_disks,
+            } => {
+                let (cpu_v, io_v) = self.visits();
+                let cpu_demand = cpu_v * self.params.obj_cpu.as_secs_f64();
+                let io_demand = io_v * self.params.obj_io.as_secs_f64();
+                (f64::from(num_cpus) / cpu_demand).min(f64::from(num_disks) / io_demand)
+            }
+        }
+    }
+
+    /// The population bound: `X ≤ N / (Z + R_min)` where `R_min` is the
+    /// no-queueing service time.
+    #[must_use]
+    pub fn population_bound(&self) -> f64 {
+        let n = f64::from(self.params.num_terms);
+        let z = self.params.ext_think_time.as_secs_f64();
+        let r = self.params.expected_service_time().as_secs_f64();
+        n / (z + r)
+    }
+
+    /// The smaller of the two operational bounds.
+    #[must_use]
+    pub fn throughput_upper_bound(&self) -> f64 {
+        self.bottleneck_bound().min(self.population_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_bounds_match_paper_arithmetic() {
+        // 1 CPU / 2 disks: disk demand 0.35 s → 5.71 tps bottleneck;
+        // population bound 200/1.5 = 133 tps; binding bound is the disks.
+        let m = AnalyticModel::new(Params::paper_baseline());
+        assert!((m.bottleneck_bound() - 2.0 / 0.35).abs() < 1e-9);
+        assert!((m.population_bound() - 200.0 / 1.5).abs() < 1e-9);
+        assert!((m.throughput_upper_bound() - 2.0 / 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_resources_have_no_bottleneck() {
+        let m = AnalyticModel::new(
+            Params::paper_baseline().with_resources(ResourceSpec::Infinite),
+        );
+        assert!(m.bottleneck_bound().is_infinite());
+        assert!((m.infinite_resource_throughput() - 200.0 / 1.5).abs() < 1e-9);
+        assert!(m.mva(10).is_none());
+    }
+
+    #[test]
+    fn saturated_mva_exceeds_open_mva_at_small_populations() {
+        // With the ready queue keeping slots full, small populations are
+        // never idle thinking, so throughput is strictly higher.
+        let m = AnalyticModel::new(Params::paper_baseline());
+        let open = m.mva(5).unwrap().throughput;
+        let saturated = m.mva_saturated(5).unwrap().throughput;
+        assert!(saturated > open * 1.5, "open {open}, saturated {saturated}");
+        assert!(saturated < m.bottleneck_bound());
+    }
+
+    #[test]
+    fn mva_respects_both_bounds() {
+        let m = AnalyticModel::new(Params::paper_baseline());
+        let sol = m.mva(200).expect("finite resources");
+        assert!(sol.throughput <= m.throughput_upper_bound() + 1e-9);
+        assert!(sol.throughput > m.throughput_upper_bound() * 0.95);
+    }
+
+    #[test]
+    fn mva_visits_scale_with_write_prob() {
+        let mut p = Params::paper_baseline();
+        p.write_prob = 0.0;
+        let read_only = AnalyticModel::new(p).bottleneck_bound();
+        let with_writes = AnalyticModel::new(Params::paper_baseline()).bottleneck_bound();
+        // Writes add I/O demand, lowering the bound by the factor 1.25.
+        assert!((read_only / with_writes - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_think_enters_delay_not_demand() {
+        let thinky = Params::paper_baseline().with_think_times(
+            ccsim_des::SimDuration::from_secs(3),
+            ccsim_des::SimDuration::from_secs(5),
+        );
+        let m = AnalyticModel::new(thinky);
+        // Bottleneck bound unchanged by thinking...
+        assert!((m.bottleneck_bound() - 2.0 / 0.35).abs() < 1e-9);
+        // ...but the MVA delay station includes both think times.
+        let stations = m.stations().unwrap();
+        assert!((stations[0].service_s - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid parameters")]
+    fn invalid_params_panic() {
+        let mut p = Params::paper_baseline();
+        p.mpl = 0;
+        let _ = AnalyticModel::new(p);
+    }
+}

@@ -1,0 +1,214 @@
+//! Exact Mean Value Analysis (MVA) for closed product-form networks.
+//!
+//! The paper's model *without data contention* is a classic closed queuing
+//! network: a delay station (the terminals), a CPU station, and a set of
+//! disk stations. MVA computes its exact steady-state throughput and
+//! response time by recursion over the customer population [Reiser &
+//! Lavenberg 1980]:
+//!
+//! ```text
+//! R_i(n) = S_i · (1 + Q_i(n−1))        (queueing station)
+//! R_z(n) = Z                           (delay station)
+//! X(n)   = n / Σ_i V_i · R_i(n)
+//! Q_i(n) = X(n) · V_i · R_i(n)
+//! ```
+//!
+//! Multi-server stations use the standard load-independent approximation
+//! `R_i(n) = S_i + S_i · Q_i(n−1) / m_i`, which is exact for `m = 1` and a
+//! good upper-accuracy approximation at the utilizations the experiments
+//! visit.
+
+/// One service center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// Mean service demand per visit, in seconds.
+    pub service_s: f64,
+    /// Mean number of visits per transaction.
+    pub visits: f64,
+    /// Number of identical servers (`0` means a pure delay — no queueing).
+    pub servers: u32,
+}
+
+impl Station {
+    /// A queueing station with `servers` servers.
+    #[must_use]
+    pub fn queueing(service_s: f64, visits: f64, servers: u32) -> Self {
+        assert!(servers > 0, "queueing stations need at least one server");
+        Station {
+            service_s,
+            visits,
+            servers,
+        }
+    }
+
+    /// A pure delay (infinite-server) station.
+    #[must_use]
+    pub fn delay(service_s: f64, visits: f64) -> Self {
+        Station {
+            service_s,
+            visits,
+            servers: 0,
+        }
+    }
+
+    /// Total demand per transaction (visits × service).
+    #[must_use]
+    pub fn demand(&self) -> f64 {
+        self.service_s * self.visits
+    }
+}
+
+/// MVA solution for one population size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaSolution {
+    /// Population analyzed.
+    pub population: u32,
+    /// System throughput (transactions/second).
+    pub throughput: f64,
+    /// Mean response time over the *queueing* stations (excludes delay
+    /// stations), in seconds.
+    pub response_s: f64,
+    /// Mean queue length at each station (same order as the input).
+    pub queue_lengths: Vec<f64>,
+    /// Utilization per *server* at each station (delay stations report 0).
+    pub utilizations: Vec<f64>,
+}
+
+/// Solve the network for populations `1..=n`, returning the solution at `n`.
+///
+/// # Panics
+/// Panics if `stations` is empty or `n == 0`.
+#[must_use]
+pub fn solve(stations: &[Station], n: u32) -> MvaSolution {
+    assert!(!stations.is_empty(), "MVA needs at least one station");
+    assert!(n > 0, "MVA needs a positive population");
+    let k = stations.len();
+    let mut q = vec![0.0_f64; k];
+    let mut x = 0.0_f64;
+    let mut response = 0.0_f64;
+    for pop in 1..=n {
+        let mut r = vec![0.0_f64; k];
+        let mut cycle = 0.0;
+        for (i, st) in stations.iter().enumerate() {
+            r[i] = if st.servers == 0 {
+                st.service_s
+            } else {
+                st.service_s + st.service_s * q[i] / f64::from(st.servers)
+            };
+            cycle += st.visits * r[i];
+        }
+        x = f64::from(pop) / cycle;
+        for (i, st) in stations.iter().enumerate() {
+            q[i] = x * st.visits * r[i];
+        }
+        response = stations
+            .iter()
+            .zip(&r)
+            .filter(|(st, _)| st.servers > 0)
+            .map(|(st, ri)| st.visits * ri)
+            .sum();
+    }
+    let utilizations = stations
+        .iter()
+        .map(|st| {
+            if st.servers == 0 {
+                0.0
+            } else {
+                x * st.demand() / f64::from(st.servers)
+            }
+        })
+        .collect();
+    MvaSolution {
+        population: n,
+        throughput: x,
+        response_s: response,
+        queue_lengths: q,
+        utilizations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_single_customer() {
+        // One customer, one server, no thinking: X = 1/S, R = S.
+        let s = solve(&[Station::queueing(0.5, 1.0, 1)], 1);
+        assert!((s.throughput - 2.0).abs() < 1e-12);
+        assert!((s.response_s - 0.5).abs() < 1e-12);
+        assert!((s.queue_lengths[0] - 1.0).abs() < 1e-12);
+        assert!((s.utilizations[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_repairman_matches_closed_form() {
+        // Classic interactive system: N=2, think Z=1 s, one server S=0.5 s.
+        // MVA: n=1: R=0.5, X=1/1.5, Q=1/3.
+        //      n=2: R=0.5(1+1/3)=2/3, X=2/(1+2/3)=1.2, Q=0.8.
+        let stations = [Station::delay(1.0, 1.0), Station::queueing(0.5, 1.0, 1)];
+        let s = solve(&stations, 2);
+        assert!((s.throughput - 1.2).abs() < 1e-12);
+        assert!((s.response_s - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.queue_lengths[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_approaches_bottleneck_bound() {
+        // Large population: X → m / S at the bottleneck.
+        let stations = [
+            Station::delay(1.0, 1.0),
+            Station::queueing(0.035, 10.0, 2), // disks: demand 0.175 s
+            Station::queueing(0.015, 10.0, 1), // cpu: demand 0.15 s
+        ];
+        let s = solve(&stations, 500);
+        let bound = 2.0 / 0.35; // disk bottleneck
+        assert!(s.throughput <= bound + 1e-9);
+        assert!(
+            s.throughput > bound * 0.98,
+            "X={} should approach {bound}",
+            s.throughput
+        );
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_population() {
+        let stations = [Station::delay(1.0, 1.0), Station::queueing(0.05, 8.0, 1)];
+        let mut last = 0.0;
+        for n in 1..100 {
+            let s = solve(&stations, n);
+            assert!(s.throughput >= last - 1e-12, "n={n}");
+            last = s.throughput;
+        }
+    }
+
+    #[test]
+    fn delay_only_network_is_linear() {
+        // With no queueing anywhere, X = n / total_delay.
+        let stations = [Station::delay(2.0, 1.0), Station::delay(0.5, 1.0)];
+        let s = solve(&stations, 40);
+        assert!((s.throughput - 40.0 / 2.5).abs() < 1e-9);
+        assert_eq!(s.response_s, 0.0);
+        assert!(s.utilizations.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn utilization_law_holds() {
+        let stations = [Station::delay(1.0, 1.0), Station::queueing(0.1, 3.0, 2)];
+        let s = solve(&stations, 25);
+        let expect = s.throughput * 0.3 / 2.0;
+        assert!((s.utilizations[1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive population")]
+    fn zero_population_panics() {
+        let _ = solve(&[Station::queueing(1.0, 1.0, 1)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn empty_network_panics() {
+        let _ = solve(&[], 1);
+    }
+}

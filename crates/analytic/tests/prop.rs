@@ -1,0 +1,75 @@
+//! Property tests for the analytical models.
+
+use ccsim_analytic::{solve_mva, Station};
+use proptest::prelude::*;
+
+fn network() -> impl Strategy<Value = Vec<Station>> {
+    (
+        0.1f64..5.0, // think time
+        proptest::collection::vec((0.001f64..0.2, 0.5f64..12.0, 1u32..6), 1..5),
+    )
+        .prop_map(|(think, stations)| {
+            let mut v = vec![Station::delay(think, 1.0)];
+            v.extend(
+                stations
+                    .into_iter()
+                    .map(|(s, vis, m)| Station::queueing(s, vis, m)),
+            );
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MVA throughput is monotone nondecreasing in the population and never
+    /// exceeds the bottleneck bound.
+    #[test]
+    fn mva_monotone_and_bounded(stations in network(), n in 2u32..60) {
+        let bound = stations
+            .iter()
+            .filter(|s| s.servers > 0)
+            .map(|s| f64::from(s.servers) / s.demand())
+            .fold(f64::INFINITY, f64::min);
+        let mut last = 0.0;
+        for pop in 1..=n {
+            let sol = solve_mva(&stations, pop);
+            prop_assert!(sol.throughput >= last - 1e-9, "pop {pop}");
+            prop_assert!(
+                sol.throughput <= bound + 1e-9,
+                "pop {pop}: X {} exceeds bottleneck {bound}",
+                sol.throughput
+            );
+            last = sol.throughput;
+        }
+    }
+
+    /// Little's law holds at every station: Q_i = X · V_i · R_i, and the
+    /// total population is conserved across stations plus the delay.
+    #[test]
+    fn mva_conserves_population(stations in network(), n in 1u32..40) {
+        let sol = solve_mva(&stations, n);
+        // Sum of queue lengths (including "queue" at the delay station,
+        // which MVA reports as X·Z) must equal the population.
+        let total: f64 = sol.queue_lengths.iter().sum();
+        prop_assert!(
+            (total - f64::from(n)).abs() < 1e-6,
+            "population {n} vs accounted {total}"
+        );
+    }
+
+    /// Utilization law: U_i = X · D_i / m_i, always within [0, 1].
+    #[test]
+    fn mva_utilization_law(stations in network(), n in 1u32..40) {
+        let sol = solve_mva(&stations, n);
+        for (st, &u) in stations.iter().zip(&sol.utilizations) {
+            if st.servers == 0 {
+                prop_assert_eq!(u, 0.0);
+            } else {
+                let expect = sol.throughput * st.demand() / f64::from(st.servers);
+                prop_assert!((u - expect).abs() < 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+            }
+        }
+    }
+}

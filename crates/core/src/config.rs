@@ -1,0 +1,189 @@
+//! Simulation run configuration.
+
+use ccsim_des::SimDuration;
+use ccsim_stats::Confidence;
+use ccsim_workload::{ParamError, Params};
+
+use crate::algorithm::{CcAlgorithm, VictimPolicy};
+
+/// Statistical-analysis settings (the paper's modified batch means method:
+/// 20 batches with a large batch time, 90% confidence intervals, after a
+/// discarded warmup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Batches discarded before measurement starts.
+    pub warmup_batches: u32,
+    /// Measured batches.
+    pub batches: u32,
+    /// Simulated time per batch.
+    pub batch_time: SimDuration,
+    /// Confidence level for interval estimates.
+    pub confidence: Confidence,
+}
+
+impl MetricsConfig {
+    /// The paper-faithful setting: 20 measured batches, 90% confidence.
+    #[must_use]
+    pub fn paper() -> Self {
+        MetricsConfig {
+            warmup_batches: 2,
+            batches: 20,
+            batch_time: SimDuration::from_secs(150),
+            confidence: Confidence::Ninety,
+        }
+    }
+
+    /// A quick setting for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        MetricsConfig {
+            warmup_batches: 1,
+            batches: 8,
+            batch_time: SimDuration::from_secs(40),
+            confidence: Confidence::Ninety,
+        }
+    }
+
+    /// Total simulated horizon.
+    #[must_use]
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_micros(
+            self.batch_time.as_micros() * u64::from(self.warmup_batches + self.batches),
+        )
+    }
+
+    /// Validate the settings.
+    ///
+    /// # Errors
+    /// Returns [`ParamError`] if no batches are measured or the batch time
+    /// is zero.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.batches == 0 {
+            return Err(ParamError("metrics.batches must be positive".into()));
+        }
+        if self.batch_time.is_zero() {
+            return Err(ParamError("metrics.batch_time must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig::paper()
+    }
+}
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Model parameters (paper Table 1).
+    pub params: Params,
+    /// The concurrency control algorithm under test.
+    pub algorithm: CcAlgorithm,
+    /// Deadlock victim selection (blocking algorithm only).
+    pub victim: VictimPolicy,
+    /// Apply the restart delay policy to *every* algorithm, not just
+    /// immediate-restart — the paper's Figure 11 ablation.
+    pub restart_delay_for_all: bool,
+    /// Master random seed; identical configs with identical seeds replay
+    /// bit-for-bit.
+    pub seed: u64,
+    /// Record every committed transaction's footprint for offline
+    /// serializability checking (see `ccsim-history`). Off by default —
+    /// long runs accumulate large histories.
+    pub record_history: bool,
+    /// Retain the last N structured trace events (0 = tracing off).
+    pub trace_capacity: usize,
+    /// Batch means settings.
+    pub metrics: MetricsConfig,
+}
+
+impl SimConfig {
+    /// A configuration with paper-baseline parameters and metrics.
+    #[must_use]
+    pub fn new(algorithm: CcAlgorithm) -> Self {
+        SimConfig {
+            params: Params::paper_baseline(),
+            algorithm,
+            victim: VictimPolicy::Youngest,
+            restart_delay_for_all: false,
+            seed: 0x5EED_CC85,
+            record_history: false,
+            trace_capacity: 0,
+            metrics: MetricsConfig::paper(),
+        }
+    }
+
+    /// Builder-style parameter replacement.
+    #[must_use]
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Builder-style seed replacement.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style metrics replacement.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Validate the whole configuration.
+    ///
+    /// # Errors
+    /// Returns [`ParamError`] from parameter or metrics validation.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        self.params.validate()?;
+        self.metrics.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_metrics_horizon() {
+        let m = MetricsConfig::paper();
+        assert_eq!(m.batches, 20);
+        assert_eq!(m.horizon(), SimDuration::from_secs(150 * 22));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn metrics_validation() {
+        let mut m = MetricsConfig::quick();
+        m.batches = 0;
+        assert!(m.validate().is_err());
+        let mut m = MetricsConfig::quick();
+        m.batch_time = SimDuration::ZERO;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimConfig::new(CcAlgorithm::Optimistic)
+            .with_seed(99)
+            .with_metrics(MetricsConfig::quick())
+            .with_params(Params::low_conflict());
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.metrics, MetricsConfig::quick());
+        assert_eq!(c.params.db_size, 10_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_validation_propagates() {
+        let mut c = SimConfig::new(CcAlgorithm::Blocking);
+        c.params.mpl = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1532 @@
+//! The simulation engine: the paper's closed queuing model (Figures 1–2).
+//!
+//! Transactions originate at terminals, wait in the *ready queue* for one of
+//! `mpl` active slots, then execute their step program, visiting the
+//! concurrency-control, object, and update queues. Conflicts block or
+//! restart them according to the configured algorithm; commits return them
+//! to their terminal for an external think time.
+//!
+//! Setting the `CCSIM_DEBUG_STATES` environment variable makes the engine
+//! print a one-line state census (transaction states, queue depths,
+//! calendar size) to stderr at every batch boundary — a quick load-balance
+//! diagnostic that needs no recompilation. For structured per-transaction
+//! tracing use [`run_with_trace`] instead.
+
+use std::collections::VecDeque;
+
+use ccsim_des::{
+    sample_exponential, Calendar, Exponential, RngStreams, SimDuration, SimTime,
+    Xoshiro256StarStar,
+};
+use ccsim_lockmgr::{Grant, LockManager, LockMode, RequestOutcome};
+use ccsim_history::{CommittedTxn, History};
+use ccsim_occ::Validator;
+use ccsim_tso::{ReadOutcome as TsoRead, TsoManager, WriteOutcome as TsoWrite};
+use ccsim_resources::{DiskArray, Priority, Request, ServerPool};
+use ccsim_stats::RunningAvg;
+use ccsim_workload::{Generator, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TxnId};
+
+use crate::algorithm::{CcAlgorithm, VictimPolicy};
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, Report};
+use crate::trace::{Trace, TraceEvent};
+use crate::txn::{Step, Txn, TxnState};
+
+/// RNG stream ids (stable; see `ccsim_des::RngStreams`).
+mod streams {
+    pub const WORKLOAD: u64 = 0;
+    pub const EXT_THINK: u64 = 1;
+    pub const DELAYS: u64 = 2;
+    pub const DISKS: u64 = 3;
+}
+
+/// Payload carried through the resource pools: terminal index + attempt
+/// epoch (stale completions are dropped by epoch comparison).
+type Payload = (usize, u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServiceKind {
+    Cpu,
+    Io,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DelayKind {
+    IntThink,
+    Restart,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A terminal submits a new transaction.
+    Arrive(usize),
+    /// A CPU server finished its current request.
+    CpuDone(usize),
+    /// A disk finished its current request.
+    DiskDone(usize),
+    /// A service completed under infinite resources.
+    InfDone(usize, u32, ServiceKind),
+    /// An internal-think or restart delay elapsed.
+    Delay(usize, u32, DelayKind),
+    /// A batch boundary.
+    BatchEnd,
+}
+
+/// Why a transaction is being aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortCause {
+    /// Deadlock victim (blocking algorithm).
+    Deadlock,
+    /// Lock denial (immediate-restart / no-waiting).
+    Denial,
+    /// Failed optimistic validation.
+    Validation,
+    /// Wounded by an older transaction (wound-wait).
+    Wounded,
+    /// Died on conflict with an older holder (wait-die).
+    Died,
+    /// A timestamp-ordering operation arrived too late (basic T/O).
+    TsRejected,
+}
+
+/// Outcome of a concurrency-control request from the requester's viewpoint.
+enum CcAction {
+    /// Lock granted: continue to the next step.
+    Proceed,
+    /// The requester blocked (or was handled entirely elsewhere — e.g.
+    /// granted or restarted during deadlock resolution); stop dispatching.
+    Suspend,
+}
+
+/// The simulator. Construct with [`Simulator::new`], drive with
+/// [`Simulator::run_to_completion`], or use the convenience [`run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cal: Calendar<Event>,
+    txns: Vec<Option<Txn>>,
+    generator: Generator,
+    think_rng: Xoshiro256StarStar,
+    delay_rng: Xoshiro256StarStar,
+    disk_rng: Xoshiro256StarStar,
+    ext_think: Exponential,
+    int_think: Exponential,
+    lockmgr: LockManager,
+    validator: Validator,
+    tso: TsoManager,
+    cpus: Option<ServerPool<Payload>>,
+    disks: Option<DiskArray<Payload>>,
+    inf_cpu_busy_us: u64,
+    inf_io_busy_us: u64,
+    ready: VecDeque<usize>,
+    active: usize,
+    metrics: Metrics,
+    resp_avg: RunningAvg,
+    history: Option<History>,
+    trace: Option<Trace>,
+    next_serial: u64,
+    /// Transactions to dispatch before the next calendar event: `(terminal,
+    /// epoch)`. Deferring dispatches through this queue instead of recursing
+    /// keeps grant/abort cascades at bounded stack depth.
+    work: VecDeque<(usize, u32)>,
+    done: bool,
+}
+
+impl Simulator {
+    /// Build a simulator for `cfg`.
+    ///
+    /// # Errors
+    /// Returns [`ParamError`] if the configuration fails validation.
+    pub fn new(cfg: SimConfig) -> Result<Self, ParamError> {
+        cfg.validate()?;
+        let streams = RngStreams::new(cfg.seed);
+        let params = &cfg.params;
+        let (cpus, disks, ncpu, ndisk) = match params.resources {
+            ResourceSpec::Infinite => (None, None, 0, 0),
+            ResourceSpec::Physical {
+                num_cpus,
+                num_disks,
+            } => (
+                Some(ServerPool::new(num_cpus as usize)),
+                Some(DiskArray::new(num_disks as usize)),
+                num_cpus,
+                num_disks,
+            ),
+        };
+        let generator = Generator::new(params, streams.stream(streams::WORKLOAD));
+        let metrics = Metrics::new(cfg.metrics, ncpu, ndisk, generator.num_classes());
+        Ok(Simulator {
+            generator,
+            think_rng: streams.stream(streams::EXT_THINK),
+            delay_rng: streams.stream(streams::DELAYS),
+            disk_rng: streams.stream(streams::DISKS),
+            ext_think: Exponential::new(params.ext_think_time),
+            int_think: Exponential::new(params.int_think_time),
+            lockmgr: LockManager::new(),
+            validator: Validator::new(),
+            tso: TsoManager::new(),
+            cpus,
+            disks,
+            inf_cpu_busy_us: 0,
+            inf_io_busy_us: 0,
+            txns: (0..params.num_terms as usize).map(|_| None).collect(),
+            ready: VecDeque::new(),
+            active: 0,
+            cal: Calendar::new(),
+            resp_avg: RunningAvg::new(params.expected_service_time()),
+            history: cfg.record_history.then(History::new),
+            trace: (cfg.trace_capacity > 0).then(|| Trace::with_capacity(cfg.trace_capacity)),
+            next_serial: 0,
+            work: VecDeque::new(),
+            metrics,
+            done: false,
+            cfg,
+        })
+    }
+
+    /// Run the full simulation and return the report.
+    pub fn run_to_completion(mut self) -> Report {
+        self.prime();
+        while !self.done {
+            let Some((now, ev)) = self.cal.pop() else {
+                break;
+            };
+            self.handle(now, ev);
+        }
+        self.metrics.report()
+    }
+
+    fn prime(&mut self) {
+        for term in 0..self.txns.len() {
+            let at = SimTime::ZERO + self.ext_think.sample(&mut self.think_rng);
+            self.cal.schedule(at, Event::Arrive(term));
+        }
+        self.cal.schedule(
+            SimTime::ZERO + self.cfg.metrics.batch_time,
+            Event::BatchEnd,
+        );
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrive(term) => self.on_arrive(term, now),
+            Event::BatchEnd => self.on_batch_end(now),
+            Event::CpuDone(server) => {
+                let (payload, next) = self
+                    .cpus
+                    .as_mut()
+                    .expect("CpuDone without CPU pool")
+                    .complete(now, server);
+                if let Some(s) = next {
+                    self.cal.schedule(s.completes_at, Event::CpuDone(s.server));
+                }
+                self.service_done(payload, ServiceKind::Cpu, now);
+            }
+            Event::DiskDone(disk) => {
+                let (payload, next) = self
+                    .disks
+                    .as_mut()
+                    .expect("DiskDone without disk array")
+                    .complete(now, disk);
+                if let Some(s) = next {
+                    self.cal.schedule(s.completes_at, Event::DiskDone(s.disk));
+                }
+                self.service_done(payload, ServiceKind::Io, now);
+            }
+            Event::InfDone(term, epoch, kind) => self.service_done((term, epoch), kind, now),
+            Event::Delay(term, epoch, kind) => self.on_delay_done(term, epoch, kind, now),
+        }
+        self.drain_work(now);
+    }
+
+    /// Mark `term`'s transaction as ready to continue at the current
+    /// instant. The actual dispatch happens from [`Simulator::drain_work`],
+    /// which bounds stack depth under long grant/abort cascades.
+    fn enqueue_dispatch(&mut self, term: usize) {
+        let epoch = self.txns[term].as_ref().expect("live txn").epoch;
+        self.work.push_back((term, epoch));
+    }
+
+    fn drain_work(&mut self, now: SimTime) {
+        while let Some((term, epoch)) = self.work.pop_front() {
+            let Some(txn) = self.txns[term].as_ref() else {
+                continue;
+            };
+            // Skip work for attempts that restarted (epoch moved on) or
+            // transactions that are no longer runnable (e.g. wounded after
+            // being granted a lock but before being dispatched).
+            if txn.epoch != epoch || txn.state != TxnState::Running {
+                continue;
+            }
+            self.dispatch(term, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrive(&mut self, term: usize, now: SimTime) {
+        let id = TxnId(self.next_serial * self.txns.len() as u64 + term as u64);
+        self.next_serial += 1;
+        let (class, spec) = self.generator.next_spec_with_class();
+        let thinks = !self.cfg.params.int_think_time.is_zero();
+        // Epochs stay monotone per terminal across transactions, so an
+        // event addressed to the previous transaction can never match.
+        let epoch = self.txns[term].as_ref().map_or(0, |t| t.epoch + 1);
+        let mut txn = Txn::new(
+            id,
+            spec,
+            self.cfg.algorithm.program_shape(),
+            thinks,
+            now,
+            epoch,
+        );
+        txn.class = class;
+        self.emit(now, TraceEvent::Arrive(id));
+        self.txns[term] = Some(txn);
+        self.ready.push_back(term);
+        self.try_admit(now);
+    }
+
+    fn on_batch_end(&mut self, now: SimTime) {
+        if std::env::var_os("CCSIM_DEBUG_STATES").is_some() {
+            let mut counts = [0usize; 6];
+            for t in self.txns.iter().flatten() {
+                let ix = match t.state {
+                    TxnState::AtTerminal => 0,
+                    TxnState::Ready => 1,
+                    TxnState::Running => 2,
+                    TxnState::Blocked => 3,
+                    TxnState::Thinking => 4,
+                    TxnState::RestartDelay => 5,
+                };
+                counts[ix] += 1;
+            }
+            let dq = self.disks.as_ref().map_or(0, |d| d.queued());
+            let cq = self.cpus.as_ref().map_or(0, |p| p.queue_len());
+            eprintln!(
+                "[{now}] term={} ready={} run={} blk={} think={} delay={} active={} cal={} diskq={dq} cpuq={cq}",
+                counts[0], counts[1], counts[2], counts[3], counts[4], counts[5],
+                self.active, self.cal.len(),
+            );
+            if let Some(d) = self.disks.as_ref() {
+                let snap = d.queue_snapshot();
+                let stalled = snap.iter().filter(|(q, busy)| *q > 0 && !busy).count();
+                let busy = snap.iter().filter(|(_, b)| *b).count();
+                let (argmax, (maxq, _)) = snap
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .max_by_key(|(_, (q, _))| *q)
+                    .unwrap_or((0, (0, false)));
+                eprintln!("    disks: busy={busy} stalled={stalled} maxq={maxq} argmax={argmax}");
+            }
+        }
+        let (cpu_busy, io_busy) = self.busy_micros(now);
+        if self.metrics.on_batch_end(now, cpu_busy, io_busy) {
+            self.done = true;
+        } else {
+            self.cal
+                .schedule(now + self.cfg.metrics.batch_time, Event::BatchEnd);
+        }
+    }
+
+    fn on_delay_done(&mut self, term: usize, epoch: u32, kind: DelayKind, now: SimTime) {
+        let Some(txn) = self.txns[term].as_mut() else {
+            return;
+        };
+        if txn.epoch != epoch {
+            return; // stale: the transaction restarted meanwhile
+        }
+        match kind {
+            DelayKind::IntThink => {
+                debug_assert_eq!(txn.state, TxnState::Thinking);
+                txn.state = TxnState::Running;
+                txn.advance();
+                self.enqueue_dispatch(term);
+            }
+            DelayKind::Restart => {
+                debug_assert_eq!(txn.state, TxnState::RestartDelay);
+                txn.state = TxnState::Ready;
+                self.ready.push_back(term);
+                self.try_admit(now);
+            }
+        }
+    }
+
+    /// A CPU or I/O service completed for `payload`.
+    fn service_done(&mut self, payload: Payload, kind: ServiceKind, now: SimTime) {
+        let (term, epoch) = payload;
+        let Some(txn) = self.txns[term].as_mut() else {
+            return;
+        };
+        if txn.epoch != epoch {
+            return; // stale: work done for an aborted attempt stays wasted
+        }
+        let params = &self.cfg.params;
+        match txn.step() {
+            Step::PreclaimLock(_) | Step::LockRead(_) | Step::LockWrite(_) | Step::Validate => {
+                // The completed service was the concurrency-control CPU
+                // charge for this step; now perform the actual request.
+                debug_assert_eq!(kind, ServiceKind::Cpu);
+                debug_assert!(!txn.cc_charged);
+                txn.cc_charged = true;
+                txn.usage.add_cpu(params.cc_cpu);
+                self.enqueue_dispatch(term);
+            }
+            Step::ReadIo(_) | Step::UpdateIo(_) => {
+                debug_assert_eq!(kind, ServiceKind::Io);
+                txn.usage.add_io(params.obj_io);
+                txn.advance();
+                self.enqueue_dispatch(term);
+            }
+            Step::ReadCpu(i) => {
+                debug_assert_eq!(kind, ServiceKind::Cpu);
+                txn.usage.add_cpu(params.obj_cpu);
+                // Basic T/O records its reads at the timestamp-check grant
+                // instead (the version is fixed there; a larger-timestamp
+                // writer may legally publish between the grant and this
+                // access completion).
+                if self.history.is_some() && self.cfg.algorithm != CcAlgorithm::BasicTO {
+                    debug_assert_eq!(txn.read_times.len(), i);
+                    txn.read_times.push(now);
+                }
+                txn.advance();
+                self.enqueue_dispatch(term);
+            }
+            Step::WriteCpu(_) => {
+                debug_assert_eq!(kind, ServiceKind::Cpu);
+                txn.usage.add_cpu(params.obj_cpu);
+                txn.advance();
+                self.enqueue_dispatch(term);
+            }
+            Step::IntThink | Step::Commit => {
+                unreachable!("no service completes at step {:?}", txn.step())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission and the step interpreter
+    // ------------------------------------------------------------------
+
+    fn try_admit(&mut self, now: SimTime) {
+        while self.active < self.cfg.params.mpl as usize {
+            let Some(term) = self.ready.pop_front() else {
+                break;
+            };
+            let txn = self.txns[term].as_mut().expect("ready txn exists");
+            debug_assert_eq!(txn.state, TxnState::Ready);
+            txn.begin_attempt(now);
+            txn.state = TxnState::Running;
+            let id = txn.id;
+            self.active += 1;
+            self.metrics.on_active_change(now, self.active);
+            self.emit(now, TraceEvent::Admit(id));
+            self.enqueue_dispatch(term);
+        }
+    }
+
+    /// Drive `term`'s transaction forward until it needs to wait for a
+    /// service, delay, or lock — or finishes.
+    fn dispatch(&mut self, term: usize, now: SimTime) {
+        loop {
+            let txn = self.txns[term].as_ref().expect("dispatched txn exists");
+            debug_assert_eq!(txn.state, TxnState::Running);
+            match txn.step() {
+                Step::PreclaimLock(k) => {
+                    let (obj, write) = txn.lock_plan[k];
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    match self.cc_request(term, obj, mode, now) {
+                        CcAction::Proceed => continue,
+                        CcAction::Suspend => return,
+                    }
+                }
+                Step::LockRead(i) => {
+                    let obj = txn.spec.read_at(i);
+                    match self.cc_request(term, obj, LockMode::Read, now) {
+                        CcAction::Proceed => continue,
+                        CcAction::Suspend => return,
+                    }
+                }
+                Step::LockWrite(j) => {
+                    let obj = self.txns[term].as_ref().unwrap().write_objs[j];
+                    match self.cc_request(term, obj, LockMode::Write, now) {
+                        CcAction::Proceed => continue,
+                        CcAction::Suspend => return,
+                    }
+                }
+                Step::ReadIo(i) => {
+                    let obj = txn.spec.read_at(i);
+                    self.submit_io(term, obj, now);
+                    return;
+                }
+                Step::UpdateIo(j) => {
+                    let obj = txn.write_objs[j];
+                    self.submit_io(term, obj, now);
+                    return;
+                }
+                Step::ReadCpu(_) | Step::WriteCpu(_) => {
+                    let dur = self.cfg.params.obj_cpu;
+                    self.submit_cpu(term, dur, Priority::Normal, now);
+                    return;
+                }
+                Step::IntThink => {
+                    let d = self.int_think.sample(&mut self.delay_rng);
+                    let txn = self.txns[term].as_mut().unwrap();
+                    if d.is_zero() {
+                        txn.advance();
+                        continue;
+                    }
+                    txn.state = TxnState::Thinking;
+                    let epoch = txn.epoch;
+                    self.cal
+                        .schedule(now + d, Event::Delay(term, epoch, DelayKind::IntThink));
+                    return;
+                }
+                Step::Validate => {
+                    if self.charge_cc_if_needed(term, now) {
+                        return;
+                    }
+                    match self.validate(term, now) {
+                        CcAction::Proceed => continue,
+                        CcAction::Suspend => return,
+                    }
+                }
+                Step::Commit => {
+                    self.commit(term, now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// If `cc_cpu > 0` and this step's CC charge hasn't been paid, submit it
+    /// (high priority, per the paper's CPU discipline) and return `true`.
+    fn charge_cc_if_needed(&mut self, term: usize, now: SimTime) -> bool {
+        let cc_cpu = self.cfg.params.cc_cpu;
+        if cc_cpu.is_zero() {
+            return false;
+        }
+        let txn = self.txns[term].as_ref().unwrap();
+        if txn.cc_charged {
+            return false;
+        }
+        self.submit_cpu(term, cc_cpu, Priority::High, now);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrency control
+    // ------------------------------------------------------------------
+
+    fn cc_request(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
+        if self.charge_cc_if_needed(term, now) {
+            return CcAction::Suspend;
+        }
+        match self.cfg.algorithm {
+            // Static locking shares the blocking discipline; the canonical
+            // acquisition order makes its deadlock search a no-op.
+            CcAlgorithm::Blocking | CcAlgorithm::StaticLocking => {
+                self.cc_blocking(term, obj, mode, now)
+            }
+            CcAlgorithm::ImmediateRestart => {
+                self.cc_no_wait(term, obj, mode, now, AbortCause::Denial)
+            }
+            CcAlgorithm::NoWaiting => self.cc_no_wait(term, obj, mode, now, AbortCause::Denial),
+            CcAlgorithm::WaitDie => self.cc_wait_die(term, obj, mode, now),
+            CcAlgorithm::WoundWait => self.cc_wound_wait(term, obj, mode, now),
+            CcAlgorithm::BasicTO => self.cc_tso(term, obj, mode, now),
+            CcAlgorithm::Optimistic | CcAlgorithm::NoCc => {
+                unreachable!("lock-free algorithms have no lock steps")
+            }
+        }
+    }
+
+    fn cc_blocking(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
+        let txn = self.txns[term].as_mut().unwrap();
+        let tid = txn.id;
+        match self.lockmgr.request(tid, obj, mode) {
+            RequestOutcome::Granted => {
+                txn.advance();
+                CcAction::Proceed
+            }
+            RequestOutcome::Queued => {
+                txn.state = TxnState::Blocked;
+                txn.blocks += 1;
+                self.metrics.on_block();
+                self.emit(now, TraceEvent::Block(tid, obj));
+                self.resolve_deadlocks(term, now);
+                CcAction::Suspend
+            }
+            RequestOutcome::Denied => unreachable!("request never denies"),
+        }
+    }
+
+    fn cc_no_wait(
+        &mut self,
+        term: usize,
+        obj: ObjId,
+        mode: LockMode,
+        now: SimTime,
+        cause: AbortCause,
+    ) -> CcAction {
+        let txn = self.txns[term].as_mut().unwrap();
+        let tid = txn.id;
+        match self.lockmgr.try_request(tid, obj, mode) {
+            RequestOutcome::Granted => {
+                txn.advance();
+                CcAction::Proceed
+            }
+            RequestOutcome::Denied => {
+                self.abort_and_restart(term, cause, now);
+                CcAction::Suspend
+            }
+            RequestOutcome::Queued => unreachable!("try_request never queues"),
+        }
+    }
+
+    /// Wait-die: on conflict, an older requester waits; a younger one dies.
+    fn cc_wait_die(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
+        let txn = self.txns[term].as_ref().unwrap();
+        let tid = txn.id;
+        let my_ts = (txn.arrival, tid);
+        let blockers = self.lockmgr.blockers(tid, obj, mode);
+        let older_exists = blockers.iter().any(|&b| self.timestamp_of(b) < my_ts);
+        if older_exists {
+            // Die: restart keeping the original timestamp (arrival survives
+            // restarts), which guarantees eventual progress.
+            self.abort_and_restart(term, AbortCause::Died, now);
+            return CcAction::Suspend;
+        }
+        let txn = self.txns[term].as_mut().unwrap();
+        match self.lockmgr.request(tid, obj, mode) {
+            RequestOutcome::Granted => {
+                txn.advance();
+                CcAction::Proceed
+            }
+            RequestOutcome::Queued => {
+                txn.state = TxnState::Blocked;
+                txn.blocks += 1;
+                self.metrics.on_block();
+                self.emit(now, TraceEvent::Block(tid, obj));
+                CcAction::Suspend
+            }
+            RequestOutcome::Denied => unreachable!(),
+        }
+    }
+
+    /// Wound-wait: on conflict, an older requester wounds (aborts) younger
+    /// holders; a younger requester waits. Holders past their commit point
+    /// are spared (wounding them gains nothing).
+    fn cc_wound_wait(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
+        let txn = self.txns[term].as_ref().unwrap();
+        let tid = txn.id;
+        let my_ts = (txn.arrival, tid);
+        // Wound younger blockers one at a time, re-reading the blocker set
+        // after each abort: releasing a victim's locks can cascade (grants,
+        // further wounds) and retire other would-be victims.
+        loop {
+            let blockers = self.lockmgr.blockers(tid, obj, mode);
+            let victim = blockers.into_iter().find(|&b| {
+                let b_term = self.term_of(b);
+                self.txns[b_term].as_ref().is_some_and(|bt| {
+                    bt.id == b
+                        && (bt.arrival, bt.id) > my_ts
+                        && bt.state.is_active()
+                        && !self.is_committing(b_term)
+                })
+            });
+            match victim {
+                Some(b) => {
+                    let b_term = self.term_of(b);
+                    self.abort_and_restart(b_term, AbortCause::Wounded, now);
+                }
+                None => break,
+            }
+        }
+        // A wound cascade can come full circle: releasing a victim's locks
+        // dispatches waiters, one of which may be older than *us* and wound
+        // us in turn. If that happened, our attempt is over.
+        let txn = self.txns[term].as_mut().unwrap();
+        if txn.id != tid || txn.state != TxnState::Running {
+            return CcAction::Suspend;
+        }
+        match self.lockmgr.request(tid, obj, mode) {
+            RequestOutcome::Granted => {
+                txn.advance();
+                CcAction::Proceed
+            }
+            RequestOutcome::Queued => {
+                txn.state = TxnState::Blocked;
+                txn.blocks += 1;
+                self.metrics.on_block();
+                self.emit(now, TraceEvent::Block(tid, obj));
+                CcAction::Suspend
+            }
+            RequestOutcome::Denied => unreachable!(),
+        }
+    }
+
+    /// Basic timestamp ordering: reads/prewrites must respect timestamp
+    /// order; late operations restart with a fresh timestamp; readers wait
+    /// out pending smaller-timestamp prewrites.
+    fn cc_tso(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
+        let txn = self.txns[term].as_mut().unwrap();
+        let tid = txn.id;
+        let ts = (txn.attempt_start, tid);
+        match mode {
+            LockMode::Read => match self.tso.read(tid, obj, ts) {
+                TsoRead::Granted => {
+                    if self.history.is_some() {
+                        // The version this read observes is decided *now*:
+                        // record the grant instant as the read time.
+                        txn.read_times.push(now);
+                    }
+                    txn.advance();
+                    CcAction::Proceed
+                }
+                TsoRead::Wait => {
+                    txn.state = TxnState::Blocked;
+                    txn.blocks += 1;
+                    self.metrics.on_block();
+                    self.emit(now, TraceEvent::Block(tid, obj));
+                    CcAction::Suspend
+                }
+                TsoRead::Reject => {
+                    self.abort_and_restart(term, AbortCause::TsRejected, now);
+                    CcAction::Suspend
+                }
+            },
+            LockMode::Write => match self.tso.prewrite(tid, obj, ts) {
+                TsoWrite::Granted => {
+                    txn.advance();
+                    CcAction::Proceed
+                }
+                TsoWrite::Reject => {
+                    self.abort_and_restart(term, AbortCause::TsRejected, now);
+                    CcAction::Suspend
+                }
+            },
+        }
+    }
+
+    /// Resume readers whose awaited prewrite resolved. Unlike lock grants,
+    /// the read is *re-checked* (not advanced past): the reader may wait
+    /// again on another pending prewrite, be granted, or reject.
+    fn process_tso_wakeups(&mut self, woken: Vec<TxnId>, now: SimTime) {
+        let _ = now;
+        for w in woken {
+            let term = self.term_of(w);
+            let Some(txn) = self.txns[term].as_mut() else {
+                continue;
+            };
+            if txn.id != w || txn.state != TxnState::Blocked {
+                continue;
+            }
+            txn.state = TxnState::Running;
+            self.enqueue_dispatch(term);
+        }
+    }
+
+    /// The optimistic commit-point test (a no-op for locking algorithms).
+    fn validate(&mut self, term: usize, now: SimTime) -> CcAction {
+        if self.cfg.algorithm != CcAlgorithm::Optimistic {
+            let txn = self.txns[term].as_mut().unwrap();
+            txn.advance();
+            return CcAction::Proceed;
+        }
+        let txn = self.txns[term].as_ref().unwrap();
+        let tid = txn.id;
+        let start = txn.attempt_start;
+        let outcome = self.validator.validate(start, txn.spec.reads());
+        if let Err(conflict) = outcome {
+            self.emit(now, TraceEvent::ValidationFailure(tid, conflict.obj));
+            self.abort_and_restart(term, AbortCause::Validation, now);
+            return CcAction::Suspend;
+        }
+        {
+            // Kung–Robinson critical section: stamp writes at validation.
+            let writes: Vec<ObjId> = self.txns[term].as_ref().unwrap().write_objs.clone();
+            self.validator.commit(now, writes);
+            let txn = self.txns[term].as_mut().unwrap();
+            txn.publish_at = Some(now);
+            txn.advance();
+            CcAction::Proceed
+        }
+    }
+
+    /// Detect and break deadlocks after `term` blocked, until `term` is no
+    /// longer blocked or no cycle remains.
+    fn resolve_deadlocks(&mut self, term: usize, now: SimTime) {
+        loop {
+            let txn = self.txns[term].as_ref().unwrap();
+            if txn.state != TxnState::Blocked {
+                return;
+            }
+            let Some(cycle) = self.lockmgr.find_deadlock(txn.id) else {
+                return;
+            };
+            let victim = self.choose_victim(&cycle);
+            let victim_term = self.term_of(victim);
+            let detector = self.txns[term].as_ref().unwrap().id;
+            self.emit(now, TraceEvent::Deadlock { detector, victim });
+            self.abort_and_restart(victim_term, AbortCause::Deadlock, now);
+        }
+    }
+
+    fn choose_victim(&self, cycle: &[TxnId]) -> TxnId {
+        let key = |tid: &TxnId| {
+            let t = self.txns[self.term_of(*tid)].as_ref().expect("cycle txn");
+            debug_assert_eq!(t.id, *tid);
+            (t.arrival, t.id)
+        };
+        match self.cfg.victim {
+            VictimPolicy::Youngest => *cycle.iter().max_by_key(|t| key(t)).expect("cycle"),
+            VictimPolicy::Oldest => *cycle.iter().min_by_key(|t| key(t)).expect("cycle"),
+            VictimPolicy::FewestLocks => *cycle
+                .iter()
+                .min_by_key(|t| (self.lockmgr.locks_held(**t), key(t)))
+                .expect("cycle"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction termination
+    // ------------------------------------------------------------------
+
+    /// Abort `term`'s current attempt and requeue it per the restart-delay
+    /// policy.
+    fn abort_and_restart(&mut self, term: usize, cause: AbortCause, now: SimTime) {
+        let txn = self.txns[term].as_mut().expect("aborting live txn");
+        debug_assert!(txn.state.is_active(), "victims are active");
+        txn.restarts += 1;
+        txn.bump_epoch();
+        let tid = txn.id;
+        let class = txn.class;
+        self.metrics.on_restart(class, cause == AbortCause::Deadlock);
+        self.emit(now, TraceEvent::Restart(tid));
+
+        // Leave the active set.
+        self.active -= 1;
+        self.metrics.on_active_change(now, self.active);
+
+        // Release locks (and any queued request); this may unblock others.
+        let grants = if self.cfg.algorithm.uses_locks() {
+            self.lockmgr.release_all(tid)
+        } else {
+            Vec::new()
+        };
+        // Basic T/O: drop prewrites and cancel a parked read; wake readers.
+        let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
+            let ts = (self.txns[term].as_ref().unwrap().attempt_start, tid);
+            self.tso.abort(tid, ts)
+        } else {
+            Vec::new()
+        };
+
+        // Requeue per policy.
+        let delay = self.restart_delay_for(cause);
+        let txn = self.txns[term].as_mut().unwrap();
+        if delay.is_zero() {
+            txn.state = TxnState::Ready;
+            self.ready.push_back(term);
+        } else {
+            txn.state = TxnState::RestartDelay;
+            let epoch = txn.epoch;
+            self.cal
+                .schedule(now + delay, Event::Delay(term, epoch, DelayKind::Restart));
+        }
+
+        self.process_grants(grants, now);
+        self.process_tso_wakeups(tso_woken, now);
+        self.try_admit(now);
+    }
+
+    /// The delay to apply before re-queueing a restarted transaction.
+    fn restart_delay_for(&mut self, cause: AbortCause) -> SimDuration {
+        let applies = match self.cfg.algorithm {
+            // No-waiting is immediate-restart *without* the delay — that is
+            // its defining difference, so the Fig. 11 flag does not apply.
+            CcAlgorithm::NoWaiting => false,
+            CcAlgorithm::ImmediateRestart => true,
+            _ => self.cfg.restart_delay_for_all,
+        };
+        let mut delay = if applies {
+            match self.cfg.params.restart_delay {
+                RestartDelayPolicy::None => SimDuration::ZERO,
+                RestartDelayPolicy::Adaptive => {
+                    sample_exponential(self.resp_avg.value(), &mut self.delay_rng)
+                }
+                RestartDelayPolicy::Fixed(m) => sample_exponential(m, &mut self.delay_rng),
+            }
+        } else {
+            SimDuration::ZERO
+        };
+        // A denial- or die-restarted transaction whose conflicting lock is
+        // its *first* request would otherwise retry at the same simulated
+        // instant against the same holder, forever (an empty ready queue
+        // readmits it immediately; lock requests cost no simulated time).
+        // The paper notes the delay exists precisely so "the same lock
+        // conflict will not re-occur repeatedly"; we floor the delay at an
+        // exponential draw with mean one object-access time — the cheapest
+        // physically meaningful, desynchronizing gap — to rule the
+        // zero-time livelock out for the no-delay variants too.
+        if delay.is_zero()
+            && matches!(
+                cause,
+                AbortCause::Denial | AbortCause::Died | AbortCause::TsRejected
+            )
+        {
+            let floor_mean = self.cfg.params.obj_io.saturating_add(self.cfg.params.obj_cpu);
+            delay = sample_exponential(floor_mean, &mut self.delay_rng)
+                .max(SimDuration::from_micros(1));
+        }
+        delay
+    }
+
+    fn commit(&mut self, term: usize, now: SimTime) {
+        let txn = self.txns[term].as_mut().expect("committing live txn");
+        debug_assert_eq!(txn.state, TxnState::Running);
+        let tid = txn.id;
+        let response = now.since(txn.arrival);
+        let usage = txn.usage;
+        txn.state = TxnState::AtTerminal;
+
+        if let Some(history) = self.history.as_mut() {
+            history.push(CommittedTxn {
+                id: tid,
+                start: txn.attempt_start,
+                reads: txn
+                    .spec
+                    .reads()
+                    .iter()
+                    .copied()
+                    .zip(txn.read_times.iter().copied())
+                    .collect(),
+                writes: txn.write_objs.clone(),
+                commit_at: txn.publish_at.unwrap_or(now),
+            });
+        }
+
+        let class = self.txns[term].as_ref().unwrap().class;
+        self.emit(now, TraceEvent::Commit(tid));
+        self.resp_avg.observe(response);
+        self.metrics
+            .on_commit(class, response, usage.cpu_us, usage.io_us);
+
+        self.active -= 1;
+        self.metrics.on_active_change(now, self.active);
+
+        // Strict 2PL: locks released after the deferred updates, i.e. here.
+        let grants = if self.cfg.algorithm.uses_locks() {
+            self.lockmgr.release_all(tid)
+        } else {
+            Vec::new()
+        };
+        let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
+            let ts = (self.txns[term].as_ref().unwrap().attempt_start, tid);
+            let (woken, applied) = self.tso.commit(tid, ts);
+            // The Thomas write rule may have skipped stale writes: only the
+            // applied ones were published (fix the history record).
+            if let Some(history) = self.history.as_mut() {
+                if let Some(last) = history.txns().last() {
+                    debug_assert_eq!(last.id, tid);
+                }
+                history.amend_last_writes(&applied);
+            }
+            woken
+        } else {
+            Vec::new()
+        };
+
+        // The terminal starts thinking about its next transaction.
+        let think = self.ext_think.sample(&mut self.think_rng);
+        self.cal.schedule(now + think, Event::Arrive(term));
+
+        self.process_grants(grants, now);
+        self.process_tso_wakeups(tso_woken, now);
+        self.try_admit(now);
+    }
+
+    /// Resume transactions whose queued lock requests were just granted.
+    fn process_grants(&mut self, grants: Vec<Grant>, now: SimTime) {
+        for g in grants {
+            let term = self.term_of(g.txn);
+            let Some(txn) = self.txns[term].as_mut() else {
+                continue;
+            };
+            if txn.id != g.txn {
+                continue;
+            }
+            debug_assert_eq!(txn.state, TxnState::Blocked);
+            debug_assert!(matches!(
+                txn.step(),
+                Step::PreclaimLock(_) | Step::LockRead(_) | Step::LockWrite(_)
+            ));
+            txn.state = TxnState::Running;
+            txn.advance();
+            self.emit(now, TraceEvent::Grant(g.txn, g.obj));
+            self.enqueue_dispatch(term);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource access
+    // ------------------------------------------------------------------
+
+    fn submit_cpu(&mut self, term: usize, dur: SimDuration, prio: Priority, now: SimTime) {
+        let epoch = self.txns[term].as_ref().unwrap().epoch;
+        match &mut self.cpus {
+            None => {
+                self.inf_cpu_busy_us += dur.as_micros();
+                self.cal
+                    .schedule(now + dur, Event::InfDone(term, epoch, ServiceKind::Cpu));
+            }
+            Some(pool) => {
+                if let Some(s) = pool.submit(
+                    now,
+                    Request {
+                        payload: (term, epoch),
+                        duration: dur,
+                        priority: prio,
+                    },
+                ) {
+                    self.cal.schedule(s.completes_at, Event::CpuDone(s.server));
+                }
+            }
+        }
+    }
+
+    fn submit_io(&mut self, term: usize, obj: ObjId, now: SimTime) {
+        let _ = obj;
+        let dur = self.cfg.params.obj_io;
+        let epoch = self.txns[term].as_ref().unwrap().epoch;
+        match &mut self.disks {
+            None => {
+                self.inf_io_busy_us += dur.as_micros();
+                self.cal
+                    .schedule(now + dur, Event::InfDone(term, epoch, ServiceKind::Io));
+            }
+            Some(array) => {
+                // The paper's I/O model: "chooses a disk (at random, with
+                // all disks being equally likely)" (§3). A static
+                // object→disk map is NOT equivalent here: restarted
+                // transactions re-read the same objects, so a transient
+                // queue on one disk attracts every retry of every
+                // transaction that touches it — a self-sustaining convoy
+                // the paper's model cannot form.
+                let disk = self.disk_rng.next_below(array.num_disks() as u64) as usize;
+                if let Some(s) = array.submit(now, disk, (term, epoch), dur) {
+                    self.cal.schedule(s.completes_at, Event::DiskDone(s.disk));
+                }
+            }
+        }
+    }
+
+    fn busy_micros(&self, now: SimTime) -> (u64, u64) {
+        let cpu = self
+            .cpus
+            .as_ref()
+            .map_or(self.inf_cpu_busy_us, |p| p.busy_micros(now));
+        let io = self
+            .disks
+            .as_ref()
+            .map_or(self.inf_io_busy_us, |d| d.busy_micros(now));
+        (cpu, io)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(now, event);
+        }
+    }
+
+    fn term_of(&self, tid: TxnId) -> usize {
+        (tid.0 % self.txns.len() as u64) as usize
+    }
+
+    fn timestamp_of(&self, tid: TxnId) -> (SimTime, TxnId) {
+        let t = self.txns[self.term_of(tid)].as_ref().expect("live txn");
+        debug_assert_eq!(t.id, tid);
+        (t.arrival, t.id)
+    }
+
+    /// Past the commit point (validation) — only deferred updates remain.
+    fn is_committing(&self, term: usize) -> bool {
+        let txn = self.txns[term].as_ref().unwrap();
+        matches!(txn.step(), Step::UpdateIo(_) | Step::Commit)
+    }
+
+    /// Current parameters (for inspection in tests/examples).
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        &self.cfg.params
+    }
+}
+
+/// Validate `cfg`, run the simulation to completion, and return the report.
+///
+/// # Errors
+/// Returns [`ParamError`] if the configuration is invalid.
+pub fn run(cfg: SimConfig) -> Result<Report, ParamError> {
+    Ok(Simulator::new(cfg)?.run_to_completion())
+}
+
+/// Like [`run`], but enable tracing (with the given event capacity) and
+/// also return the [`Trace`].
+///
+/// # Errors
+/// Returns [`ParamError`] if the configuration is invalid.
+pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Trace), ParamError> {
+    cfg.trace_capacity = capacity.max(1);
+    let mut sim = Simulator::new(cfg)?;
+    sim.prime();
+    while !sim.done {
+        let Some((now, ev)) = sim.cal.pop() else {
+            break;
+        };
+        sim.handle(now, ev);
+    }
+    let report = sim.metrics.report();
+    let trace = sim.trace.take().expect("tracing was enabled");
+    Ok((report, trace))
+}
+
+/// Like [`run`], but force history recording on and also return the
+/// committed-transaction [`History`] for serializability checking.
+///
+/// # Errors
+/// Returns [`ParamError`] if the configuration is invalid.
+pub fn run_with_history(mut cfg: SimConfig) -> Result<(Report, History), ParamError> {
+    cfg.record_history = true;
+    let mut sim = Simulator::new(cfg)?;
+    sim.prime();
+    while !sim.done {
+        let Some((now, ev)) = sim.cal.pop() else {
+            break;
+        };
+        sim.handle(now, ev);
+    }
+    let report = sim.metrics.report();
+    let history = sim.history.take().expect("history recording was enabled");
+    Ok((report, history))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetricsConfig;
+
+    fn quick_cfg(algo: CcAlgorithm) -> SimConfig {
+        SimConfig::new(algo)
+            .with_metrics(MetricsConfig {
+                warmup_batches: 1,
+                batches: 4,
+                batch_time: SimDuration::from_secs(30),
+                confidence: ccsim_stats::Confidence::Ninety,
+            })
+            .with_seed(1234)
+    }
+
+    #[test]
+    fn every_algorithm_commits_transactions() {
+        for algo in CcAlgorithm::ALL {
+            let report = run(quick_cfg(algo)).expect("valid config");
+            assert!(
+                report.commits > 50,
+                "{algo} committed only {} transactions",
+                report.commits
+            );
+            assert!(report.throughput.mean > 0.0, "{algo} zero throughput");
+            assert!(
+                report.response_time_mean > 0.4,
+                "{algo} impossibly fast responses: {}",
+                report.response_time_mean
+            );
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        for algo in [CcAlgorithm::Blocking, CcAlgorithm::Optimistic] {
+            let a = run(quick_cfg(algo)).unwrap();
+            let b = run(quick_cfg(algo)).unwrap();
+            assert_eq!(a, b, "{algo} runs diverged");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        let b = run(quick_cfg(CcAlgorithm::Blocking).with_seed(4321)).unwrap();
+        assert_ne!(a.commits, b.commits);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = quick_cfg(CcAlgorithm::Blocking);
+        cfg.params.mpl = 0;
+        assert!(run(cfg).is_err());
+    }
+
+    #[test]
+    fn low_conflict_algorithms_agree_roughly() {
+        // Experiment 1's premise: with rare conflicts the algorithm barely
+        // matters. Use the low-conflict database and compare throughputs.
+        let mut reports = Vec::new();
+        for algo in CcAlgorithm::PAPER_TRIO {
+            let cfg = quick_cfg(algo).with_params(Params::low_conflict().with_mpl(10));
+            reports.push(run(cfg).unwrap());
+        }
+        let tps: Vec<f64> = reports.iter().map(|r| r.throughput.mean).collect();
+        let max = tps.iter().cloned().fold(f64::MIN, f64::max);
+        let min = tps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / max < 0.15,
+            "low-conflict spread too wide: {tps:?}"
+        );
+    }
+
+    #[test]
+    fn disk_bound_throughput_is_capped_by_disk_capacity() {
+        // 1 CPU / 2 disks, avg 350 ms of disk time per transaction:
+        // the disks cannot push more than 2 / 0.35 ≈ 5.7 tps.
+        let cfg = quick_cfg(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(25));
+        let r = run(cfg).unwrap();
+        assert!(
+            r.throughput.mean < 5.8,
+            "throughput {} exceeds disk capacity",
+            r.throughput.mean
+        );
+        assert!(r.throughput.mean > 2.0, "throughput {}", r.throughput.mean);
+        assert!(r.disk_util_total.mean > 0.5, "disks should be busy");
+        assert!(r.disk_util_useful.mean <= r.disk_util_total.mean + 1e-9);
+    }
+
+    #[test]
+    fn infinite_resources_scale_with_mpl_at_low_conflict() {
+        let lo = run(quick_cfg(CcAlgorithm::Optimistic)
+            .with_params(Params::low_conflict().with_mpl(5).with_resources(ResourceSpec::Infinite)))
+        .unwrap();
+        let hi = run(quick_cfg(CcAlgorithm::Optimistic)
+            .with_params(Params::low_conflict().with_mpl(50).with_resources(ResourceSpec::Infinite)))
+        .unwrap();
+        assert!(
+            hi.throughput.mean > lo.throughput.mean * 2.0,
+            "mpl 50 ({}) should far outrun mpl 5 ({})",
+            hi.throughput.mean,
+            lo.throughput.mean
+        );
+    }
+
+    #[test]
+    fn avg_active_never_exceeds_mpl() {
+        for algo in CcAlgorithm::PAPER_TRIO {
+            let cfg = quick_cfg(algo).with_params(Params::paper_baseline().with_mpl(10));
+            let r = run(cfg).unwrap();
+            assert!(
+                r.avg_active <= 10.0 + 1e-9,
+                "{algo} avg_active {} exceeds mpl",
+                r.avg_active
+            );
+            assert!(r.avg_active > 0.5, "{algo} avg_active {}", r.avg_active);
+        }
+    }
+
+    #[test]
+    fn blocking_blocks_and_restart_algorithms_restart() {
+        let b = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        assert!(b.block_ratio > 0.0, "blocking at db=1000 must block");
+        let o = run(quick_cfg(CcAlgorithm::Optimistic)).unwrap();
+        assert_eq!(o.block_ratio, 0.0, "optimistic never blocks");
+        let ir = run(quick_cfg(CcAlgorithm::ImmediateRestart)).unwrap();
+        assert_eq!(ir.block_ratio, 0.0, "immediate-restart never blocks");
+        assert!(ir.restart_ratio > 0.0);
+    }
+
+    #[test]
+    fn deadlock_prevention_schemes_never_deadlock() {
+        for algo in [CcAlgorithm::WaitDie, CcAlgorithm::WoundWait, CcAlgorithm::NoWaiting] {
+            let r = run(quick_cfg(algo)).unwrap();
+            assert_eq!(r.deadlocks, 0, "{algo} reported deadlocks");
+        }
+    }
+
+    #[test]
+    fn interactive_think_time_slows_responses() {
+        // Unsaturated system (infinite resources, mpl = terminals) so that
+        // response time reflects service + internal think, not ready-queue
+        // waiting.
+        let unsat = Params::low_conflict()
+            .with_mpl(200)
+            .with_resources(ResourceSpec::Infinite);
+        let base = run(quick_cfg(CcAlgorithm::Optimistic).with_params(unsat.clone())).unwrap();
+        let think = run(quick_cfg(CcAlgorithm::Optimistic).with_params(
+            unsat.with_think_times(SimDuration::from_secs(3), SimDuration::from_secs(1)),
+        ))
+        .unwrap();
+        assert!(
+            (base.response_time_mean - 0.5).abs() < 0.1,
+            "base response {} should be ~0.5 s",
+            base.response_time_mean
+        );
+        assert!(
+            (think.response_time_mean - 1.5).abs() < 0.2,
+            "with a 1 s internal think, response {} should be ~1.5 s",
+            think.response_time_mean
+        );
+    }
+
+    #[test]
+    fn cc_cpu_charge_is_accounted() {
+        let mut params = Params::paper_baseline().with_mpl(5);
+        params.cc_cpu = SimDuration::from_millis(5);
+        let with_charge = run(quick_cfg(CcAlgorithm::Blocking).with_params(params)).unwrap();
+        let without =
+            run(quick_cfg(CcAlgorithm::Blocking)
+                .with_params(Params::paper_baseline().with_mpl(5)))
+            .unwrap();
+        assert!(
+            with_charge.cpu_util_total.mean > without.cpu_util_total.mean,
+            "cc_cpu should raise CPU utilization ({} vs {})",
+            with_charge.cpu_util_total.mean,
+            without.cpu_util_total.mean
+        );
+    }
+
+    #[test]
+    fn mpl_larger_than_terminals_is_harmless() {
+        // The mpl caps *active* transactions; with mpl > num_terms it never
+        // binds and throughput equals the uncapped closed-loop rate.
+        let mut params = Params::paper_baseline().with_mpl(1000);
+        params.num_terms = 20;
+        let r = run(quick_cfg(CcAlgorithm::Blocking).with_params(params)).unwrap();
+        assert!(r.commits > 100);
+        assert!(r.avg_active <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_external_think_time_saturates_the_system() {
+        let mut params = Params::paper_baseline().with_mpl(10);
+        params.ext_think_time = SimDuration::ZERO;
+        let r = run(quick_cfg(CcAlgorithm::Blocking).with_params(params)).unwrap();
+        // Terminals resubmit instantly, so the active set stays pinned.
+        assert!(r.avg_active > 9.5, "avg_active {}", r.avg_active);
+        assert!(r.commits > 100);
+    }
+
+    #[test]
+    fn deterministic_transaction_sizes() {
+        let mut params = Params::paper_baseline().with_mpl(5);
+        params.min_size = 6;
+        params.max_size = 6;
+        let r = run(quick_cfg(CcAlgorithm::Optimistic).with_params(params)).unwrap();
+        assert!(r.commits > 100);
+    }
+
+    #[test]
+    fn whole_database_transactions_make_progress() {
+        // Every transaction reads the entire (tiny) database and writes all
+        // of it: maximal conflict, upgrade deadlocks guaranteed. Progress
+        // must still happen via victim selection.
+        let mut params = Params::paper_baseline().with_mpl(5);
+        params.db_size = 8;
+        params.min_size = 8;
+        params.max_size = 8;
+        params.write_prob = 1.0;
+        let r = run(quick_cfg(CcAlgorithm::Blocking).with_params(params)).unwrap();
+        assert!(r.commits > 50, "only {} commits", r.commits);
+        assert!(r.deadlocks > 0, "upgrade deadlocks were expected");
+    }
+
+    #[test]
+    fn no_cc_baseline_outruns_safe_algorithms_under_contention() {
+        let nocc = run(quick_cfg(CcAlgorithm::NoCc)).unwrap();
+        let blocking = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        assert_eq!(nocc.restarts, 0);
+        assert_eq!(nocc.blocks, 0);
+        assert!(nocc.throughput.mean >= blocking.throughput.mean * 0.99);
+    }
+
+    #[test]
+    fn response_percentiles_are_ordered() {
+        let r = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        assert!(r.response_time_p50 > 0.0);
+        assert!(r.response_time_p50 <= r.response_time_p95);
+        assert!(r.response_time_p95 <= r.response_time_p99);
+        assert!(r.response_time_p99 <= r.response_time_max * 1.06);
+        // The median of a right-skewed latency distribution sits below the
+        // mean.
+        assert!(r.response_time_p50 <= r.response_time_mean * 1.1);
+    }
+
+    #[test]
+    fn static_locking_never_restarts() {
+        // Preclaiming in a global order is deadlock-free, and the blocking
+        // discipline never denies — so static locking commits every
+        // transaction on its first attempt.
+        let r = run(quick_cfg(CcAlgorithm::StaticLocking)).unwrap();
+        assert!(r.commits > 100);
+        assert_eq!(r.restarts, 0, "static locking restarted");
+        assert_eq!(r.deadlocks, 0, "static locking deadlocked");
+        assert!(r.block_ratio > 0.0, "contention should cause waits");
+    }
+
+    #[test]
+    fn static_locking_trails_dynamic_at_moderate_contention() {
+        // Preclaiming holds every lock for the whole transaction, so at the
+        // baseline contention level dynamic 2PL should be at least as good.
+        let dynamic = run(quick_cfg(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(25)))
+        .unwrap();
+        let static_ = run(quick_cfg(CcAlgorithm::StaticLocking)
+            .with_params(Params::paper_baseline().with_mpl(25)))
+        .unwrap();
+        assert!(
+            dynamic.throughput.mean >= static_.throughput.mean * 0.95,
+            "dynamic {} vs static {}",
+            dynamic.throughput.mean,
+            static_.throughput.mean
+        );
+    }
+
+    #[test]
+    fn trace_captures_transaction_lifecycles() {
+        let (report, trace) = super::run_with_trace(quick_cfg(CcAlgorithm::Blocking), 100_000)
+            .expect("valid config");
+        assert!(!trace.is_empty());
+        // Every lifecycle event kind should appear under contention.
+        let mut commits = 0u64;
+        let mut blocks = 0u64;
+        let mut restarts = 0u64;
+        let mut deadlocks = 0u64;
+        for (_, e) in trace.events() {
+            match e {
+                crate::trace::TraceEvent::Commit(_) => commits += 1,
+                crate::trace::TraceEvent::Block(_, _) => blocks += 1,
+                crate::trace::TraceEvent::Restart(_) => restarts += 1,
+                crate::trace::TraceEvent::Deadlock { .. } => deadlocks += 1,
+                _ => {}
+            }
+        }
+        // Trace counts include warmup; metrics exclude it.
+        assert!(commits >= report.commits, "{commits} vs {}", report.commits);
+        assert!(blocks >= report.blocks);
+        assert!(restarts >= report.restarts);
+        assert!(deadlocks >= report.deadlocks);
+        // Timestamps are nondecreasing.
+        let mut last = SimTime::ZERO;
+        for &(at, _) in trace.events() {
+            assert!(at >= last);
+            last = at;
+        }
+        let text = trace.render();
+        assert!(text.contains("commits"));
+    }
+
+    #[test]
+    fn basic_to_commits_and_never_deadlocks() {
+        let r = run(quick_cfg(CcAlgorithm::BasicTO)).unwrap();
+        assert!(r.commits > 100, "{} commits", r.commits);
+        assert_eq!(r.deadlocks, 0, "basic T/O is deadlock-free");
+        assert!(r.restarts > 0, "timestamp rejections were expected");
+    }
+
+    #[test]
+    fn basic_to_readers_wait_on_pending_prewrites() {
+        // Under high write contention some reads must park on pending
+        // prewrites of older transactions.
+        let mut params = Params::paper_baseline().with_mpl(50);
+        params.write_prob = 0.75;
+        let r = run(quick_cfg(CcAlgorithm::BasicTO).with_params(params)).unwrap();
+        assert!(r.blocks > 0, "expected reader waits, saw none");
+        assert_eq!(r.deadlocks, 0);
+    }
+
+    #[test]
+    fn victim_policies_all_resolve_deadlocks() {
+        for victim in VictimPolicy::ALL {
+            let mut cfg = quick_cfg(CcAlgorithm::Blocking)
+                .with_params(Params::paper_baseline().with_mpl(50));
+            cfg.victim = victim;
+            let r = run(cfg).unwrap();
+            assert!(r.commits > 100, "{:?}: {} commits", victim, r.commits);
+            assert!(r.deadlocks > 0, "{:?}: expected deadlocks at mpl 50", victim);
+        }
+    }
+
+    #[test]
+    fn victim_policy_changes_outcomes() {
+        let mut young = quick_cfg(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(75));
+        young.victim = VictimPolicy::Youngest;
+        let mut old = young.clone();
+        old.victim = VictimPolicy::Oldest;
+        let a = run(young).unwrap();
+        let b = run(old).unwrap();
+        assert_ne!(
+            a.commits, b.commits,
+            "different victim policies should diverge"
+        );
+    }
+
+    #[test]
+    fn fixed_restart_delay_policy_is_honored() {
+        // A very long fixed delay should depress immediate-restart
+        // throughput relative to the adaptive policy (the paper's
+        // sensitivity result).
+        let adaptive = run(quick_cfg(CcAlgorithm::ImmediateRestart)
+            .with_params(
+                Params::paper_baseline()
+                    .with_mpl(100)
+                    .with_resources(ResourceSpec::Infinite),
+            ))
+        .unwrap();
+        let long_delay = run(quick_cfg(CcAlgorithm::ImmediateRestart).with_params(
+            Params::paper_baseline()
+                .with_mpl(100)
+                .with_resources(ResourceSpec::Infinite)
+                .with_restart_delay(RestartDelayPolicy::Fixed(SimDuration::from_secs(30))),
+        ))
+        .unwrap();
+        assert!(
+            long_delay.throughput.mean < adaptive.throughput.mean * 0.8,
+            "30s delays ({}) should hurt vs adaptive ({})",
+            long_delay.throughput.mean,
+            adaptive.throughput.mean
+        );
+    }
+
+    #[test]
+    fn optimistic_trace_records_validation_failures() {
+        let (report, trace) =
+            super::run_with_trace(quick_cfg(CcAlgorithm::Optimistic), 200_000).unwrap();
+        assert!(report.restarts > 0);
+        let failures = trace
+            .events()
+            .filter(|(_, e)| matches!(e, crate::trace::TraceEvent::ValidationFailure(_, _)))
+            .count();
+        assert!(failures > 0, "expected validation-failure trace events");
+    }
+
+    #[test]
+    fn useful_utilization_equals_total_when_no_restarts() {
+        // Low conflict + blocking: restarts are rare, so wasted work ~ 0
+        // and useful ≈ total.
+        let cfg = quick_cfg(CcAlgorithm::Blocking)
+            .with_params(Params::low_conflict().with_mpl(10));
+        let r = run(cfg).unwrap();
+        assert!(
+            (r.disk_util_total.mean - r.disk_util_useful.mean).abs() < 0.02,
+            "total {} vs useful {}",
+            r.disk_util_total.mean,
+            r.disk_util_useful.mean
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! `ccsim-core` — the closed queuing model of Agrawal, Carey & Livny's
+//! *"Models for Studying Concurrency Control Performance: Alternatives and
+//! Implications"* (SIGMOD 1985), with pluggable concurrency control.
+//!
+//! The model (paper Figures 1–2): a fixed set of terminals submits
+//! transactions; at most `mpl` are *active* at once (the rest wait in the
+//! ready queue); active transactions alternate concurrency-control requests
+//! with object accesses, may block or restart on conflict, write deferred
+//! updates at commit, and return to their terminal for an external think
+//! time. Underneath sit a pooled CPU resource and a partitioned disk array
+//! (or the idealized *infinite resources* assumption).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ccsim_core::{run, CcAlgorithm, MetricsConfig, SimConfig};
+//!
+//! let cfg = SimConfig::new(CcAlgorithm::Blocking)
+//!     .with_metrics(MetricsConfig::quick())
+//!     .with_seed(7);
+//! let report = run(cfg).expect("valid configuration");
+//! assert!(report.throughput.mean > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod algorithm;
+mod config;
+mod engine;
+mod metrics;
+mod trace;
+mod txn;
+
+pub use algorithm::{CcAlgorithm, VictimPolicy};
+pub use config::{MetricsConfig, SimConfig};
+pub use engine::{run, run_with_history, run_with_trace, Simulator};
+pub use metrics::{ClassReport, Metrics, Report};
+pub use trace::{Trace, TraceEvent};
+pub use txn::{AttemptUsage, Program, ProgramShape, Step, Txn, TxnState};
+
+// Re-export the vocabulary types callers need to configure runs.
+pub use ccsim_history::{check_conflict_serializable, CommittedTxn, History};
+pub use ccsim_stats::{Confidence, Estimate};
+pub use ccsim_workload::{
+    AccessPattern, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TermId, TxnId,
+};

@@ -1,0 +1,256 @@
+//! Structured execution tracing.
+//!
+//! When enabled (the `trace_capacity` field of [`crate::SimConfig`]), the engine
+//! appends one typed [`TraceEvent`] per interesting state transition to a
+//! bounded ring buffer. Traces make the model's behaviour inspectable —
+//! which transaction blocked on which object, who was picked as a deadlock
+//! victim, when validation failed — without attaching a debugger to a
+//! discrete-event simulation.
+//!
+//! The buffer is bounded ([`Trace::with_capacity`]) so tracing long runs
+//! keeps the *last* N events; tests and examples use small horizons where
+//! nothing is dropped.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ccsim_des::SimTime;
+use ccsim_workload::{ObjId, TxnId};
+
+/// One traced state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A terminal submitted a new transaction.
+    Arrive(TxnId),
+    /// A transaction was admitted into the active set (attempt start).
+    Admit(TxnId),
+    /// A lock request blocked on an object.
+    Block(TxnId, ObjId),
+    /// A queued lock request was granted.
+    Grant(TxnId, ObjId),
+    /// A deadlock was detected and a victim chosen.
+    Deadlock {
+        /// The transaction whose block completed the cycle.
+        detector: TxnId,
+        /// The transaction chosen for restart.
+        victim: TxnId,
+    },
+    /// A transaction was aborted and will retry.
+    Restart(TxnId),
+    /// An optimistic validation failed against a committed writer.
+    ValidationFailure(TxnId, ObjId),
+    /// A transaction committed.
+    Commit(TxnId),
+}
+
+impl TraceEvent {
+    /// The transaction the event is about (the detector for deadlocks).
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            TraceEvent::Arrive(t)
+            | TraceEvent::Admit(t)
+            | TraceEvent::Block(t, _)
+            | TraceEvent::Grant(t, _)
+            | TraceEvent::Restart(t)
+            | TraceEvent::ValidationFailure(t, _)
+            | TraceEvent::Commit(t) => t,
+            TraceEvent::Deadlock { detector, .. } => detector,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Arrive(t) => write!(f, "{t} arrives"),
+            TraceEvent::Admit(t) => write!(f, "{t} admitted"),
+            TraceEvent::Block(t, o) => write!(f, "{t} blocks on {o}"),
+            TraceEvent::Grant(t, o) => write!(f, "{t} granted {o}"),
+            TraceEvent::Deadlock { detector, victim } => {
+                write!(f, "deadlock via {detector}; victim {victim}")
+            }
+            TraceEvent::Restart(t) => write!(f, "{t} restarts"),
+            TraceEvent::ValidationFailure(t, o) => {
+                write!(f, "{t} fails validation on {o}")
+            }
+            TraceEvent::Commit(t) => write!(f, "{t} commits"),
+        }
+    }
+}
+
+/// A bounded, timestamped event log.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` most-recent events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event at `now`.
+    pub fn push(&mut self, now: SimTime, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((now, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained events concerning one transaction, oldest first.
+    #[must_use]
+    pub fn for_txn(&self, txn: TxnId) -> Vec<(SimTime, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.txn() == txn)
+            .copied()
+            .collect()
+    }
+
+    /// Render the trace as one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.dropped);
+        }
+        for (at, e) in &self.events {
+            let _ = writeln!(out, "[{at}] {e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> TxnId {
+        TxnId(v)
+    }
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::with_capacity(10);
+        tr.push(at(1), TraceEvent::Arrive(t(1)));
+        tr.push(at(2), TraceEvent::Admit(t(1)));
+        tr.push(at(3), TraceEvent::Commit(t(1)));
+        assert_eq!(tr.len(), 3);
+        let kinds: Vec<TraceEvent> = tr.events().map(|&(_, e)| e).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEvent::Arrive(t(1)),
+                TraceEvent::Admit(t(1)),
+                TraceEvent::Commit(t(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_bound_keeps_latest() {
+        let mut tr = Trace::with_capacity(2);
+        tr.push(at(1), TraceEvent::Arrive(t(1)));
+        tr.push(at(2), TraceEvent::Arrive(t(2)));
+        tr.push(at(3), TraceEvent::Arrive(t(3)));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        let first = tr.events().next().unwrap();
+        assert_eq!(first.1, TraceEvent::Arrive(t(2)));
+    }
+
+    #[test]
+    fn per_txn_filter() {
+        let mut tr = Trace::with_capacity(10);
+        tr.push(at(1), TraceEvent::Arrive(t(1)));
+        tr.push(at(1), TraceEvent::Arrive(t(2)));
+        tr.push(at(2), TraceEvent::Block(t(1), ObjId(9)));
+        tr.push(
+            at(3),
+            TraceEvent::Deadlock {
+                detector: t(1),
+                victim: t(2),
+            },
+        );
+        let mine = tr.for_txn(t(1));
+        assert_eq!(mine.len(), 3);
+        assert_eq!(tr.for_txn(t(2)).len(), 1);
+    }
+
+    #[test]
+    fn render_includes_drop_marker() {
+        let mut tr = Trace::with_capacity(1);
+        tr.push(at(1), TraceEvent::Commit(t(1)));
+        tr.push(at(2), TraceEvent::Commit(t(2)));
+        let text = tr.render();
+        assert!(text.contains("1 earlier events dropped"));
+        assert!(text.contains("txn2 commits"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            TraceEvent::Block(t(3), ObjId(7)).to_string(),
+            "txn3 blocks on obj7"
+        );
+        assert_eq!(
+            TraceEvent::Deadlock {
+                detector: t(1),
+                victim: t(2)
+            }
+            .to_string(),
+            "deadlock via txn1; victim txn2"
+        );
+        assert_eq!(
+            TraceEvent::ValidationFailure(t(4), ObjId(2)).to_string(),
+            "txn4 fails validation on obj2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::with_capacity(0);
+    }
+}

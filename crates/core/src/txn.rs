@@ -1,0 +1,500 @@
+//! Transaction runtime state: the step program and per-attempt bookkeeping.
+//!
+//! A transaction's behaviour is a fixed sequence of *steps* derived from its
+//! [`TxnSpec`] and the concurrency control algorithm (paper §3):
+//!
+//! * locking algorithms interleave lock requests with object accesses:
+//!   `lock(o) → io(o) → cpu(o)` per read, an optional internal think, then
+//!   `upgrade(o) → cpu(o)` per write, then deferred-update I/Os, then commit;
+//! * the optimistic algorithm performs the same accesses with no lock steps
+//!   and a single validation step at its commit point.
+//!
+//! The step sequence is addressed by a flat program counter so that the
+//! engine can advance a transaction with one integer increment.
+
+use ccsim_des::{SimDuration, SimTime};
+use ccsim_workload::{ObjId, TxnId, TxnSpec};
+
+/// One step of a transaction program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Acquire the `k`-th lock of the preclaim plan (static locking: all
+    /// locks, in canonical object order and final mode, before any access).
+    PreclaimLock(usize),
+    /// Acquire a read lock on the `i`-th read object (dynamic locking).
+    LockRead(usize),
+    /// Read I/O for the `i`-th read object.
+    ReadIo(usize),
+    /// Read CPU for the `i`-th read object.
+    ReadCpu(usize),
+    /// The intra-transaction think pause between reads and writes.
+    IntThink,
+    /// Upgrade the lock on the `j`-th *written* object to write mode.
+    LockWrite(usize),
+    /// CPU for the `j`-th write request (the I/O is deferred).
+    WriteCpu(usize),
+    /// The commit-point concurrency-control request: optimistic validation,
+    /// a no-op for locking algorithms.
+    Validate,
+    /// Deferred-update I/O for the `j`-th written object.
+    UpdateIo(usize),
+    /// Commit: release locks, record statistics, return to the terminal.
+    Commit,
+}
+
+/// How an algorithm family interleaves concurrency control with accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramShape {
+    /// Dynamic two-phase locking: a lock step before each read, an upgrade
+    /// step before each write (the paper's locking algorithms).
+    Dynamic2pl,
+    /// Static (conservative) locking: every lock acquired up front, in
+    /// canonical object order and final mode, before the first access
+    /// (the discipline of the paper's ancestor model, Ries/Stonebraker).
+    Static2pl,
+    /// No per-access concurrency control steps (optimistic, no-cc).
+    LockFree,
+}
+
+/// The program shape for one spec under one algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Program {
+    shape: ProgramShape,
+    thinks: bool,
+    reads: usize,
+    writes: usize,
+}
+
+impl Program {
+    /// Build the program shape.
+    #[must_use]
+    pub fn new(shape: ProgramShape, thinks: bool, spec: &TxnSpec) -> Self {
+        Program {
+            shape,
+            thinks,
+            reads: spec.num_reads(),
+            writes: spec.num_writes(),
+        }
+    }
+
+    fn per_read(&self) -> usize {
+        match self.shape {
+            ProgramShape::Dynamic2pl => 3,
+            ProgramShape::Static2pl | ProgramShape::LockFree => 2,
+        }
+    }
+
+    fn per_write(&self) -> usize {
+        match self.shape {
+            ProgramShape::Dynamic2pl => 2,
+            ProgramShape::Static2pl | ProgramShape::LockFree => 1,
+        }
+    }
+
+    fn preclaims(&self) -> usize {
+        match self.shape {
+            ProgramShape::Static2pl => self.reads,
+            _ => 0,
+        }
+    }
+
+    /// Total number of steps (the commit step is `len() - 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let think = usize::from(self.thinks);
+        self.preclaims() + self.per_read() * self.reads + think
+            + self.per_write() * self.writes + 1 /* validate */
+            + self.writes /* update IOs */ + 1 /* commit */
+    }
+
+    /// Whether the program has zero steps (never: there is always a commit).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decode program counter `pc` into a [`Step`].
+    ///
+    /// # Panics
+    /// Panics if `pc` is past the commit step.
+    #[must_use]
+    pub fn step_at(&self, pc: usize) -> Step {
+        if pc < self.preclaims() {
+            return Step::PreclaimLock(pc);
+        }
+        let pc = pc - self.preclaims();
+        let per_read = self.per_read();
+        let per_write = self.per_write();
+        let dynamic = self.shape == ProgramShape::Dynamic2pl;
+        let read_end = per_read * self.reads;
+        if pc < read_end {
+            let i = pc / per_read;
+            return match (dynamic, pc % per_read) {
+                (true, 0) => Step::LockRead(i),
+                (true, 1) | (false, 0) => Step::ReadIo(i),
+                _ => Step::ReadCpu(i),
+            };
+        }
+        let mut off = pc - read_end;
+        if self.thinks {
+            if off == 0 {
+                return Step::IntThink;
+            }
+            off -= 1;
+        }
+        let write_end = per_write * self.writes;
+        if off < write_end {
+            let j = off / per_write;
+            return match (dynamic, off % per_write) {
+                (true, 0) => Step::LockWrite(j),
+                _ => Step::WriteCpu(j),
+            };
+        }
+        off -= write_end;
+        if off == 0 {
+            return Step::Validate;
+        }
+        off -= 1;
+        if off < self.writes {
+            return Step::UpdateIo(off);
+        }
+        assert_eq!(off, self.writes, "program counter past commit");
+        Step::Commit
+    }
+}
+
+/// Where a transaction is in its lifecycle (paper Figure 1's queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// At the terminal, between transactions (external think).
+    AtTerminal,
+    /// In the ready queue, waiting for a multiprogramming slot.
+    Ready,
+    /// Active: in a cc/object/update queue or receiving service.
+    Running,
+    /// Active: blocked on a lock.
+    Blocked,
+    /// Active: in the intra-transaction think pause (holding locks).
+    Thinking,
+    /// Inactive: serving its restart delay.
+    RestartDelay,
+}
+
+impl TxnState {
+    /// Counts toward the multiprogramming level?
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        matches!(
+            self,
+            TxnState::Running | TxnState::Blocked | TxnState::Thinking
+        )
+    }
+}
+
+/// Per-attempt resource usage, for the useful/wasted split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttemptUsage {
+    /// CPU microseconds consumed by this attempt.
+    pub cpu_us: u64,
+    /// Disk microseconds consumed by this attempt.
+    pub io_us: u64,
+}
+
+impl AttemptUsage {
+    /// Accrue a completed service.
+    pub fn add_cpu(&mut self, d: SimDuration) {
+        self.cpu_us += d.as_micros();
+    }
+    /// Accrue a completed I/O.
+    pub fn add_io(&mut self, d: SimDuration) {
+        self.io_us += d.as_micros();
+    }
+    /// Reset for a fresh attempt.
+    pub fn reset(&mut self) {
+        *self = AttemptUsage::default();
+    }
+}
+
+/// The runtime record of one terminal's current transaction.
+#[derive(Debug)]
+pub struct Txn {
+    /// Globally unique id of the current transaction (not reused across
+    /// transactions; preserved across restarts of the same transaction).
+    pub id: TxnId,
+    /// The access program (kept across restarts — paper footnote 1).
+    pub spec: TxnSpec,
+    /// Objects written, in write order (cached from the spec).
+    pub write_objs: Vec<ObjId>,
+    /// The preclaim plan for static locking: `(object, final mode as
+    /// write?)` in ascending object order (a global acquisition order makes
+    /// static locking deadlock-free). Empty for other shapes.
+    pub lock_plan: Vec<(ObjId, bool)>,
+    /// Program shape.
+    pub program: Program,
+    /// Program counter into [`Program::step_at`].
+    pub pc: usize,
+    /// Lifecycle state.
+    pub state: TxnState,
+    /// When this transaction first entered the ready queue (response time
+    /// origin; also the timestamp used by youngest-victim, wait-die and
+    /// wound-wait).
+    pub arrival: SimTime,
+    /// When the current attempt was admitted (the optimistic start time).
+    pub attempt_start: SimTime,
+    /// Attempt epoch, bumped on every restart; stale events are dropped by
+    /// comparing epochs.
+    pub epoch: u32,
+    /// Resource usage of the current attempt.
+    pub usage: AttemptUsage,
+    /// Times this transaction blocked (across all attempts).
+    pub blocks: u32,
+    /// Times this transaction restarted.
+    pub restarts: u32,
+    /// True while a concurrency-control CPU charge is in flight for the
+    /// current step (only when `cc_cpu > 0`).
+    pub cc_charged: bool,
+    /// Read-completion times of the current attempt, parallel to
+    /// `spec.reads()` (filled only when history recording is enabled).
+    pub read_times: Vec<SimTime>,
+    /// When this attempt's writes were (will be) published: the validation
+    /// instant for optimistic CC, the commit event otherwise.
+    pub publish_at: Option<SimTime>,
+    /// Workload class index (0 = the primary Table-1 class).
+    pub class: usize,
+}
+
+impl Txn {
+    /// Create the record for a freshly submitted transaction. `epoch` must
+    /// be strictly greater than any epoch the same terminal has used before
+    /// (stale-event filtering relies on it; the engine passes a per-terminal
+    /// monotone counter).
+    #[must_use]
+    pub fn new(
+        id: TxnId,
+        spec: TxnSpec,
+        shape: ProgramShape,
+        thinks: bool,
+        arrival: SimTime,
+        epoch: u32,
+    ) -> Self {
+        let write_objs: Vec<ObjId> = spec.write_objs().collect();
+        let lock_plan = if shape == ProgramShape::Static2pl {
+            let mut plan: Vec<(ObjId, bool)> = spec
+                .reads()
+                .iter()
+                .enumerate()
+                .map(|(i, &obj)| (obj, spec.writes_at(i)))
+                .collect();
+            plan.sort_unstable_by_key(|&(obj, _)| obj);
+            plan
+        } else {
+            Vec::new()
+        };
+        let program = Program::new(shape, thinks, &spec);
+        Txn {
+            id,
+            spec,
+            write_objs,
+            lock_plan,
+            program,
+            pc: 0,
+            state: TxnState::Ready,
+            arrival,
+            attempt_start: arrival,
+            epoch,
+            usage: AttemptUsage::default(),
+            blocks: 0,
+            restarts: 0,
+            cc_charged: false,
+            read_times: Vec::new(),
+            publish_at: None,
+            class: 0,
+        }
+    }
+
+    /// The step the transaction is currently at.
+    #[must_use]
+    pub fn step(&self) -> Step {
+        self.program.step_at(self.pc)
+    }
+
+    /// Advance to the next step.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+        self.cc_charged = false;
+    }
+
+    /// Rewind for a fresh attempt after a restart.
+    pub fn begin_attempt(&mut self, now: SimTime) {
+        self.pc = 0;
+        self.cc_charged = false;
+        self.attempt_start = now;
+        self.usage.reset();
+        self.read_times.clear();
+        self.publish_at = None;
+    }
+
+    /// Bump the epoch (called at restart so stale events are ignored).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_workload::ObjId;
+
+    fn spec(reads: usize, write_ixs: &[usize]) -> TxnSpec {
+        let objs: Vec<ObjId> = (0..reads as u64).map(ObjId).collect();
+        let writes: Vec<bool> = (0..reads).map(|i| write_ixs.contains(&i)).collect();
+        TxnSpec::new(objs, writes)
+    }
+
+    fn collect(program: Program) -> Vec<Step> {
+        (0..program.len()).map(|pc| program.step_at(pc)).collect()
+    }
+
+    #[test]
+    fn locking_program_shape() {
+        let s = spec(2, &[1]);
+        let p = Program::new(ProgramShape::Dynamic2pl, false, &s);
+        assert_eq!(
+            collect(p),
+            vec![
+                Step::LockRead(0),
+                Step::ReadIo(0),
+                Step::ReadCpu(0),
+                Step::LockRead(1),
+                Step::ReadIo(1),
+                Step::ReadCpu(1),
+                Step::LockWrite(0),
+                Step::WriteCpu(0),
+                Step::Validate,
+                Step::UpdateIo(0),
+                Step::Commit,
+            ]
+        );
+    }
+
+    #[test]
+    fn optimistic_program_shape() {
+        let s = spec(2, &[0]);
+        let p = Program::new(ProgramShape::LockFree, false, &s);
+        assert_eq!(
+            collect(p),
+            vec![
+                Step::ReadIo(0),
+                Step::ReadCpu(0),
+                Step::ReadIo(1),
+                Step::ReadCpu(1),
+                Step::WriteCpu(0),
+                Step::Validate,
+                Step::UpdateIo(0),
+                Step::Commit,
+            ]
+        );
+    }
+
+    #[test]
+    fn think_step_sits_between_reads_and_writes() {
+        let s = spec(1, &[0]);
+        let p = Program::new(ProgramShape::Dynamic2pl, true, &s);
+        assert_eq!(
+            collect(p),
+            vec![
+                Step::LockRead(0),
+                Step::ReadIo(0),
+                Step::ReadCpu(0),
+                Step::IntThink,
+                Step::LockWrite(0),
+                Step::WriteCpu(0),
+                Step::Validate,
+                Step::UpdateIo(0),
+                Step::Commit,
+            ]
+        );
+    }
+
+    #[test]
+    fn read_only_program_ends_with_validate_commit() {
+        let s = spec(3, &[]);
+        let p = Program::new(ProgramShape::LockFree, false, &s);
+        let steps = collect(p);
+        assert_eq!(steps.len(), 3 * 2 + 2);
+        assert_eq!(steps[steps.len() - 2], Step::Validate);
+        assert_eq!(steps[steps.len() - 1], Step::Commit);
+    }
+
+    #[test]
+    fn program_len_matches_enumeration() {
+        for shape in [
+            ProgramShape::Dynamic2pl,
+            ProgramShape::Static2pl,
+            ProgramShape::LockFree,
+        ] {
+            for thinks in [false, true] {
+                for reads in 1..6 {
+                    for writes in 0..=reads {
+                        let wixs: Vec<usize> = (0..writes).collect();
+                        let s = spec(reads, &wixs);
+                        let p = Program::new(shape, thinks, &s);
+                        let steps = collect(p);
+                        assert_eq!(steps.len(), p.len());
+                        assert_eq!(*steps.last().unwrap(), Step::Commit);
+                        assert!(!p.is_empty());
+                        // Exactly one validate and one commit.
+                        assert_eq!(
+                            steps.iter().filter(|s| **s == Step::Validate).count(),
+                            1
+                        );
+                        assert_eq!(steps.iter().filter(|s| **s == Step::Commit).count(), 1);
+                        // Think appears iff requested.
+                        assert_eq!(
+                            steps.iter().filter(|s| **s == Step::IntThink).count(),
+                            usize::from(thinks)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past commit")]
+    fn pc_past_commit_panics() {
+        let s = spec(1, &[]);
+        let p = Program::new(ProgramShape::Dynamic2pl, false, &s);
+        let _ = p.step_at(p.len());
+    }
+
+    #[test]
+    fn txn_lifecycle_helpers() {
+        let s = spec(2, &[1]);
+        let mut t = Txn::new(TxnId(7), s, ProgramShape::Dynamic2pl, false, SimTime::from_secs(1), 0);
+        assert_eq!(t.step(), Step::LockRead(0));
+        assert_eq!(t.write_objs, vec![ObjId(1)]);
+        t.advance();
+        assert_eq!(t.step(), Step::ReadIo(0));
+        t.usage.add_cpu(SimDuration::from_millis(15));
+        t.usage.add_io(SimDuration::from_millis(35));
+        assert_eq!(t.usage.cpu_us, 15_000);
+        t.bump_epoch();
+        t.begin_attempt(SimTime::from_secs(5));
+        assert_eq!(t.pc, 0);
+        assert_eq!(t.epoch, 1);
+        assert_eq!(t.usage, AttemptUsage::default());
+        assert_eq!(t.attempt_start, SimTime::from_secs(5));
+        assert_eq!(t.arrival, SimTime::from_secs(1), "arrival survives restart");
+    }
+
+    #[test]
+    fn state_activity() {
+        assert!(TxnState::Running.is_active());
+        assert!(TxnState::Blocked.is_active());
+        assert!(TxnState::Thinking.is_active());
+        assert!(!TxnState::Ready.is_active());
+        assert!(!TxnState::AtTerminal.is_active());
+        assert!(!TxnState::RestartDelay.is_active());
+    }
+}

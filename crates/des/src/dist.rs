@@ -1,0 +1,236 @@
+//! Random variates used by the model.
+//!
+//! The paper draws external/internal think times and the adaptive restart
+//! delay from exponential distributions, transaction sizes from a discrete
+//! uniform distribution, write membership from a Bernoulli trial, and read
+//! sets uniformly **without replacement** from the database.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::time::SimDuration;
+
+/// Exponential distribution over simulated durations.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean: SimDuration,
+}
+
+impl Exponential {
+    /// An exponential with the given mean.
+    #[must_use]
+    pub fn new(mean: SimDuration) -> Self {
+        Exponential { mean }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        self.mean
+    }
+
+    /// Draw one variate. A zero mean yields a zero duration (degenerate
+    /// distribution), which the model uses to disable a think path.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> SimDuration {
+        sample_exponential(self.mean, rng)
+    }
+}
+
+/// Draw an exponential variate with the given mean without constructing a
+/// distribution value (used where the mean changes every draw, e.g. the
+/// adaptive restart delay).
+pub fn sample_exponential(mean: SimDuration, rng: &mut Xoshiro256StarStar) -> SimDuration {
+    if mean.is_zero() {
+        return SimDuration::ZERO;
+    }
+    // Inverse transform: -mean * ln(1 - U), U in [0,1) so 1-U in (0,1].
+    let u = rng.next_f64();
+    let x = -(mean.as_micros() as f64) * (1.0 - u).ln();
+    SimDuration::from_micros(x.round() as u64)
+}
+
+/// Discrete uniform over an inclusive integer range.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformInclusive {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformInclusive {
+    /// Uniform over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "UniformInclusive: lo > hi");
+        UniformInclusive { lo, hi }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+
+    /// Draw one variate.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        rng.next_range_inclusive(self.lo, self.hi)
+    }
+}
+
+/// Sample `k` **distinct** integers uniformly from `[0, n)` using Robert
+/// Floyd's algorithm: O(k) draws, no O(n) allocation.
+///
+/// The returned order is randomized (the paper's transactions access their
+/// read sets in an arbitrary but fixed order).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct(n: u64, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<u64> {
+    assert!(
+        (k as u64) <= n,
+        "sample_distinct: cannot draw {k} distinct values from a universe of {n}"
+    );
+    let mut chosen: Vec<u64> = Vec::with_capacity(k);
+    // Floyd: for j = n-k .. n-1, pick t in [0, j]; if t already chosen, take j.
+    let start = n - k as u64;
+    for j in start..n {
+        let t = rng.next_below(j + 1);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    // Floyd's output is biased toward sorted insertion order; shuffle so the
+    // access order is uniform too (Fisher-Yates).
+    for i in (1..chosen.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        chosen.swap(i, j);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MICROS_PER_SEC;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(20260705)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let d = Exponential::new(SimDuration::from_secs(2));
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut r).as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        let expect = 2.0 * MICROS_PER_SEC as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_degenerate() {
+        let mut r = rng();
+        let d = Exponential::new(SimDuration::ZERO);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn exponential_variance_matches() {
+        // For Exp(mean m), variance = m^2.
+        let mut r = rng();
+        let m = SimDuration::from_millis(500);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_exponential(m, &mut r).as_secs_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 0.25).abs() < 0.01, "variance {var}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_range() {
+        let mut r = rng();
+        let d = UniformInclusive::new(4, 12);
+        let mut counts = [0u32; 13];
+        for _ in 0..90_000 {
+            counts[d.sample(&mut r) as usize] += 1;
+        }
+        for (v, &count) in counts.iter().enumerate().take(13).skip(4) {
+            assert!(count > 8_000, "value {v} count {count}");
+        }
+        assert_eq!(counts[..4].iter().sum::<u32>(), 0);
+        assert!((d.mean() - 8.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = sample_distinct(1000, 12, &mut r);
+            assert_eq!(v.len(), 12);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 12, "duplicates in {v:?}");
+            assert!(v.iter().all(|&x| x < 1000));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_universe() {
+        let mut r = rng();
+        let mut v = sample_distinct(8, 8, &mut r);
+        v.sort_unstable();
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_is_roughly_uniform() {
+        // Each of 20 objects should appear in a 4-subset with p = 0.2.
+        let mut r = rng();
+        let mut counts = [0u32; 20];
+        let trials = 50_000;
+        for _ in 0..trials {
+            for x in sample_distinct(20, 4, &mut r) {
+                counts[x as usize] += 1;
+            }
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.2).abs() < 0.02, "inclusion prob {p}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_order_is_shuffled() {
+        // The first element should be roughly uniform over the universe,
+        // not biased toward small ids.
+        let mut r = rng();
+        let trials = 30_000;
+        let mut first_small = 0;
+        for _ in 0..trials {
+            let v = sample_distinct(100, 10, &mut r);
+            if v[0] < 50 {
+                first_small += 1;
+            }
+        }
+        let p = first_small as f64 / trials as f64;
+        assert!((p - 0.5).abs() < 0.03, "first-element small fraction {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn sample_distinct_overdraw_panics() {
+        let mut r = rng();
+        sample_distinct(4, 5, &mut r);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the DES engine.
+
+use ccsim_des::{sample_distinct, Calendar, SimDuration, SimTime, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the calendar always yields events in nondecreasing time order,
+    /// regardless of insertion order.
+    #[test]
+    fn calendar_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Events at identical timestamps come out in insertion (FIFO) order.
+    #[test]
+    fn calendar_fifo_at_equal_times(n in 1usize..100, t in 0u64..1_000) {
+        let mut cal = Calendar::new();
+        for i in 0..n {
+            cal.schedule(SimTime::from_micros(t), i);
+        }
+        let mut expected = 0;
+        while let Some((_, e)) = cal.pop() {
+            prop_assert_eq!(e, expected);
+            expected += 1;
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn calendar_cancellation(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            let cancel = cancel_mask.get(*i).copied().unwrap_or(false);
+            if cancel {
+                prop_assert!(cal.cancel(*id));
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, e)) = cal.pop() {
+            popped.push(e);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// `sample_distinct` yields exactly `k` distinct in-range values.
+    #[test]
+    fn sample_distinct_invariants(seed in any::<u64>(), n in 1u64..5_000, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64 * k_frac) as usize).min(n as usize).max(1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let v = sample_distinct(n, k, &mut rng);
+        prop_assert_eq!(v.len(), k);
+        prop_assert!(v.iter().all(|&x| x < n));
+        let mut s = v;
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+
+    /// Exponential draws are nonnegative and finite in integer µs.
+    #[test]
+    fn exponential_draws_valid(seed in any::<u64>(), mean_ms in 0u64..100_000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mean = SimDuration::from_millis(mean_ms);
+        for _ in 0..100 {
+            let d = ccsim_des::sample_exponential(mean, &mut rng);
+            if mean.is_zero() {
+                prop_assert!(d.is_zero());
+            }
+            // 30x the mean is astronomically unlikely (p < 1e-13 per draw);
+            // mostly this guards against sign/overflow bugs.
+            prop_assert!(d.as_micros() <= mean.as_micros().saturating_mul(100).max(1_000_000_000));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                    show the experiment catalog
+//! repro <id|figN|all> [flags]   run experiments
+//!
+//! flags:
+//!   --quick         smoke fidelity (short batches) instead of paper fidelity
+//!   --seed <u64>    base seed (default 0x0C551985)
+//!   --threads <n>   worker threads (default: all cores)
+//!   --out <dir>     also write <dir>/<id>.json and <dir>/<id>.txt
+//!   --md <path>     write a combined markdown results appendix
+//!   --chart         print an ASCII throughput chart per experiment
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ccsim_experiments::{catalog, checks, json, md, report, run_experiment, Fidelity, RunOptions};
+
+struct Cli {
+    targets: Vec<String>,
+    opts: RunOptions,
+    out: Option<PathBuf>,
+    md_out: Option<PathBuf>,
+    chart: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut targets = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut out = None;
+    let mut md_out = None;
+    let mut chart = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.fidelity = Fidelity::Quick,
+            "--chart" => chart = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.base_seed = v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--md" => {
+                let v = args.next().ok_or("--md needs a file path")?;
+                md_out = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("list".to_string());
+    }
+    Ok(Cli {
+        targets,
+        opts,
+        out,
+        md_out,
+        chart,
+    })
+}
+
+fn list_catalog() {
+    println!("{:<20} {:<28} title", "id", "figures");
+    for e in catalog::all() {
+        let figures: Vec<&str> = e.views.iter().map(|v| v.figure).collect();
+        println!("{:<20} {:<28} {}", e.id, figures.join(", "), e.title);
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut specs = Vec::new();
+    for t in &cli.targets {
+        match t.as_str() {
+            "list" => {
+                list_catalog();
+                return;
+            }
+            "all" => specs = catalog::all(),
+            other => {
+                let found = catalog::by_id(other).or_else(|| catalog::by_figure(other));
+                match found {
+                    Some(s) => specs.push(s),
+                    None => {
+                        eprintln!("error: no experiment or figure matches {other:?} (try `repro list`)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+    specs.dedup_by_key(|s| s.id);
+
+    if let Some(dir) = &cli.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut failures = 0usize;
+    let mut collected = Vec::new();
+    for spec in &specs {
+        let started = Instant::now();
+        eprintln!(
+            ">> {} ({} runs, {:?} fidelity)...",
+            spec.id,
+            spec.num_runs(),
+            cli.opts.fidelity
+        );
+        let result = run_experiment(spec, &cli.opts);
+        let elapsed = started.elapsed();
+        let text = report::render_experiment(&result);
+        println!("{text}");
+        if cli.chart {
+            println!("{}", report::ascii_chart(&result, 3));
+        }
+        println!("Shape checks vs. the paper:");
+        let outcomes = checks::evaluate(&result);
+        for c in &outcomes {
+            let mark = if c.passed { "PASS" } else { "FAIL" };
+            if !c.passed {
+                failures += 1;
+            }
+            println!("  [{mark}] {} — {}", c.description, c.detail);
+        }
+        println!("  ({:.1}s wall clock)\n", elapsed.as_secs_f64());
+
+        if let Some(dir) = &cli.out {
+            let write = |name: String, contents: &str| -> std::io::Result<()> {
+                let mut f = std::fs::File::create(dir.join(name))?;
+                f.write_all(contents.as_bytes())
+            };
+            if let Err(e) = write(format!("{}.json", spec.id), &json::to_json(&result))
+                .and_then(|()| write(format!("{}.txt", spec.id), &text))
+            {
+                eprintln!("error: writing outputs for {}: {e}", spec.id);
+                std::process::exit(1);
+            }
+        }
+        collected.push((result, outcomes));
+    }
+    if let Some(path) = &cli.md_out {
+        let doc = md::report_to_markdown(&collected);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if failures > 0 {
+        eprintln!("{failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+}

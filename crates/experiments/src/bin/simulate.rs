@@ -1,0 +1,220 @@
+//! `simulate` — run one configuration of the model and print the full
+//! report (the exploratory companion to `repro`'s fixed figure catalog).
+//!
+//! ```text
+//! simulate --algo blocking --mpl 25 --cpus 1 --disks 2
+//! simulate --algo optimistic --mpl 200 --infinite --db 1000 --check-serializable
+//!
+//! flags (defaults = the paper's Table 2 baseline):
+//!   --algo <name>           blocking | immediate-restart | optimistic |
+//!                           wait-die | wound-wait | no-waiting |
+//!                           static-locking | no-cc
+//!   --mpl <n>               multiprogramming level
+//!   --db <n>                database size in pages
+//!   --terminals <n>         number of terminals
+//!   --write-prob <p>        probability a read is also written
+//!   --min-size/--max-size   readset size range
+//!   --cpus <n> --disks <n>  physical resources
+//!   --infinite              infinite resources
+//!   --ext-think <secs> --int-think <secs>
+//!   --seed <u64>            master seed
+//!   --batches <n> --batch-secs <n> --warmup <n>
+//!   --check-serializable    record the history and run the checker
+//! ```
+
+use ccsim_core::{
+    check_conflict_serializable, run, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
+    Params, Report, ResourceSpec, SimConfig,
+};
+use ccsim_des::SimDuration;
+
+fn algo_by_name(name: &str) -> Option<CcAlgorithm> {
+    CcAlgorithm::ALL
+        .into_iter()
+        .chain([CcAlgorithm::NoCc])
+        .find(|a| a.label() == name)
+}
+
+struct Cli {
+    cfg: SimConfig,
+    check_serializable: bool,
+}
+
+fn parse() -> Result<Cli, String> {
+    let mut algo = CcAlgorithm::Blocking;
+    let mut params = Params::paper_baseline();
+    let mut metrics = MetricsConfig::paper();
+    let mut seed = 0xCC85_u64;
+    let mut check_serializable = false;
+    let mut cpus: Option<u32> = None;
+    let mut disks: Option<u32> = None;
+    let mut infinite = false;
+
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--algo" => {
+                let v = next_val(&mut args, "--algo")?;
+                algo = algo_by_name(&v).ok_or(format!("unknown algorithm {v:?}"))?;
+            }
+            "--mpl" => params.mpl = parse_num(&next_val(&mut args, "--mpl")?)?,
+            "--db" => params.db_size = parse_num(&next_val(&mut args, "--db")?)?,
+            "--terminals" => params.num_terms = parse_num(&next_val(&mut args, "--terminals")?)?,
+            "--write-prob" => {
+                params.write_prob = parse_num(&next_val(&mut args, "--write-prob")?)?;
+            }
+            "--min-size" => params.min_size = parse_num(&next_val(&mut args, "--min-size")?)?,
+            "--max-size" => params.max_size = parse_num(&next_val(&mut args, "--max-size")?)?,
+            "--cpus" => cpus = Some(parse_num(&next_val(&mut args, "--cpus")?)?),
+            "--disks" => disks = Some(parse_num(&next_val(&mut args, "--disks")?)?),
+            "--infinite" => infinite = true,
+            "--ext-think" => {
+                params.ext_think_time =
+                    SimDuration::from_secs_f64(parse_num(&next_val(&mut args, "--ext-think")?)?);
+            }
+            "--int-think" => {
+                params.int_think_time =
+                    SimDuration::from_secs_f64(parse_num(&next_val(&mut args, "--int-think")?)?);
+            }
+            "--seed" => seed = parse_num(&next_val(&mut args, "--seed")?)?,
+            "--batches" => metrics.batches = parse_num(&next_val(&mut args, "--batches")?)?,
+            "--warmup" => {
+                metrics.warmup_batches = parse_num(&next_val(&mut args, "--warmup")?)?;
+            }
+            "--batch-secs" => {
+                metrics.batch_time =
+                    SimDuration::from_secs(parse_num(&next_val(&mut args, "--batch-secs")?)?);
+            }
+            "--check-serializable" => check_serializable = true,
+            "--quick" => metrics = MetricsConfig::quick(),
+            other => return Err(format!("unknown flag {other} (see --help in the source)")),
+        }
+    }
+    if infinite {
+        params.resources = ResourceSpec::Infinite;
+    } else if cpus.is_some() || disks.is_some() {
+        params.resources = ResourceSpec::Physical {
+            num_cpus: cpus.unwrap_or(1),
+            num_disks: disks.unwrap_or(2),
+        };
+    }
+    let cfg = SimConfig::new(algo)
+        .with_params(params)
+        .with_metrics(metrics)
+        .with_seed(seed);
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(Cli {
+        cfg,
+        check_serializable,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse().map_err(|e| format!("bad value {v:?}: {e}"))
+}
+
+fn print_report(cfg: &SimConfig, r: &Report) {
+    let p = &cfg.params;
+    println!("configuration");
+    println!("  algorithm        {}", cfg.algorithm.label());
+    println!(
+        "  database         {} pages, readset U[{}, {}], write_prob {}",
+        p.db_size, p.min_size, p.max_size, p.write_prob
+    );
+    match p.resources {
+        ResourceSpec::Infinite => println!("  resources        infinite"),
+        ResourceSpec::Physical {
+            num_cpus,
+            num_disks,
+        } => println!("  resources        {num_cpus} CPU(s), {num_disks} disk(s)"),
+    }
+    println!(
+        "  population       {} terminals, mpl {}, think {:.1}s ext / {:.1}s int",
+        p.num_terms,
+        p.mpl,
+        p.ext_think_time.as_secs_f64(),
+        p.int_think_time.as_secs_f64()
+    );
+    let conf = match cfg.metrics.confidence {
+        Confidence::Ninety => "90%",
+        Confidence::NinetyFive => "95%",
+    };
+    println!(
+        "  measurement      {} batches x {:.0}s after {} warmup, {} CIs",
+        cfg.metrics.batches,
+        cfg.metrics.batch_time.as_secs_f64(),
+        cfg.metrics.warmup_batches,
+        conf
+    );
+    println!();
+    println!("results");
+    println!(
+        "  throughput       {:.3} ± {:.3} tps",
+        r.throughput.mean, r.throughput.half_width
+    );
+    println!(
+        "  response time    mean {:.2}s  sd {:.2}s  p50 {:.2}s  p95 {:.2}s  p99 {:.2}s  max {:.2}s",
+        r.response_time_mean,
+        r.response_time_std,
+        r.response_time_p50,
+        r.response_time_p95,
+        r.response_time_p99,
+        r.response_time_max
+    );
+    println!(
+        "  conflicts        {:.3} blocks/commit, {:.3} restarts/commit ({} deadlocks)",
+        r.block_ratio, r.restart_ratio, r.deadlocks
+    );
+    println!(
+        "  disk utilization {:.1}% total / {:.1}% useful",
+        100.0 * r.disk_util_total.mean,
+        100.0 * r.disk_util_useful.mean
+    );
+    println!(
+        "  cpu utilization  {:.1}% total / {:.1}% useful",
+        100.0 * r.cpu_util_total.mean,
+        100.0 * r.cpu_util_useful.mean
+    );
+    println!(
+        "  population       avg {:.1} active of mpl {}; {} commits observed",
+        r.avg_active, p.mpl, r.commits
+    );
+    println!(
+        "  diagnostics      batch lag-1 autocorrelation {:.3}",
+        r.throughput_lag1
+    );
+}
+
+fn main() {
+    let cli = match parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if cli.check_serializable {
+        let (report, history) =
+            run_with_history(cli.cfg.clone()).expect("configuration was validated");
+        print_report(&cli.cfg, &report);
+        match check_conflict_serializable(&history) {
+            Ok(order) => println!(
+                "  serializability  OK ({} committed transactions, witness order found)",
+                order.len()
+            ),
+            Err(cycle) => {
+                println!("  serializability  VIOLATED: {cycle}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let report = run(cli.cfg.clone()).expect("configuration was validated");
+        print_report(&cli.cfg, &report);
+    }
+}

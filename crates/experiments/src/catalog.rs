@@ -1,0 +1,477 @@
+//! The catalog: every table and figure of the paper's evaluation, plus the
+//! extension ablations, as runnable experiment specifications.
+
+use ccsim_core::{CcAlgorithm, Params, ResourceSpec, RestartDelayPolicy, VictimPolicy};
+use ccsim_des::SimDuration;
+use ccsim_workload::TxnClass;
+
+use crate::spec::{ExperimentSpec, FigureKind, FigureView, Series};
+
+fn view(figure: &'static str, caption: &'static str, kind: FigureKind) -> FigureView {
+    FigureView {
+        figure,
+        caption,
+        kind,
+    }
+}
+
+fn paper_mpls() -> Vec<u32> {
+    Params::PAPER_MPLS.to_vec()
+}
+
+/// Experiment 1, infinite resources (Figure 3): 10 000-object database, so
+/// conflicts are rare and the three algorithms should coincide.
+#[must_use]
+pub fn exp1_infinite() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp1-inf",
+        title: "Experiment 1: low conflict, infinite resources",
+        params: Params::low_conflict().with_resources(ResourceSpec::Infinite),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Figure 3",
+            "Throughput (Infinite Resources), low conflict",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Experiment 1, finite resources (Figure 4).
+#[must_use]
+pub fn exp1_finite() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp1-1x2",
+        title: "Experiment 1: low conflict, 1 CPU / 2 disks",
+        params: Params::low_conflict(),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Figure 4",
+            "Throughput (1 CPU, 2 Disks), low conflict",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Experiment 2 (Figures 5–7): the infinite-resources assumption at the
+/// high-conflict database size.
+#[must_use]
+pub fn exp2() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp2",
+        title: "Experiment 2: infinite resources",
+        params: Params::paper_baseline().with_resources(ResourceSpec::Infinite),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![
+            view(
+                "Figure 5",
+                "Throughput (Infinite Resources)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 6",
+                "Conflict Ratios (Infinite Resources)",
+                FigureKind::ConflictRatios,
+            ),
+            view(
+                "Figure 7",
+                "Response Time (Infinite Resources)",
+                FigureKind::ResponseTime,
+            ),
+        ],
+    }
+}
+
+/// Experiment 3 (Figures 8–10): 1 CPU and 2 disks.
+#[must_use]
+pub fn exp3() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp3",
+        title: "Experiment 3: resource-limited (1 CPU, 2 disks)",
+        params: Params::paper_baseline(),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![
+            view("Figure 8", "Throughput (1 CPU, 2 Disks)", FigureKind::Throughput),
+            view(
+                "Figure 9",
+                "Disk Utilization (1 CPU, 2 Disks)",
+                FigureKind::DiskUtil,
+            ),
+            view(
+                "Figure 10",
+                "Response Time (1 CPU, 2 Disks)",
+                FigureKind::ResponseTime,
+            ),
+        ],
+    }
+}
+
+/// Experiment 3's follow-up (Figure 11): the adaptive restart delay applied
+/// to all three algorithms.
+#[must_use]
+pub fn exp3_delay() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp3-delay",
+        title: "Experiment 3 follow-up: adaptive restart delay for all algorithms",
+        params: Params::paper_baseline().with_restart_delay(RestartDelayPolicy::Adaptive),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: true,
+        views: vec![view(
+            "Figure 11",
+            "Throughput (Adaptive Delays)",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Experiment 4, small multiprocessor (Figures 12–13): 5 CPUs, 10 disks.
+#[must_use]
+pub fn exp4_small() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp4-5x10",
+        title: "Experiment 4: multiple resources (5 CPUs, 10 disks)",
+        params: Params::paper_baseline().with_resources(ResourceSpec::FIVE_CPUS_TEN_DISKS),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![
+            view(
+                "Figure 12",
+                "Throughput (5 CPUs, 10 Disks)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 13",
+                "Disk Utilization (5 CPUs, 10 Disks)",
+                FigureKind::DiskUtil,
+            ),
+        ],
+    }
+}
+
+/// Experiment 4, large multiprocessor (Figures 14–15): 25 CPUs, 50 disks.
+#[must_use]
+pub fn exp4_large() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp4-25x50",
+        title: "Experiment 4: multiple resources (25 CPUs, 50 disks)",
+        params: Params::paper_baseline()
+            .with_resources(ResourceSpec::TWENTY_FIVE_CPUS_FIFTY_DISKS),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![
+            view(
+                "Figure 14",
+                "Throughput (25 CPUs, 50 Disks)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 15",
+                "Disk Utilization (25 CPUs, 50 Disks)",
+                FigureKind::DiskUtil,
+            ),
+        ],
+    }
+}
+
+fn exp5(id: &'static str, title: &'static str, int_s: u64, ext_s: u64, views: Vec<FigureView>) -> ExperimentSpec {
+    ExperimentSpec {
+        id,
+        title,
+        params: Params::paper_baseline().with_think_times(
+            SimDuration::from_secs(ext_s),
+            SimDuration::from_secs(int_s),
+        ),
+        series: Series::paper_trio(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views,
+    }
+}
+
+/// Experiment 5, 1-second internal think (Figures 16–17). External think
+/// time raised to 3 s to keep the thinking/active ratio (paper §4.5).
+#[must_use]
+pub fn exp5_1s() -> ExperimentSpec {
+    exp5(
+        "exp5-1s",
+        "Experiment 5: interactive workload, 1 s internal think (ext 3 s)",
+        1,
+        3,
+        vec![
+            view(
+                "Figure 16",
+                "Throughput (1 Second Internal Thinking)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 17",
+                "Disk Utilization (1 Second Internal Thinking)",
+                FigureKind::DiskUtil,
+            ),
+        ],
+    )
+}
+
+/// Experiment 5, 5-second internal think (Figures 18–19), external 11 s.
+#[must_use]
+pub fn exp5_5s() -> ExperimentSpec {
+    exp5(
+        "exp5-5s",
+        "Experiment 5: interactive workload, 5 s internal think (ext 11 s)",
+        5,
+        11,
+        vec![
+            view(
+                "Figure 18",
+                "Throughput (5 Seconds Internal Thinking)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 19",
+                "Disk Utilization (5 Seconds Internal Thinking)",
+                FigureKind::DiskUtil,
+            ),
+        ],
+    )
+}
+
+/// Experiment 5, 10-second internal think (Figures 20–21), external 21 s.
+#[must_use]
+pub fn exp5_10s() -> ExperimentSpec {
+    exp5(
+        "exp5-10s",
+        "Experiment 5: interactive workload, 10 s internal think (ext 21 s)",
+        10,
+        21,
+        vec![
+            view(
+                "Figure 20",
+                "Throughput (10 Seconds Internal Thinking)",
+                FigureKind::Throughput,
+            ),
+            view(
+                "Figure 21",
+                "Disk Utilization (10 Seconds Internal Thinking)",
+                FigureKind::DiskUtil,
+            ),
+        ],
+    )
+}
+
+/// Extension ablation: deadlock victim policies for the blocking algorithm.
+#[must_use]
+pub fn ablation_victim() -> ExperimentSpec {
+    let series = VictimPolicy::ALL
+        .iter()
+        .map(|&victim| Series {
+            label: format!("blocking/{}", victim.label()),
+            algorithm: CcAlgorithm::Blocking,
+            victim,
+        })
+        .collect();
+    ExperimentSpec {
+        id: "ablation-victim",
+        title: "Ablation: deadlock victim selection (blocking, 1 CPU / 2 disks)",
+        params: Params::paper_baseline(),
+        series,
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Ablation A",
+            "Throughput by victim policy",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Extension ablation: deadlock prevention (wait-die, wound-wait,
+/// no-waiting) vs. the paper's blocking algorithm.
+#[must_use]
+pub fn ablation_prevention() -> ExperimentSpec {
+    let algos = [
+        CcAlgorithm::Blocking,
+        CcAlgorithm::StaticLocking,
+        CcAlgorithm::WaitDie,
+        CcAlgorithm::WoundWait,
+        CcAlgorithm::NoWaiting,
+    ];
+    ExperimentSpec {
+        id: "ablation-prevention",
+        title: "Ablation: deadlock prevention vs. detection (1 CPU / 2 disks)",
+        params: Params::paper_baseline(),
+        series: algos.iter().copied().map(Series::paper).collect(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Ablation B",
+            "Throughput by locking discipline",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Extension ablation: a mixed workload (90% small, 10% large 40–60 page
+/// transactions) exposing large-transaction starvation under
+/// restart-oriented concurrency control.
+#[must_use]
+pub fn ablation_mixed() -> ExperimentSpec {
+    let mut params = Params::paper_baseline();
+    params.primary_weight = 0.9;
+    params.extra_classes.push(TxnClass {
+        weight: 0.1,
+        min_size: 40,
+        max_size: 60,
+        write_prob: 0.25,
+    });
+    ExperimentSpec {
+        id: "ablation-mixed",
+        title: "Ablation: mixed transaction sizes (10% large, 1 CPU / 2 disks)",
+        params,
+        series: Series::paper_trio(),
+        mpls: vec![5, 10, 25, 50],
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Ablation C",
+            "Throughput with 10% large transactions",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Extension ablation: locking vs. basic timestamp ordering vs. optimistic
+/// — the comparison behind the `[Gall82]`/`[Lin83]` contradiction the paper's
+/// introduction cites, rerun inside one consistent model.
+#[must_use]
+pub fn ablation_tso() -> ExperimentSpec {
+    let algos = [
+        CcAlgorithm::Blocking,
+        CcAlgorithm::BasicTO,
+        CcAlgorithm::Optimistic,
+    ];
+    ExperimentSpec {
+        id: "ablation-tso",
+        title: "Ablation: locking vs. basic timestamp ordering (1 CPU / 2 disks)",
+        params: Params::paper_baseline(),
+        series: algos.iter().copied().map(Series::paper).collect(),
+        mpls: paper_mpls(),
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Ablation D",
+            "Throughput: 2PL vs basic T/O vs optimistic",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
+/// Every experiment, in the paper's order.
+#[must_use]
+pub fn all() -> Vec<ExperimentSpec> {
+    vec![
+        exp1_infinite(),
+        exp1_finite(),
+        exp2(),
+        exp3(),
+        exp3_delay(),
+        exp4_small(),
+        exp4_large(),
+        exp5_1s(),
+        exp5_5s(),
+        exp5_10s(),
+        ablation_victim(),
+        ablation_prevention(),
+        ablation_mixed(),
+        ablation_tso(),
+    ]
+}
+
+/// Look up an experiment by id.
+#[must_use]
+pub fn by_id(id: &str) -> Option<ExperimentSpec> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+/// Find the experiment that regenerates a given paper figure (e.g.
+/// `"fig5"`, `"Figure 5"`, `"5"`).
+#[must_use]
+pub fn by_figure(fig: &str) -> Option<ExperimentSpec> {
+    let digits: String = fig.chars().filter(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let want = format!("Figure {digits}");
+    all()
+        .into_iter()
+        .find(|e| e.views.iter().any(|v| v.figure == want))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_paper_figure() {
+        let figures: Vec<String> = all()
+            .iter()
+            .flat_map(|e| e.views.iter().map(|v| v.figure.to_string()))
+            .collect();
+        for n in 3..=21 {
+            let want = format!("Figure {n}");
+            assert!(figures.contains(&want), "{want} missing from catalog");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        use std::collections::HashSet;
+        let ids: HashSet<&str> = all().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), all().len());
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for e in all() {
+            for s in &e.series {
+                let cfg = e.config(s, e.mpls[0], ccsim_core::MetricsConfig::quick(), 1);
+                assert!(cfg.validate().is_ok(), "{} failed validation", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_and_figure() {
+        assert_eq!(by_id("exp2").unwrap().id, "exp2");
+        assert!(by_id("nope").is_none());
+        assert_eq!(by_figure("fig5").unwrap().id, "exp2");
+        assert_eq!(by_figure("Figure 11").unwrap().id, "exp3-delay");
+        assert_eq!(by_figure("21").unwrap().id, "exp5-10s");
+        assert!(by_figure("fig99").is_none());
+        assert!(by_figure("nodigits").is_none());
+    }
+
+    #[test]
+    fn exp5_raises_think_times() {
+        let e = exp5_10s();
+        assert_eq!(e.params.int_think_time, SimDuration::from_secs(10));
+        assert_eq!(e.params.ext_think_time, SimDuration::from_secs(21));
+    }
+
+    #[test]
+    fn fig11_sets_delay_for_all() {
+        let e = exp3_delay();
+        assert!(e.restart_delay_for_all);
+        assert_eq!(
+            e.params.restart_delay,
+            RestartDelayPolicy::Adaptive
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! A minimal JSON writer for archiving experiment results.
+//!
+//! The approved dependency list has `serde` but no `serde_json`, and our
+//! output is a fixed shape, so a ~hundred-line emitter keeps the tree small
+//! and honest. Only emission is needed — nothing reads JSON back.
+
+use std::fmt::Write as _;
+
+use crate::spec::{DataPoint, ExperimentResult};
+
+/// Escape a string per RFC 8259.
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float as JSON (finite only; NaN/inf become null).
+fn number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn point_json(p: &DataPoint, out: &mut String) {
+    out.push_str("{\"series\":");
+    escape(&p.series, out);
+    let _ = write!(out, ",\"mpl\":{},", p.mpl);
+    let r = &p.report;
+    out.push_str("\"throughput\":");
+    number(r.throughput.mean, out);
+    out.push_str(",\"throughput_ci90\":");
+    number(r.throughput.half_width, out);
+    out.push_str(",\"response_mean_s\":");
+    number(r.response_time_mean, out);
+    out.push_str(",\"response_std_s\":");
+    number(r.response_time_std, out);
+    out.push_str(",\"block_ratio\":");
+    number(r.block_ratio, out);
+    out.push_str(",\"restart_ratio\":");
+    number(r.restart_ratio, out);
+    out.push_str(",\"disk_util_total\":");
+    number(r.disk_util_total.mean, out);
+    out.push_str(",\"disk_util_useful\":");
+    number(r.disk_util_useful.mean, out);
+    out.push_str(",\"cpu_util_total\":");
+    number(r.cpu_util_total.mean, out);
+    out.push_str(",\"cpu_util_useful\":");
+    number(r.cpu_util_useful.mean, out);
+    out.push_str(",\"avg_active\":");
+    number(r.avg_active, out);
+    let _ = write!(
+        out,
+        ",\"commits\":{},\"blocks\":{},\"restarts\":{},\"deadlocks\":{}",
+        r.commits, r.blocks, r.restarts, r.deadlocks
+    );
+    if r.class_reports.len() > 1 {
+        out.push_str(",\"classes\":[");
+        for (i, c) in r.class_reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"commits\":{},\"restarts\":{},\"restart_ratio\":",
+                c.commits, c.restarts
+            );
+            number(c.restart_ratio, out);
+            out.push_str(",\"response_mean_s\":");
+            number(c.response_time_mean, out);
+            out.push_str(",\"response_std_s\":");
+            number(c.response_time_std, out);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+/// Serialize an experiment result to a JSON document.
+#[must_use]
+pub fn to_json(result: &ExperimentResult) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"id\":");
+    escape(result.spec.id, &mut out);
+    out.push_str(",\"title\":");
+    escape(result.spec.title, &mut out);
+    out.push_str(",\"figures\":[");
+    for (i, v) in result.spec.views.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape(v.figure, &mut out);
+    }
+    out.push_str("],\"points\":[");
+    for (i, p) in result.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        point_json(p, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExperimentSpec, FigureKind, FigureView, Series};
+    use ccsim_core::{Estimate, Params, Report};
+
+    fn tiny_result() -> ExperimentResult {
+        ExperimentResult {
+            spec: ExperimentSpec {
+                id: "t",
+                title: "tiny \"quoted\"",
+                params: Params::paper_baseline(),
+                series: Series::paper_trio(),
+                mpls: vec![5],
+                restart_delay_for_all: false,
+                views: vec![FigureView {
+                    figure: "Figure 5",
+                    caption: "c",
+                    kind: FigureKind::Throughput,
+                }],
+            },
+            points: vec![DataPoint {
+                series: "blocking".into(),
+                mpl: 5,
+                report: Report {
+                    throughput: Estimate {
+                        mean: 1.5,
+                        half_width: 0.25,
+                    },
+                    throughput_per_batch: vec![1.5],
+                    throughput_lag1: 0.0,
+                    response_time_mean: 2.0,
+                    response_time_std: 1.0,
+                    response_time_max: 4.0,
+                    response_time_p50: 2.0,
+                    response_time_p95: 3.5,
+                    response_time_p99: 3.9,
+                    block_ratio: 0.5,
+                    restart_ratio: 0.25,
+                    disk_util_total: Estimate {
+                        mean: 0.9,
+                        half_width: 0.0,
+                    },
+                    disk_util_useful: Estimate {
+                        mean: 0.8,
+                        half_width: 0.0,
+                    },
+                    cpu_util_total: Estimate {
+                        mean: 0.3,
+                        half_width: 0.0,
+                    },
+                    cpu_util_useful: Estimate {
+                        mean: 0.3,
+                        half_width: 0.0,
+                    },
+                    avg_active: 4.2,
+                    class_reports: vec![],
+                    commits: 10,
+                    blocks: 5,
+                    restarts: 2,
+                    deadlocks: 1,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn class_breakdown_appears_only_for_multiclass_runs() {
+        use ccsim_core::ClassReport;
+        let mut r = tiny_result();
+        // Single class: no breakdown emitted.
+        r.points[0].report.class_reports = vec![ClassReport {
+            commits: 10,
+            restarts: 2,
+            restart_ratio: 0.2,
+            response_time_mean: 2.0,
+            response_time_std: 1.0,
+        }];
+        assert!(!to_json(&r).contains("\"classes\""));
+        // Two classes: emitted, well-formed.
+        r.points[0].report.class_reports.push(ClassReport {
+            commits: 3,
+            restarts: 9,
+            restart_ratio: 3.0,
+            response_time_mean: 8.0,
+            response_time_std: 4.0,
+        });
+        let j = to_json(&r);
+        assert!(j.contains("\"classes\":[{"));
+        assert!(j.contains("\"restart_ratio\":3"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn emits_valid_looking_json() {
+        let j = to_json(&tiny_result());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"t\""));
+        assert!(j.contains("\"title\":\"tiny \\\"quoted\\\"\""));
+        assert!(j.contains("\"figures\":[\"Figure 5\"]"));
+        assert!(j.contains("\"throughput\":1.5"));
+        assert!(j.contains("\"commits\":10"));
+        // Balanced braces and brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut s = String::new();
+        escape("a\nb\tc\u{1}", &mut s);
+        assert_eq!(s, "\"a\\nb\\tc\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut s = String::new();
+        number(f64::NAN, &mut s);
+        s.push(',');
+        number(f64::INFINITY, &mut s);
+        assert_eq!(s, "null,null");
+    }
+}

@@ -1,0 +1,30 @@
+//! `ccsim-experiments` — the reproduction harness.
+//!
+//! Every table and figure in the paper's evaluation section is encoded as an
+//! [`ExperimentSpec`] in [`catalog`]; [`run_experiment`] sweeps its
+//! `(algorithm × mpl)` grid in parallel; [`report`] renders the same tables
+//! the paper plots; [`checks::evaluate`] verifies the paper's qualitative
+//! claims against the measured data.
+//!
+//! The `repro` binary ties it together:
+//!
+//! ```text
+//! repro list                  # show the catalog
+//! repro exp3 --quick          # regenerate Figures 8-10 at smoke fidelity
+//! repro fig5                  # select by paper figure number
+//! repro all --out results/    # full paper reproduction + EXPERIMENTS.md data
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod checks;
+pub mod json;
+pub mod md;
+pub mod report;
+mod runner;
+mod spec;
+
+pub use runner::{run_experiment, Fidelity, RunOptions};
+pub use spec::{DataPoint, ExperimentResult, ExperimentSpec, FigureKind, FigureView, Series};

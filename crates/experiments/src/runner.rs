@@ -1,0 +1,203 @@
+//! Runs an experiment's `(series × mpl)` grid, in parallel across OS
+//! threads. Each point is an independent simulation, so parallelism is
+//! embarrassing; results are deterministic because every point derives its
+//! seed from the experiment's base seed and its grid coordinates, not from
+//! scheduling order.
+
+use ccsim_core::{run as run_sim, MetricsConfig};
+use crossbeam::channel;
+
+use crate::spec::{DataPoint, ExperimentResult, ExperimentSpec};
+
+/// Fidelity of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Paper-faithful: 20 batches of 150 s after warmup. Minutes per
+    /// experiment.
+    #[default]
+    Paper,
+    /// Shorter batches for smoke runs and CI. Seconds per experiment.
+    Quick,
+}
+
+impl Fidelity {
+    /// The metrics configuration this fidelity implies.
+    #[must_use]
+    pub fn metrics(self) -> MetricsConfig {
+        match self {
+            Fidelity::Paper => MetricsConfig::paper(),
+            Fidelity::Quick => MetricsConfig::quick(),
+        }
+    }
+}
+
+/// Options for [`run_experiment`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Sweep fidelity.
+    pub fidelity: Fidelity,
+    /// Base seed; each grid point gets a distinct derived seed.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            fidelity: Fidelity::Paper,
+            base_seed: 0x0C55_1985,
+            threads: 0,
+        }
+    }
+}
+
+/// Deterministic per-point seed: mix the base seed with grid coordinates.
+fn point_seed(base: u64, series_ix: usize, mpl: u32) -> u64 {
+    base ^ (series_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(mpl).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// Run every point of `spec` and collect the results (ordered by series,
+/// then mpl, regardless of completion order).
+#[must_use]
+pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentResult {
+    let metrics = opts.fidelity.metrics();
+    let jobs: Vec<(usize, u32)> = spec
+        .series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| spec.mpls.iter().map(move |&mpl| (si, mpl)))
+        .collect();
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    }
+    .min(jobs.len().max(1));
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, u32)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, DataPoint)>();
+    for job in &jobs {
+        job_tx.send(*job).expect("queueing jobs");
+    }
+    drop(job_tx);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let spec_ref = &*spec;
+            s.spawn(move |_| {
+                while let Ok((si, mpl)) = job_rx.recv() {
+                    let series = &spec_ref.series[si];
+                    let seed = point_seed(opts.base_seed, si, mpl);
+                    let cfg = spec_ref.config(series, mpl, metrics, seed);
+                    let report = run_sim(cfg).expect("catalog configs validate");
+                    let point = DataPoint {
+                        series: series.label.clone(),
+                        mpl,
+                        report,
+                    };
+                    res_tx.send((si, mpl, point)).expect("collecting results");
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("worker panicked");
+
+    let mut collected: Vec<(usize, u32, DataPoint)> = res_rx.iter().collect();
+    collected.sort_by_key(|(si, mpl, _)| (*si, *mpl));
+    ExperimentResult {
+        spec: spec.clone(),
+        points: collected.into_iter().map(|(_, _, p)| p).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions {
+            fidelity: Fidelity::Quick,
+            base_seed: 42,
+            threads: 0,
+        }
+    }
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mut spec = catalog::exp3();
+        spec.mpls = vec![5, 25];
+        spec
+    }
+
+    #[test]
+    fn runs_full_grid_in_order() {
+        let spec = tiny_spec();
+        let result = run_experiment(&spec, &tiny_opts());
+        assert_eq!(result.points.len(), spec.num_runs());
+        let labels: Vec<&str> = result.points.iter().map(|p| p.series.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "blocking",
+                "blocking",
+                "immediate-restart",
+                "immediate-restart",
+                "optimistic",
+                "optimistic"
+            ]
+        );
+        assert_eq!(result.points[0].mpl, 5);
+        assert_eq!(result.points[1].mpl, 25);
+        for p in &result.points {
+            assert!(p.report.commits > 0, "{}@{} ran nothing", p.series, p.mpl);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let spec = tiny_spec();
+        let par = run_experiment(&spec, &tiny_opts());
+        let ser = run_experiment(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                ..tiny_opts()
+            },
+        );
+        for (a, b) in par.points.iter().zip(ser.points.iter()) {
+            assert_eq!(a.series, b.series);
+            assert_eq!(a.mpl, b.mpl);
+            assert_eq!(a.report, b.report, "{}@{} differs", a.series, a.mpl);
+        }
+    }
+
+    #[test]
+    fn point_seeds_differ_across_grid() {
+        let a = point_seed(1, 0, 5);
+        let b = point_seed(1, 0, 10);
+        let c = point_seed(1, 1, 5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a, point_seed(1, 0, 5));
+    }
+
+    #[test]
+    fn result_accessors() {
+        let spec = tiny_spec();
+        let result = run_experiment(&spec, &tiny_opts());
+        let pts = result.series_points("blocking");
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].mpl < pts[1].mpl);
+        let peak = result.peak_throughput("blocking");
+        assert!(peak > 0.0);
+        assert!(result.throughput_at("blocking", 5).is_some());
+        assert!(result.throughput_at("blocking", 999).is_none());
+    }
+}

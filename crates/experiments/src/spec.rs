@@ -1,0 +1,195 @@
+//! Experiment definitions: what to run and which paper figures the runs
+//! regenerate.
+
+use ccsim_core::{CcAlgorithm, MetricsConfig, Params, Report, SimConfig, VictimPolicy};
+
+/// Which observable a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Throughput (commits/second) vs. multiprogramming level.
+    Throughput,
+    /// Block ratio and restart ratio vs. multiprogramming level (Figure 6).
+    ConflictRatios,
+    /// Mean and standard deviation of response time (Figures 7, 10).
+    ResponseTime,
+    /// Total and useful disk utilization (Figures 9, 13, 15, 17, 19, 21).
+    DiskUtil,
+}
+
+/// One figure regenerated from an experiment's runs.
+#[derive(Debug, Clone)]
+pub struct FigureView {
+    /// Paper label, e.g. `"Figure 5"`.
+    pub figure: &'static str,
+    /// Caption from the paper.
+    pub caption: &'static str,
+    /// What it plots.
+    pub kind: FigureKind,
+}
+
+/// One curve in a figure: a label plus the knobs that distinguish it from
+/// the other curves (algorithm, victim policy).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Algorithm under test.
+    pub algorithm: CcAlgorithm,
+    /// Victim policy (blocking only; default elsewhere).
+    pub victim: VictimPolicy,
+}
+
+impl Series {
+    /// The standard series for one of the paper's algorithms.
+    #[must_use]
+    pub fn paper(algorithm: CcAlgorithm) -> Self {
+        Series {
+            label: algorithm.label().to_string(),
+            algorithm,
+            victim: VictimPolicy::Youngest,
+        }
+    }
+
+    /// The paper's three curves.
+    #[must_use]
+    pub fn paper_trio() -> Vec<Series> {
+        CcAlgorithm::PAPER_TRIO.iter().copied().map(Series::paper).collect()
+    }
+}
+
+/// A full experiment: a parameter sweep whose runs regenerate one or more
+/// figures.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Short stable identifier (CLI argument), e.g. `"exp2"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Base parameters; `mpl` is overridden per point.
+    pub params: Params,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// The x-axis: multiprogramming levels.
+    pub mpls: Vec<u32>,
+    /// Apply the adaptive restart delay to every algorithm (Figure 11).
+    pub restart_delay_for_all: bool,
+    /// The figures these runs regenerate.
+    pub views: Vec<FigureView>,
+}
+
+impl ExperimentSpec {
+    /// Materialize the simulator configuration for one `(series, mpl)`
+    /// point.
+    #[must_use]
+    pub fn config(&self, series: &Series, mpl: u32, metrics: MetricsConfig, seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::new(series.algorithm)
+            .with_params(self.params.clone().with_mpl(mpl))
+            .with_metrics(metrics)
+            .with_seed(seed);
+        cfg.victim = series.victim;
+        cfg.restart_delay_for_all = self.restart_delay_for_all;
+        cfg
+    }
+
+    /// Number of simulation runs this experiment needs.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.series.len() * self.mpls.len()
+    }
+}
+
+/// One measured point: a series at one multiprogramming level.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Legend label of the series this point belongs to.
+    pub series: String,
+    /// Multiprogramming level.
+    pub mpl: u32,
+    /// The full simulation report.
+    pub report: Report,
+}
+
+/// All measured points of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The specification that produced it.
+    pub spec: ExperimentSpec,
+    /// Points, ordered by series then mpl.
+    pub points: Vec<DataPoint>,
+}
+
+impl ExperimentResult {
+    /// The points of one series, ordered by mpl.
+    #[must_use]
+    pub fn series_points(&self, label: &str) -> Vec<&DataPoint> {
+        let mut pts: Vec<&DataPoint> =
+            self.points.iter().filter(|p| p.series == label).collect();
+        pts.sort_by_key(|p| p.mpl);
+        pts
+    }
+
+    /// Highest throughput of a series across the sweep (the paper's "best
+    /// global throughput" comparisons).
+    #[must_use]
+    pub fn peak_throughput(&self, label: &str) -> f64 {
+        self.series_points(label)
+            .iter()
+            .map(|p| p.report.throughput.mean)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Throughput of a series at a specific mpl, if measured.
+    #[must_use]
+    pub fn throughput_at(&self, label: &str, mpl: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.series == label && p.mpl == mpl)
+            .map(|p| p.report.throughput.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            id: "demo",
+            title: "demo",
+            params: Params::paper_baseline(),
+            series: Series::paper_trio(),
+            mpls: vec![5, 10],
+            restart_delay_for_all: false,
+            views: vec![FigureView {
+                figure: "Figure 0",
+                caption: "demo",
+                kind: FigureKind::Throughput,
+            }],
+        }
+    }
+
+    #[test]
+    fn config_materialization() {
+        let spec = demo_spec();
+        let cfg = spec.config(&spec.series[2], 10, MetricsConfig::quick(), 7);
+        assert_eq!(cfg.algorithm, CcAlgorithm::Optimistic);
+        assert_eq!(cfg.params.mpl, 10);
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.restart_delay_for_all);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn num_runs_is_grid_size() {
+        assert_eq!(demo_spec().num_runs(), 6);
+    }
+
+    #[test]
+    fn paper_trio_labels() {
+        let s = Series::paper_trio();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].label, "blocking");
+        assert_eq!(s[1].label, "immediate-restart");
+        assert_eq!(s[2].label, "optimistic");
+    }
+}

@@ -1,0 +1,124 @@
+//! Cycle detection over a dynamically supplied waits-for relation.
+//!
+//! The lock manager materializes waits-for edges on demand from its lock
+//! table; this module provides the generic depth-first search that finds a
+//! cycle through a given start node. Because every transaction has at most
+//! one outstanding lock request, the graph's out-degree is small and the
+//! search is cheap.
+
+use ccsim_workload::TxnId;
+
+/// Find a cycle through `start`, if one exists, following `successors`.
+///
+/// Returns the cycle as a list of transactions `[start, ..., t_k]` such that
+/// each waits for the next and `t_k` waits for `start`. Only cycles through
+/// `start` are sought: deadlock detection runs each time a transaction
+/// blocks, and a new edge can only create cycles through the newly blocked
+/// transaction.
+pub fn find_cycle_through<F>(start: TxnId, mut successors: F) -> Option<Vec<TxnId>>
+where
+    F: FnMut(TxnId) -> Vec<TxnId>,
+{
+    // Iterative DFS keeping the current path for cycle reconstruction.
+    let mut path: Vec<TxnId> = vec![start];
+    let mut iters: Vec<std::vec::IntoIter<TxnId>> = vec![successors(start).into_iter()];
+    let mut visited: Vec<TxnId> = vec![start];
+
+    while let Some(iter) = iters.last_mut() {
+        match iter.next() {
+            Some(next) => {
+                if next == start {
+                    return Some(path.clone());
+                }
+                if visited.contains(&next) {
+                    continue;
+                }
+                visited.push(next);
+                path.push(next);
+                iters.push(successors(next).into_iter());
+            }
+            None => {
+                path.pop();
+                iters.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn txn(v: u64) -> TxnId {
+        TxnId(v)
+    }
+
+    fn graph(edges: &[(u64, u64)]) -> HashMap<TxnId, Vec<TxnId>> {
+        let mut g: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        for &(a, b) in edges {
+            g.entry(txn(a)).or_default().push(txn(b));
+        }
+        g
+    }
+
+    fn successors(g: &HashMap<TxnId, Vec<TxnId>>) -> impl FnMut(TxnId) -> Vec<TxnId> + '_ {
+        move |t| g.get(&t).cloned().unwrap_or_default()
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let g = graph(&[(1, 2), (2, 3), (1, 3)]);
+        assert!(find_cycle_through(txn(1), successors(&g)).is_none());
+    }
+
+    #[test]
+    fn self_loop() {
+        let g = graph(&[(1, 1)]);
+        let c = find_cycle_through(txn(1), successors(&g)).unwrap();
+        assert_eq!(c, vec![txn(1)]);
+    }
+
+    #[test]
+    fn two_cycle() {
+        let g = graph(&[(1, 2), (2, 1)]);
+        let c = find_cycle_through(txn(1), successors(&g)).unwrap();
+        assert_eq!(c, vec![txn(1), txn(2)]);
+    }
+
+    #[test]
+    fn long_cycle() {
+        let g = graph(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let c = find_cycle_through(txn(1), successors(&g)).unwrap();
+        assert_eq!(c, vec![txn(1), txn(2), txn(3), txn(4)]);
+    }
+
+    #[test]
+    fn cycle_not_through_start_is_ignored() {
+        // 2 -> 3 -> 2 is a cycle, but 1 only feeds into it.
+        let g = graph(&[(1, 2), (2, 3), (3, 2)]);
+        assert!(find_cycle_through(txn(1), successors(&g)).is_none());
+    }
+
+    #[test]
+    fn picks_cycle_among_branches() {
+        // Branch 1->5 dead-ends; 1->2->3->1 cycles.
+        let g = graph(&[(1, 5), (1, 2), (2, 3), (3, 1), (5, 6)]);
+        let c = find_cycle_through(txn(1), successors(&g)).unwrap();
+        assert_eq!(c, vec![txn(1), txn(2), txn(3)]);
+    }
+
+    #[test]
+    fn diamond_no_cycle() {
+        let g = graph(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        assert!(find_cycle_through(txn(1), successors(&g)).is_none());
+    }
+
+    #[test]
+    fn large_chain_terminates() {
+        let edges: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges);
+        assert!(find_cycle_through(txn(0), successors(&g)).is_none());
+    }
+}

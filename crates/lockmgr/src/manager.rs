@@ -1,0 +1,790 @@
+//! The lock table.
+//!
+//! Implements the locking substrate shared by the paper's blocking and
+//! immediate-restart algorithms (and the wait-die / wound-wait extensions):
+//! read locks taken at read time, upgraded to write locks at write time,
+//! all locks released together at end of transaction (strict two-phase
+//! locking with deferred updates).
+//!
+//! Queueing discipline: FCFS per object, except that **upgrade requests
+//! queue ahead of non-upgrade requests** (a conversion blocks every later
+//! request anyway, and ordering it first avoids needless denial cascades).
+//! A request is granted immediately only if it is compatible with all
+//! current holders *and* no request is queued ahead of it — readers do not
+//! jump over queued writers, so writers cannot starve.
+
+use std::collections::{HashMap, VecDeque};
+
+use ccsim_workload::{ObjId, TxnId};
+
+use crate::graph::find_cycle_through;
+
+/// Lock modes. Reads share; writes exclude everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared lock.
+    Read,
+    /// Exclusive lock.
+    Write,
+}
+
+impl LockMode {
+    /// Can a holder in `self` mode coexist with a request in `other` mode
+    /// from a *different* transaction?
+    #[must_use]
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Read, LockMode::Read))
+    }
+}
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The lock was acquired (or was already held in a sufficient mode).
+    Granted,
+    /// The request joined the object's queue; the transaction must block.
+    Queued,
+    /// The request conflicts and queueing was not permitted
+    /// ([`LockManager::try_request`] — the immediate-restart algorithm).
+    Denied,
+}
+
+/// A lock granted to a previously blocked transaction during a release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The transaction whose queued request was granted.
+    pub txn: TxnId,
+    /// The object it now holds.
+    pub obj: ObjId,
+    /// The granted mode.
+    pub mode: LockMode,
+}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    /// True if the waiter already holds a read lock on the object and is
+    /// converting it to a write lock.
+    is_upgrade: bool,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<Waiter>,
+}
+
+impl Entry {
+    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|&(_, m)| m)
+    }
+
+    fn is_sole_holder(&self, txn: TxnId) -> bool {
+        self.holders.len() == 1 && self.holders[0].0 == txn
+    }
+
+    fn compatible_for(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|&(t, m)| t == txn || m.compatible_with(mode))
+    }
+
+    fn is_unused(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
+    }
+}
+
+/// The lock manager: lock table plus per-transaction indexes.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<ObjId, Entry>,
+    /// Objects on which each transaction holds a lock.
+    held: HashMap<TxnId, Vec<ObjId>>,
+    /// The single outstanding blocked request of each waiting transaction.
+    waiting: HashMap<TxnId, ObjId>,
+    /// Counters for observability.
+    grants: u64,
+    blocks: u64,
+    denials: u64,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    #[must_use]
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Request `mode` on `obj` for `txn`, queueing on conflict (the
+    /// blocking algorithm). After a [`RequestOutcome::Queued`] result the
+    /// caller should run [`LockManager::find_deadlock`].
+    ///
+    /// # Panics
+    /// Panics if `txn` is already waiting (the model allows one outstanding
+    /// request), or downgrades a write lock to read.
+    pub fn request(&mut self, txn: TxnId, obj: ObjId, mode: LockMode) -> RequestOutcome {
+        self.request_inner(txn, obj, mode, true)
+    }
+
+    /// Request `mode` on `obj` for `txn`, returning
+    /// [`RequestOutcome::Denied`] instead of queueing on conflict (the
+    /// immediate-restart algorithm: "if a lock request is denied, the
+    /// requesting transaction is aborted").
+    pub fn try_request(&mut self, txn: TxnId, obj: ObjId, mode: LockMode) -> RequestOutcome {
+        self.request_inner(txn, obj, mode, false)
+    }
+
+    fn request_inner(
+        &mut self,
+        txn: TxnId,
+        obj: ObjId,
+        mode: LockMode,
+        may_queue: bool,
+    ) -> RequestOutcome {
+        assert!(
+            !self.waiting.contains_key(&txn),
+            "{txn} already has an outstanding lock request"
+        );
+        let entry = self.table.entry(obj).or_default();
+        match entry.holder_mode(txn) {
+            Some(LockMode::Write) => {
+                // Write covers both modes; re-request is a no-op.
+                self.grants += 1;
+                RequestOutcome::Granted
+            }
+            Some(LockMode::Read) if mode == LockMode::Read => {
+                self.grants += 1;
+                RequestOutcome::Granted
+            }
+            Some(LockMode::Read) => {
+                // Upgrade read -> write.
+                if entry.is_sole_holder(txn) {
+                    entry.holders[0].1 = LockMode::Write;
+                    self.grants += 1;
+                    RequestOutcome::Granted
+                } else if may_queue {
+                    let pos = entry.queue.iter().take_while(|w| w.is_upgrade).count();
+                    entry.queue.insert(
+                        pos,
+                        Waiter {
+                            txn,
+                            mode: LockMode::Write,
+                            is_upgrade: true,
+                        },
+                    );
+                    self.waiting.insert(txn, obj);
+                    self.blocks += 1;
+                    RequestOutcome::Queued
+                } else {
+                    self.denials += 1;
+                    RequestOutcome::Denied
+                }
+            }
+            None => {
+                if entry.queue.is_empty() && entry.compatible_for(txn, mode) {
+                    entry.holders.push((txn, mode));
+                    self.held.entry(txn).or_default().push(obj);
+                    self.grants += 1;
+                    RequestOutcome::Granted
+                } else if may_queue {
+                    entry.queue.push_back(Waiter {
+                        txn,
+                        mode,
+                        is_upgrade: false,
+                    });
+                    self.waiting.insert(txn, obj);
+                    self.blocks += 1;
+                    RequestOutcome::Queued
+                } else {
+                    self.denials += 1;
+                    RequestOutcome::Denied
+                }
+            }
+        }
+    }
+
+    /// Release every lock `txn` holds and cancel its queued request (if
+    /// any). Returns the requests granted as a consequence, in grant order.
+    /// Used both at commit (after deferred updates) and at abort.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        // Cancel an outstanding queued request.
+        if let Some(obj) = self.waiting.remove(&txn) {
+            if let Some(entry) = self.table.get_mut(&obj) {
+                entry.queue.retain(|w| w.txn != txn);
+                // Removing a waiter can unblock those behind it (e.g. a
+                // queued upgrade vanishing lets queued readers through).
+                let from = grants.len();
+                Self::drain_queue(entry, &mut grants);
+                Self::patch_grants(obj, &mut grants, from);
+                if entry.is_unused() {
+                    self.table.remove(&obj);
+                }
+            }
+        }
+        // Release held locks.
+        for obj in self.held.remove(&txn).unwrap_or_default() {
+            let Some(entry) = self.table.get_mut(&obj) else {
+                continue;
+            };
+            entry.holders.retain(|(t, _)| *t != txn);
+            let from = grants.len();
+            Self::drain_queue(entry, &mut grants);
+            Self::patch_grants(obj, &mut grants, from);
+            if entry.is_unused() {
+                self.table.remove(&obj);
+            }
+        }
+        // Index the new grants (an upgrade grant's object is already in the
+        // holder's held list).
+        for g in &grants {
+            self.waiting.remove(&g.txn);
+            let held = self.held.entry(g.txn).or_default();
+            if !held.contains(&g.obj) {
+                held.push(g.obj);
+            }
+            self.grants += 1;
+        }
+        grants
+    }
+
+    /// Grant queued requests that have become compatible, FCFS.
+    fn drain_queue(entry: &mut Entry, grants: &mut Vec<Grant>) {
+        while let Some(head) = entry.queue.front() {
+            if head.is_upgrade {
+                if entry.is_sole_holder(head.txn) {
+                    let txn = head.txn;
+                    entry.holders[0].1 = LockMode::Write;
+                    entry.queue.pop_front();
+                    grants.push(Grant {
+                        txn,
+                        obj: ObjId(0), // patched below
+                        mode: LockMode::Write,
+                    });
+                } else {
+                    break;
+                }
+            } else if entry.compatible_for(head.txn, head.mode) {
+                let w = entry.queue.pop_front().expect("front exists");
+                entry.holders.push((w.txn, w.mode));
+                grants.push(Grant {
+                    txn: w.txn,
+                    obj: ObjId(0), // patched below
+                    mode: w.mode,
+                });
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Look for a deadlock involving `txn` (called right after `txn`
+    /// blocks). Returns the waits-for cycle if one exists.
+    ///
+    /// Waits-for edges run from a waiter to (a) every holder whose lock
+    /// conflicts with the waiter's requested mode and (b) every waiter
+    /// *ahead* of it in the queue with a conflicting mode — FCFS queueing
+    /// means those will be granted first, so they are genuine waits.
+    #[must_use]
+    pub fn find_deadlock(&self, txn: TxnId) -> Option<Vec<TxnId>> {
+        if !self.waiting.contains_key(&txn) {
+            return None;
+        }
+        find_cycle_through(txn, |t| self.waits_for(t))
+    }
+
+    fn waits_for(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(&obj) = self.waiting.get(&txn) else {
+            return Vec::new();
+        };
+        let Some(entry) = self.table.get(&obj) else {
+            return Vec::new();
+        };
+        let Some(me_pos) = entry.queue.iter().position(|w| w.txn == txn) else {
+            return Vec::new();
+        };
+        let my_mode = entry.queue[me_pos].mode;
+        let mut out: Vec<TxnId> = Vec::new();
+        for &(holder, hmode) in &entry.holders {
+            if holder != txn && !(hmode.compatible_with(my_mode)) {
+                out.push(holder);
+            }
+        }
+        for ahead in entry.queue.iter().take(me_pos) {
+            if ahead.txn != txn
+                && !(ahead.mode.compatible_with(my_mode) && my_mode.compatible_with(ahead.mode))
+            {
+                out.push(ahead.txn);
+            }
+        }
+        out
+    }
+
+    /// The transactions a request for `mode` on `obj` by `txn` would have
+    /// to wait for *right now*: conflicting holders plus every queued waiter
+    /// with a conflicting mode (a new request joins the back of the queue).
+    /// Empty means the request would be granted immediately. Used by the
+    /// deadlock-prevention schemes (wait-die, wound-wait) to decide before
+    /// requesting.
+    #[must_use]
+    pub fn blockers(&self, txn: TxnId, obj: ObjId, mode: LockMode) -> Vec<TxnId> {
+        let Some(entry) = self.table.get(&obj) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        match entry.holder_mode(txn) {
+            Some(LockMode::Write) => return out,
+            Some(LockMode::Read) if mode == LockMode::Read => return out,
+            Some(LockMode::Read) => {
+                // Upgrade: waits for every other holder.
+                for &(t, _) in &entry.holders {
+                    if t != txn {
+                        out.push(t);
+                    }
+                }
+                // Upgrades queue ahead of plain waiters but behind earlier
+                // upgrades, which necessarily conflict (both want Write).
+                for w in entry.queue.iter().take_while(|w| w.is_upgrade) {
+                    if w.txn != txn {
+                        out.push(w.txn);
+                    }
+                }
+            }
+            None => {
+                for &(t, m) in &entry.holders {
+                    if t != txn && !m.compatible_with(mode) {
+                        out.push(t);
+                    }
+                }
+                for w in &entry.queue {
+                    if w.txn != txn
+                        && !(w.mode.compatible_with(mode) && mode.compatible_with(w.mode))
+                    {
+                        out.push(w.txn);
+                    }
+                }
+                // Even a compatible request must queue behind any waiter
+                // (no overtaking); if the queue is non-empty the request
+                // waits for at least the queue head.
+                if out.is_empty() && !entry.queue.is_empty() {
+                    out.push(entry.queue[0].txn);
+                }
+            }
+        }
+        out
+    }
+
+    /// The mode `txn` holds on `obj`, if any.
+    #[must_use]
+    pub fn holds(&self, txn: TxnId, obj: ObjId) -> Option<LockMode> {
+        self.table.get(&obj).and_then(|e| e.holder_mode(txn))
+    }
+
+    /// The object `txn` is blocked on, if it is blocked.
+    #[must_use]
+    pub fn waiting_on(&self, txn: TxnId) -> Option<ObjId> {
+        self.waiting.get(&txn).copied()
+    }
+
+    /// Number of locks `txn` currently holds.
+    #[must_use]
+    pub fn locks_held(&self, txn: TxnId) -> usize {
+        self.held.get(&txn).map_or(0, Vec::len)
+    }
+
+    /// All current holders of `obj` (test/diagnostic aid).
+    #[must_use]
+    pub fn holders_of(&self, obj: ObjId) -> Vec<(TxnId, LockMode)> {
+        self.table
+            .get(&obj)
+            .map(|e| e.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Queue length on `obj`.
+    #[must_use]
+    pub fn queue_len(&self, obj: ObjId) -> usize {
+        self.table.get(&obj).map_or(0, |e| e.queue.len())
+    }
+
+    /// Lifetime counters: `(grants, blocks, denials)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.grants, self.blocks, self.denials)
+    }
+
+    /// Verify internal invariants. Intended for tests; panics on violation.
+    ///
+    /// # Panics
+    /// Panics if any cross-index disagrees with the lock table, if multiple
+    /// holders coexist with a writer, or if a grantable queue head was left
+    /// waiting.
+    pub fn assert_consistent(&self) {
+        for (obj, entry) in &self.table {
+            assert!(!entry.is_unused(), "{obj} retained an empty entry");
+            let writers = entry
+                .holders
+                .iter()
+                .filter(|(_, m)| *m == LockMode::Write)
+                .count();
+            if writers > 0 {
+                assert_eq!(
+                    entry.holders.len(),
+                    1,
+                    "{obj} has a writer plus other holders"
+                );
+            }
+            for &(t, _) in &entry.holders {
+                assert!(
+                    self.held.get(&t).is_some_and(|v| v.contains(obj)),
+                    "{obj} holder {t} missing from held index"
+                );
+            }
+            for w in &entry.queue {
+                assert_eq!(
+                    self.waiting.get(&w.txn),
+                    Some(obj),
+                    "queued {} missing from waiting index",
+                    w.txn
+                );
+                if w.is_upgrade {
+                    assert_eq!(
+                        entry.holder_mode(w.txn),
+                        Some(LockMode::Read),
+                        "upgrade waiter {} does not hold a read lock",
+                        w.txn
+                    );
+                }
+            }
+            // No grantable head left waiting.
+            if let Some(head) = entry.queue.front() {
+                if head.is_upgrade {
+                    assert!(
+                        !entry.is_sole_holder(head.txn),
+                        "{obj}: grantable upgrade left queued"
+                    );
+                } else {
+                    assert!(
+                        !entry.compatible_for(head.txn, head.mode),
+                        "{obj}: grantable head left queued"
+                    );
+                }
+            }
+        }
+        for (txn, objs) in &self.held {
+            for obj in objs {
+                assert!(
+                    self.table
+                        .get(obj)
+                        .is_some_and(|e| e.holder_mode(*txn).is_some()),
+                    "held index lists {txn} on {obj} but table disagrees"
+                );
+            }
+        }
+        for (txn, obj) in &self.waiting {
+            assert!(
+                self.table
+                    .get(obj)
+                    .is_some_and(|e| e.queue.iter().any(|w| w.txn == *txn)),
+                "waiting index lists {txn} on {obj} but queue disagrees"
+            );
+        }
+    }
+}
+
+impl LockManager {
+    // `drain_queue` borrows only the entry and cannot see the object id, so
+    // grants are created with a placeholder and patched here.
+    fn patch_grants(obj: ObjId, grants: &mut [Grant], from: usize) {
+        for g in &mut grants[from..] {
+            g.obj = obj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> TxnId {
+        TxnId(v)
+    }
+    fn o(v: u64) -> ObjId {
+        ObjId(v)
+    }
+
+    #[test]
+    fn read_locks_share() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), o(7), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(lm.holders_of(o(7)).len(), 2);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn write_excludes_read() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), o(7), LockMode::Read), RequestOutcome::Queued);
+        assert_eq!(lm.waiting_on(t(2)), Some(o(7)));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn read_excludes_write() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(2), o(7), LockMode::Write), RequestOutcome::Queued);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn reacquisition_is_noop() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
+        lm.request(t(1), o(8), LockMode::Write);
+        assert_eq!(lm.request(t(1), o(8), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(lm.request(t(1), o(8), LockMode::Write), RequestOutcome::Granted);
+        assert_eq!(lm.locks_held(t(1)), 2);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn sole_reader_upgrades_in_place() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Granted);
+        assert_eq!(lm.holds(t(1), o(7)), Some(LockMode::Write));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Read);
+        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Queued);
+        lm.assert_consistent();
+        // When t2 releases, the upgrade is granted.
+        let grants = lm.release_all(t(2));
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(1),
+                obj: o(7),
+                mode: LockMode::Write
+            }]
+        );
+        assert_eq!(lm.holds(t(1), o(7)), Some(LockMode::Write));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn upgrade_queues_ahead_of_plain_waiters() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Read);
+        // t3 queues a plain write first, then t1 requests its upgrade.
+        assert_eq!(lm.request(t(3), o(7), LockMode::Write), RequestOutcome::Queued);
+        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Queued);
+        lm.assert_consistent();
+        let grants = lm.release_all(t(2));
+        // Upgrade first despite arriving later.
+        assert_eq!(grants[0].txn, t(1));
+        assert_eq!(grants[0].mode, LockMode::Write);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn fcfs_no_reader_overtaking() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Write); // queued
+        // A later read must not jump the queued writer.
+        assert_eq!(lm.request(t(3), o(7), LockMode::Read), RequestOutcome::Queued);
+        lm.assert_consistent();
+        let grants = lm.release_all(t(1));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0], Grant { txn: t(2), obj: o(7), mode: LockMode::Write });
+        let grants = lm.release_all(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(3), obj: o(7), mode: LockMode::Read }]);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn release_grants_multiple_readers_together() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Write);
+        lm.request(t(2), o(7), LockMode::Read);
+        lm.request(t(3), o(7), LockMode::Read);
+        let grants = lm.release_all(t(1));
+        assert_eq!(grants.len(), 2);
+        assert!(grants.iter().all(|g| g.mode == LockMode::Read));
+        assert_eq!(lm.holders_of(o(7)).len(), 2);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn try_request_denies_instead_of_queueing() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Write);
+        assert_eq!(lm.try_request(t(2), o(7), LockMode::Read), RequestOutcome::Denied);
+        assert_eq!(lm.waiting_on(t(2)), None);
+        // Upgrade denial.
+        lm.request(t(2), o(8), LockMode::Read);
+        lm.request(t(3), o(8), LockMode::Read);
+        assert_eq!(lm.try_request(t(2), o(8), LockMode::Write), RequestOutcome::Denied);
+        let (_, _, denials) = lm.counters();
+        assert_eq!(denials, 2);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn classic_two_txn_deadlock() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Write);
+        lm.request(t(2), o(2), LockMode::Write);
+        assert_eq!(lm.request(t(1), o(2), LockMode::Read), RequestOutcome::Queued);
+        assert!(lm.find_deadlock(t(1)).is_none());
+        assert_eq!(lm.request(t(2), o(1), LockMode::Read), RequestOutcome::Queued);
+        let cycle = lm.find_deadlock(t(2)).expect("deadlock expected");
+        let mut c = cycle.clone();
+        c.sort();
+        assert_eq!(c, vec![t(1), t(2)]);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn upgrade_upgrade_deadlock() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Read);
+        lm.request(t(1), o(7), LockMode::Write);
+        lm.request(t(2), o(7), LockMode::Write);
+        let cycle = lm.find_deadlock(t(2)).expect("upgrade deadlock");
+        let mut c = cycle;
+        c.sort();
+        assert_eq!(c, vec![t(1), t(2)]);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn queue_order_deadlock_is_detected() {
+        // t1 holds read on A. t2 write-waits on A. t3 read-waits on A
+        // (behind t2). t2's wait depends on t1; if t1 then waits on
+        // something t3 holds, the cycle goes through queue-ahead edges.
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Read);
+        lm.request(t(3), o(2), LockMode::Write);
+        lm.request(t(2), o(1), LockMode::Write); // waits on t1
+        lm.request(t(3), o(1), LockMode::Read); // waits behind t2 (conflicting)
+        assert_eq!(lm.request(t(1), o(2), LockMode::Read), RequestOutcome::Queued); // waits on t3
+        let cycle = lm.find_deadlock(t(1)).expect("3-cycle through queue edge");
+        assert!(cycle.contains(&t(1)) && cycle.contains(&t(3)));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn aborting_victim_breaks_deadlock() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Write);
+        lm.request(t(2), o(2), LockMode::Write);
+        lm.request(t(1), o(2), LockMode::Write);
+        lm.request(t(2), o(1), LockMode::Write);
+        assert!(lm.find_deadlock(t(2)).is_some());
+        // Abort t2: its lock on o2 goes to t1; t1 unblocks.
+        let grants = lm.release_all(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(1), obj: o(2), mode: LockMode::Write }]);
+        assert!(lm.find_deadlock(t(1)).is_none());
+        assert_eq!(lm.waiting_on(t(1)), None);
+        assert_eq!(lm.locks_held(t(1)), 2);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn release_of_waiter_unblocks_queue_behind_it() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Write); // queued
+        lm.request(t(3), o(7), LockMode::Read); // queued behind writer
+        // Abort the queued writer: t3's read becomes grantable.
+        let grants = lm.release_all(t(2));
+        assert_eq!(grants, vec![Grant { txn: t(3), obj: o(7), mode: LockMode::Read }]);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn release_all_idempotent_for_unknown_txn() {
+        let mut lm = LockManager::new();
+        assert!(lm.release_all(t(99)).is_empty());
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Read);
+        lm.request(t(2), o(1), LockMode::Write);
+        lm.try_request(t(3), o(1), LockMode::Write);
+        let (grants, blocks, denials) = lm.counters();
+        assert_eq!((grants, blocks, denials), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding lock request")]
+    fn double_wait_panics() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Write);
+        lm.request(t(2), o(1), LockMode::Write);
+        lm.request(t(2), o(2), LockMode::Read);
+    }
+
+    #[test]
+    fn blockers_reports_conflicts() {
+        let mut lm = LockManager::new();
+        assert!(lm.blockers(t(1), o(7), LockMode::Write).is_empty());
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Read);
+        // A third read is free; a write waits for both readers.
+        assert!(lm.blockers(t(3), o(7), LockMode::Read).is_empty());
+        let mut b = lm.blockers(t(3), o(7), LockMode::Write);
+        b.sort();
+        assert_eq!(b, vec![t(1), t(2)]);
+        // An upgrade by t1 waits only for t2.
+        assert_eq!(lm.blockers(t(1), o(7), LockMode::Write), vec![t(2)]);
+        // Holding a write means no blockers for anything.
+        lm.release_all(t(2));
+        lm.request(t(1), o(7), LockMode::Write);
+        assert!(lm.blockers(t(1), o(7), LockMode::Read).is_empty());
+        assert!(lm.blockers(t(1), o(7), LockMode::Write).is_empty());
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn blockers_includes_queued_waiters() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Read);
+        lm.request(t(2), o(7), LockMode::Write); // queued
+        // A new read waits for the queued writer (no overtaking).
+        assert_eq!(lm.blockers(t(3), o(7), LockMode::Read), vec![t(2)]);
+        // A new write waits for the read holder and the queued writer.
+        let mut b = lm.blockers(t(3), o(7), LockMode::Write);
+        b.sort();
+        assert_eq!(b, vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn empty_entries_are_garbage_collected() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Write);
+        lm.release_all(t(1));
+        assert!(lm.table.is_empty(), "entry should be removed");
+        assert!(lm.held.is_empty());
+    }
+}

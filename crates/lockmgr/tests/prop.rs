@@ -1,0 +1,130 @@
+//! Property-based tests: the lock manager maintains its invariants under
+//! arbitrary interleavings of requests, denials, and releases, and never
+//! violates mutual exclusion.
+
+use ccsim_lockmgr::{LockManager, LockMode, RequestOutcome};
+use ccsim_workload::{ObjId, TxnId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Request { txn: u64, obj: u64, write: bool },
+    TryRequest { txn: u64, obj: u64, write: bool },
+    ReleaseAll { txn: u64 },
+}
+
+fn op_strategy(txns: u64, objs: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..txns, 0..objs, any::<bool>())
+            .prop_map(|(txn, obj, write)| Op::Request { txn, obj, write }),
+        (0..txns, 0..objs, any::<bool>())
+            .prop_map(|(txn, obj, write)| Op::TryRequest { txn, obj, write }),
+        (0..txns).prop_map(|txn| Op::ReleaseAll { txn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay random operation sequences; after every step the manager's
+    /// internal invariants must hold, and writers must be exclusive.
+    #[test]
+    fn invariants_hold_under_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(8, 6), 1..300)
+    ) {
+        let mut lm = LockManager::new();
+        // A transaction with an outstanding queued request may not issue
+        // another; track blocked transactions and skip their requests, and
+        // track aborted/committed ones so ids can be reused via release.
+        let mut blocked: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                Op::Request { txn, obj, write } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    match lm.request(TxnId(txn), ObjId(obj), mode) {
+                        RequestOutcome::Queued => {
+                            blocked.insert(txn);
+                            // Deadlock detection must never panic; resolve by
+                            // aborting the youngest (max id) in the cycle.
+                            while let Some(cycle) = lm.find_deadlock(TxnId(txn)) {
+                                let victim = *cycle.iter().max().unwrap();
+                                let grants = lm.release_all(victim);
+                                blocked.remove(&victim.0);
+                                for g in grants {
+                                    blocked.remove(&g.txn.0);
+                                }
+                                if lm.waiting_on(TxnId(txn)).is_none() {
+                                    break;
+                                }
+                            }
+                        }
+                        RequestOutcome::Granted => {}
+                        RequestOutcome::Denied => unreachable!("request never denies"),
+                    }
+                }
+                Op::TryRequest { txn, obj, write } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    let out = lm.try_request(TxnId(txn), ObjId(obj), mode);
+                    prop_assert!(out != RequestOutcome::Queued, "try_request queued");
+                }
+                Op::ReleaseAll { txn } => {
+                    let grants = lm.release_all(TxnId(txn));
+                    blocked.remove(&txn);
+                    for g in grants {
+                        blocked.remove(&g.txn.0);
+                    }
+                }
+            }
+            lm.assert_consistent();
+            // Mutual exclusion: no object may have a writer plus anyone else.
+            for obj in 0..6 {
+                let holders = lm.holders_of(ObjId(obj));
+                let writers = holders
+                    .iter()
+                    .filter(|(_, m)| *m == LockMode::Write)
+                    .count();
+                if writers > 0 {
+                    prop_assert_eq!(holders.len(), 1, "writer not exclusive on obj{}", obj);
+                }
+            }
+        }
+    }
+
+    /// After releasing everything, the table is empty — no leaks.
+    #[test]
+    fn full_release_leaves_no_state(
+        ops in proptest::collection::vec(op_strategy(6, 4), 1..100)
+    ) {
+        let mut lm = LockManager::new();
+        let mut blocked: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            if let Op::Request { txn, obj, write } = op {
+                if blocked.contains(&txn) {
+                    continue;
+                }
+                let mode = if write { LockMode::Write } else { LockMode::Read };
+                if lm.request(TxnId(txn), ObjId(obj), mode) == RequestOutcome::Queued {
+                    blocked.insert(txn);
+                }
+            }
+        }
+        for txn in 0..6 {
+            lm.release_all(TxnId(txn));
+        }
+        lm.assert_consistent();
+        for txn in 0..6 {
+            prop_assert_eq!(lm.locks_held(TxnId(txn)), 0);
+            prop_assert!(lm.waiting_on(TxnId(txn)).is_none());
+        }
+        for obj in 0..4 {
+            prop_assert!(lm.holders_of(ObjId(obj)).is_empty());
+            prop_assert_eq!(lm.queue_len(ObjId(obj)), 0);
+        }
+    }
+}

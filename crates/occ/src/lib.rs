@@ -1,0 +1,231 @@
+//! `ccsim-occ` — the optimistic concurrency control substrate.
+//!
+//! The paper's optimistic algorithm (after Kung & Robinson): "Transactions
+//! are allowed to execute unhindered and are validated only after they have
+//! reached their commit points. A transaction is restarted at its commit
+//! point if it finds that any object that it read has been written by
+//! another transaction which committed during its lifetime."
+//!
+//! [`Validator`] realizes this as backward validation against a per-object
+//! *last committed write* timestamp. Validation and write-stamping happen in
+//! one logical step (Kung–Robinson's critical section), which the simulator
+//! guarantees by performing both at a single event. The deferred physical
+//! updates then proceed under the protection of the already-published
+//! stamps.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::HashMap;
+
+use ccsim_des::SimTime;
+use ccsim_workload::ObjId;
+
+/// Why a validation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The read object that was overwritten.
+    pub obj: ObjId,
+    /// When the conflicting transaction committed.
+    pub committed_at: SimTime,
+}
+
+/// Backward-validation state: the last committed write time of each object.
+#[derive(Debug, Default)]
+pub struct Validator {
+    last_write: HashMap<ObjId, SimTime>,
+    validations: u64,
+    failures: u64,
+}
+
+impl Validator {
+    /// An empty validator (no committed writes yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Validator::default()
+    }
+
+    /// Validate a transaction attempt that started executing at `start` and
+    /// read `readset`.
+    ///
+    /// # Errors
+    /// Returns the first [`Conflict`] found: some object in the readset was
+    /// written by a transaction that committed *during the attempt's
+    /// lifetime* (strictly after `start`).
+    pub fn validate(&mut self, start: SimTime, readset: &[ObjId]) -> Result<(), Conflict> {
+        self.validations += 1;
+        for &obj in readset {
+            if let Some(&committed_at) = self.last_write.get(&obj) {
+                if committed_at > start {
+                    self.failures += 1;
+                    return Err(Conflict { obj, committed_at });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a successful commit at time `now` writing `writeset`. Must be
+    /// called at the same instant as the successful [`Validator::validate`]
+    /// (the critical section).
+    pub fn commit(&mut self, now: SimTime, writeset: impl IntoIterator<Item = ObjId>) {
+        for obj in writeset {
+            self.last_write.insert(obj, now);
+        }
+    }
+
+    /// Validate and, on success, commit in one step.
+    ///
+    /// # Errors
+    /// As [`Validator::validate`].
+    pub fn validate_and_commit(
+        &mut self,
+        start: SimTime,
+        now: SimTime,
+        readset: &[ObjId],
+        writeset: impl IntoIterator<Item = ObjId>,
+    ) -> Result<(), Conflict> {
+        self.validate(start, readset)?;
+        self.commit(now, writeset);
+        Ok(())
+    }
+
+    /// The last committed write time of `obj`, if any transaction has
+    /// committed a write to it.
+    #[must_use]
+    pub fn last_write(&self, obj: ObjId) -> Option<SimTime> {
+        self.last_write.get(&obj).copied()
+    }
+
+    /// Drop write stamps at or before `horizon`. Any attempt that started at
+    /// or after `horizon` can never conflict with them, so once no active
+    /// attempt predates `horizon` the entries are dead weight. Returns how
+    /// many stamps were pruned.
+    pub fn prune_before(&mut self, horizon: SimTime) -> usize {
+        let before = self.last_write.len();
+        self.last_write.retain(|_, &mut t| t > horizon);
+        before - self.last_write.len()
+    }
+
+    /// Number of objects with a recorded committed write.
+    #[must_use]
+    pub fn tracked_objects(&self) -> usize {
+        self.last_write.len()
+    }
+
+    /// Lifetime counters: `(validations, failures)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.validations, self.failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(v: u64) -> ObjId {
+        ObjId(v)
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_validator_accepts_everything() {
+        let mut v = Validator::new();
+        assert!(v.validate(t(0), &[o(1), o(2), o(3)]).is_ok());
+        assert_eq!(v.counters(), (1, 0));
+    }
+
+    #[test]
+    fn conflict_when_read_overwritten_during_lifetime() {
+        let mut v = Validator::new();
+        // T2 commits a write to obj 5 at t=10.
+        v.commit(t(10), [o(5)]);
+        // An attempt that started at t=3 and read obj 5 must fail.
+        let err = v.validate(t(3), &[o(1), o(5)]).unwrap_err();
+        assert_eq!(err.obj, o(5));
+        assert_eq!(err.committed_at, t(10));
+        assert_eq!(v.counters(), (1, 1));
+    }
+
+    #[test]
+    fn no_conflict_with_writes_before_start() {
+        let mut v = Validator::new();
+        v.commit(t(10), [o(5)]);
+        // An attempt that started at t=10 (or later) saw that committed
+        // state when it read — no conflict.
+        assert!(v.validate(t(10), &[o(5)]).is_ok());
+        assert!(v.validate(t(11), &[o(5)]).is_ok());
+    }
+
+    #[test]
+    fn write_write_does_not_conflict_by_itself() {
+        // Backward validation only checks the readset; a blind write to an
+        // object someone else wrote is fine (our workload always reads what
+        // it writes, so this matches the paper's conflict definition).
+        let mut v = Validator::new();
+        v.commit(t(10), [o(5)]);
+        assert!(v
+            .validate_and_commit(t(3), t(12), &[o(1)], [o(5)])
+            .is_ok());
+        assert_eq!(v.last_write(o(5)), Some(t(12)));
+    }
+
+    #[test]
+    fn validate_and_commit_publishes_stamps_only_on_success() {
+        let mut v = Validator::new();
+        v.commit(t(10), [o(1)]);
+        let res = v.validate_and_commit(t(0), t(20), &[o(1)], [o(2)]);
+        assert!(res.is_err());
+        assert_eq!(v.last_write(o(2)), None, "failed commit must not stamp");
+        let res = v.validate_and_commit(t(15), t(20), &[o(1)], [o(2)]);
+        assert!(res.is_ok());
+        assert_eq!(v.last_write(o(2)), Some(t(20)));
+    }
+
+    #[test]
+    fn later_write_overwrites_stamp() {
+        let mut v = Validator::new();
+        v.commit(t(5), [o(9)]);
+        v.commit(t(8), [o(9)]);
+        assert_eq!(v.last_write(o(9)), Some(t(8)));
+        // A reader that started between the two writes conflicts with the
+        // second one.
+        assert!(v.validate(t(6), &[o(9)]).is_err());
+    }
+
+    #[test]
+    fn read_only_transactions_still_validate() {
+        let mut v = Validator::new();
+        v.commit(t(10), [o(3)]);
+        assert!(v.validate(t(5), &[o(3)]).is_err());
+        // Read-only commit publishes nothing.
+        assert!(v.validate_and_commit(t(12), t(13), &[o(3)], []).is_ok());
+        assert_eq!(v.last_write(o(3)), Some(t(10)));
+    }
+
+    #[test]
+    fn pruning_drops_only_safe_stamps() {
+        let mut v = Validator::new();
+        v.commit(t(1), [o(1)]);
+        v.commit(t(5), [o(2)]);
+        v.commit(t(9), [o(3)]);
+        assert_eq!(v.tracked_objects(), 3);
+        let pruned = v.prune_before(t(5));
+        assert_eq!(pruned, 2); // stamps at t=1 and t=5
+        assert_eq!(v.last_write(o(3)), Some(t(9)));
+        assert_eq!(v.last_write(o(1)), None);
+        // An attempt started after the horizon behaves identically.
+        assert!(v.validate(t(5), &[o(1), o(2)]).is_ok());
+        assert!(v.validate(t(5), &[o(3)]).is_err());
+    }
+
+    #[test]
+    fn empty_readset_always_validates() {
+        let mut v = Validator::new();
+        v.commit(t(10), [o(1)]);
+        assert!(v.validate(t(0), &[]).is_ok());
+    }
+}

@@ -1,0 +1,338 @@
+//! A pool of identical servers fed by one two-class FCFS queue.
+//!
+//! This models the paper's CPU resource: "the CPU servers may be thought of
+//! as being a pool of servers, all identical and serving one global CPU
+//! queue. Requests in the CPU queue are serviced FCFS, except that
+//! concurrency control requests have priority over all other service
+//! requests." A pool of size 1 also serves as a single disk server.
+//!
+//! The pool is *passive*: it never schedules events itself. `submit` either
+//! starts service (returning the completion time for the caller to put on
+//! its event calendar) or queues the request; `complete` retires a finished
+//! request and, if work is waiting, starts the next one on the freed server.
+
+use std::collections::VecDeque;
+
+use ccsim_des::{SimDuration, SimTime};
+
+/// Service priority class. `High` models concurrency-control requests, which
+/// the paper gives priority over all other CPU work. Within a class the
+/// discipline is FCFS; the classes are non-preemptive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Concurrency-control requests.
+    High,
+    /// Object accesses and other work.
+    #[default]
+    Normal,
+}
+
+/// A service request carrying an opaque payload back to the caller at
+/// completion time.
+#[derive(Debug, Clone)]
+pub struct Request<T> {
+    /// Caller context returned by [`ServerPool::complete`].
+    pub payload: T,
+    /// Service demand.
+    pub duration: SimDuration,
+    /// Queueing class.
+    pub priority: Priority,
+}
+
+/// Outcome of starting a request on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Started {
+    /// Which server the request occupies.
+    pub server: usize,
+    /// Absolute time at which service completes.
+    pub completes_at: SimTime,
+}
+
+#[derive(Debug)]
+struct InService<T> {
+    payload: T,
+    started_at: SimTime,
+    duration: SimDuration,
+}
+
+/// A pool of `n` identical servers with a shared two-class FCFS queue.
+#[derive(Debug)]
+pub struct ServerPool<T> {
+    servers: Vec<Option<InService<T>>>,
+    free: Vec<usize>,
+    high: VecDeque<Request<T>>,
+    normal: VecDeque<Request<T>>,
+    completed_busy_us: u64,
+    served: u64,
+}
+
+impl<T> ServerPool<T> {
+    /// Create a pool of `n` servers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a server pool needs at least one server");
+        ServerPool {
+            servers: (0..n).map(|_| None).collect(),
+            free: (0..n).rev().collect(),
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            completed_busy_us: 0,
+            served: 0,
+        }
+    }
+
+    /// Number of servers in the pool.
+    #[must_use]
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of requests waiting (not in service).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// Number of servers currently serving a request.
+    #[must_use]
+    pub fn busy_servers(&self) -> usize {
+        self.servers.len() - self.free.len()
+    }
+
+    /// Total requests completed so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Submit a request at time `now`. Returns `Some` if service starts
+    /// immediately (the caller must schedule the completion), `None` if the
+    /// request joined the queue.
+    pub fn submit(&mut self, now: SimTime, req: Request<T>) -> Option<Started> {
+        if let Some(server) = self.free.pop() {
+            Some(self.start_on(server, now, req))
+        } else {
+            match req.priority {
+                Priority::High => self.high.push_back(req),
+                Priority::Normal => self.normal.push_back(req),
+            }
+            None
+        }
+    }
+
+    /// Retire the request on `server` at time `now`. Returns the finished
+    /// payload and, if queued work exists, the next request started on the
+    /// same server (the caller must schedule its completion).
+    ///
+    /// # Panics
+    /// Panics if `server` is idle — completions must match starts.
+    pub fn complete(&mut self, now: SimTime, server: usize) -> (T, Option<Started>) {
+        let svc = self.servers[server]
+            .take()
+            .expect("completion for an idle server");
+        debug_assert_eq!(
+            svc.started_at + svc.duration,
+            now,
+            "completion time mismatch"
+        );
+        self.completed_busy_us += svc.duration.as_micros();
+        self.served += 1;
+        let next = self
+            .high
+            .pop_front()
+            .or_else(|| self.normal.pop_front())
+            .map(|req| self.start_on(server, now, req));
+        if next.is_none() {
+            self.free.push(server);
+        }
+        (svc.payload, next)
+    }
+
+    fn start_on(&mut self, server: usize, now: SimTime, req: Request<T>) -> Started {
+        debug_assert!(self.servers[server].is_none());
+        let completes_at = now + req.duration;
+        self.servers[server] = Some(InService {
+            payload: req.payload,
+            started_at: now,
+            duration: req.duration,
+        });
+        Started {
+            server,
+            completes_at,
+        }
+    }
+
+    /// Cumulative busy time up to `now`, including in-flight partial
+    /// service. Utilization over a window is the difference of two calls
+    /// divided by `window × num_servers`.
+    #[must_use]
+    pub fn busy_micros(&self, now: SimTime) -> u64 {
+        let in_flight: u64 = self
+            .servers
+            .iter()
+            .flatten()
+            .map(|svc| now.saturating_since(svc.started_at).as_micros().min(svc.duration.as_micros()))
+            .sum();
+        self.completed_busy_us + in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(payload: u32, ms: u64) -> Request<u32> {
+        Request {
+            payload,
+            duration: SimDuration::from_millis(ms),
+            priority: Priority::Normal,
+        }
+    }
+
+    fn high(payload: u32, ms: u64) -> Request<u32> {
+        Request {
+            priority: Priority::High,
+            ..req(payload, ms)
+        }
+    }
+
+    #[test]
+    fn single_server_fcfs() {
+        let mut p = ServerPool::new(1);
+        let t0 = SimTime::ZERO;
+        let s = p.submit(t0, req(1, 10)).expect("idle server starts");
+        assert_eq!(s.completes_at, SimTime::from_millis(10));
+        assert!(p.submit(t0, req(2, 10)).is_none());
+        assert!(p.submit(t0, req(3, 10)).is_none());
+        assert_eq!(p.queue_len(), 2);
+
+        let (done, next) = p.complete(SimTime::from_millis(10), s.server);
+        assert_eq!(done, 1);
+        let next = next.expect("queued work starts");
+        assert_eq!(next.completes_at, SimTime::from_millis(20));
+        let (done, next) = p.complete(SimTime::from_millis(20), next.server);
+        assert_eq!(done, 2);
+        let next = next.unwrap();
+        let (done, next) = p.complete(SimTime::from_millis(30), next.server);
+        assert_eq!(done, 3);
+        assert!(next.is_none());
+        assert_eq!(p.served(), 3);
+    }
+
+    #[test]
+    fn high_priority_jumps_queue_but_not_service() {
+        let mut p = ServerPool::new(1);
+        let t0 = SimTime::ZERO;
+        let s = p.submit(t0, req(1, 10)).unwrap();
+        assert!(p.submit(t0, req(2, 10)).is_none());
+        assert!(p.submit(t0, high(9, 1)).is_none());
+        // Non-preemptive: request 1 finishes first, then the high-priority
+        // request 9 overtakes request 2.
+        let (done, next) = p.complete(SimTime::from_millis(10), s.server);
+        assert_eq!(done, 1);
+        let next = next.unwrap();
+        assert_eq!(next.completes_at, SimTime::from_millis(11));
+        let (done, _) = p.complete(SimTime::from_millis(11), next.server);
+        assert_eq!(done, 9);
+    }
+
+    #[test]
+    fn multiple_servers_run_in_parallel() {
+        let mut p = ServerPool::new(3);
+        let t0 = SimTime::ZERO;
+        let a = p.submit(t0, req(1, 10)).unwrap();
+        let b = p.submit(t0, req(2, 20)).unwrap();
+        let c = p.submit(t0, req(3, 30)).unwrap();
+        assert_ne!(a.server, b.server);
+        assert_ne!(b.server, c.server);
+        assert_eq!(p.busy_servers(), 3);
+        assert!(p.submit(t0, req(4, 5)).is_none());
+
+        let (done, next) = p.complete(SimTime::from_millis(10), a.server);
+        assert_eq!(done, 1);
+        // Request 4 starts on the freed server.
+        let next = next.unwrap();
+        assert_eq!(next.server, a.server);
+        assert_eq!(next.completes_at, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn busy_micros_tracks_partial_service() {
+        let mut p = ServerPool::new(2);
+        let t0 = SimTime::ZERO;
+        let a = p.submit(t0, req(1, 100)).unwrap();
+        p.submit(t0, req(2, 100)).unwrap();
+        // Halfway through, both servers have accrued 50 ms each.
+        assert_eq!(p.busy_micros(SimTime::from_millis(50)), 100_000);
+        let (_, _) = p.complete(SimTime::from_millis(100), a.server);
+        // Server a contributed its full 100 ms to the completed pot.
+        assert_eq!(p.busy_micros(SimTime::from_millis(100)), 200_000);
+    }
+
+    #[test]
+    fn idle_pool_accrues_nothing() {
+        let p: ServerPool<()> = ServerPool::new(4);
+        assert_eq!(p.busy_micros(SimTime::from_secs(100)), 0);
+        assert_eq!(p.busy_servers(), 0);
+        assert_eq!(p.queue_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn completing_idle_server_panics() {
+        let mut p: ServerPool<()> = ServerPool::new(1);
+        let _ = p.complete(SimTime::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _: ServerPool<()> = ServerPool::new(0);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut p = ServerPool::new(1);
+        let t0 = SimTime::ZERO;
+        let s = p.submit(t0, req(0, 1)).unwrap();
+        for i in 1..=5 {
+            assert!(p.submit(t0, req(i, 1)).is_none());
+        }
+        let mut order = Vec::new();
+        let mut cur = s;
+        let mut now = SimTime::from_millis(1);
+        loop {
+            let (done, next) = p.complete(now, cur.server);
+            order.push(done);
+            match next {
+                Some(n) => {
+                    now = n.completes_at;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_duration_request_completes_instantly() {
+        let mut p = ServerPool::new(1);
+        let s = p
+            .submit(
+                SimTime::from_secs(1),
+                Request {
+                    payload: 7u32,
+                    duration: SimDuration::ZERO,
+                    priority: Priority::High,
+                },
+            )
+            .unwrap();
+        assert_eq!(s.completes_at, SimTime::from_secs(1));
+        let (done, _) = p.complete(SimTime::from_secs(1), s.server);
+        assert_eq!(done, 7);
+    }
+}

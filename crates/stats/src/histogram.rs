@@ -1,0 +1,226 @@
+//! A log-bucketed histogram for latency-like quantities.
+//!
+//! Response times in the model span three orders of magnitude (half a
+//! second at low load, minutes in a saturated closed system), so buckets
+//! grow geometrically: constant *relative* resolution at every scale with a
+//! few hundred buckets total. Quantiles are answered by bucket
+//! interpolation, with worst-case relative error equal to the growth
+//! factor.
+
+/// Log-bucketed histogram over positive values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// Lower bound of bucket 0.
+    floor: f64,
+    /// Geometric growth factor between bucket boundaries.
+    growth: f64,
+    ln_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram covering `[floor, ceil]` with the given relative
+    /// `resolution` (e.g. 0.05 for 5% buckets).
+    ///
+    /// # Panics
+    /// Panics unless `0 < floor < ceil` and `resolution > 0`.
+    #[must_use]
+    pub fn new(floor: f64, ceil: f64, resolution: f64) -> Self {
+        assert!(floor > 0.0 && ceil > floor, "need 0 < floor < ceil");
+        assert!(resolution > 0.0, "resolution must be positive");
+        let growth = 1.0 + resolution;
+        let buckets = ((ceil / floor).ln() / growth.ln()).ceil() as usize + 1;
+        LogHistogram {
+            floor,
+            growth,
+            ln_growth: growth.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A default configuration for response times in seconds: 1 ms to
+    /// 10 000 s at 5% resolution (~331 buckets).
+    #[must_use]
+    pub fn for_latencies() -> Self {
+        LogHistogram::new(1e-3, 1e4, 0.05)
+    }
+
+    /// Record one observation. Non-positive values land in the underflow
+    /// bucket; values beyond the ceiling clamp into the last bucket.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if value <= self.floor || value.is_nan() {
+            self.underflow += 1;
+            return;
+        }
+        let ix = ((value / self.floor).ln() / self.ln_growth) as usize;
+        let last = self.counts.len() - 1;
+        self.counts[ix.min(last)] += 1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (`0 < q < 1`), by bucket interpolation. Returns 0
+    /// for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "q must be in (0, 1)");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.floor;
+        }
+        for (ix, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Interpolate within the bucket.
+                let lo = self.floor * self.growth.powi(ix as i32);
+                let hi = lo * self.growth;
+                let frac = (target - seen) as f64 / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        self.floor * self.growth.powi(self.counts.len() as i32)
+    }
+
+    /// Convenience: median, 95th and 99th percentiles.
+    #[must_use]
+    pub fn summary(&self) -> (f64, f64, f64) {
+        (self.quantile(0.5), self.quantile(0.95), self.quantile(0.99))
+    }
+
+    /// Merge another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            (self.floor - other.floor).abs() < f64::EPSILON
+                && (self.growth - other.growth).abs() < f64::EPSILON
+                && self.counts.len() == other.counts.len(),
+            "histogram configurations differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::for_latencies();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LogHistogram::for_latencies();
+        h.add(0.5);
+        let q = h.quantile(0.5);
+        assert!((q - 0.5).abs() / 0.5 < 0.06, "median {q}");
+    }
+
+    #[test]
+    fn uniform_grid_quantiles() {
+        let mut h = LogHistogram::new(0.01, 100.0, 0.01);
+        for i in 1..=1000 {
+            h.add(i as f64 / 100.0); // 0.01 .. 10.00
+        }
+        for (q, expect) in [(0.5, 5.0), (0.95, 9.5), (0.99, 9.9)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "q{q}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LogHistogram::for_latencies();
+        let mut x = 0.001;
+        for _ in 0..500 {
+            h.add(x);
+            x *= 1.013;
+        }
+        let mut last = 0.0;
+        for i in 1..20 {
+            let q = h.quantile(i as f64 / 20.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_clamped() {
+        let mut h = LogHistogram::new(1.0, 10.0, 0.1);
+        h.add(0.0);
+        h.add(-5.0);
+        h.add(1e9);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.3), 1.0); // underflow reports the floor
+        assert!(h.quantile(0.99) >= 10.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::for_latencies();
+        let mut b = LogHistogram::for_latencies();
+        for _ in 0..100 {
+            a.add(1.0);
+            b.add(4.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let median = a.quantile(0.5);
+        assert!((0.9..1.2).contains(&median), "median {median}");
+        let p75 = a.quantile(0.75);
+        assert!((3.5..4.5).contains(&p75), "p75 {p75}");
+    }
+
+    #[test]
+    #[should_panic(expected = "configurations differ")]
+    fn merge_rejects_mismatched_configs() {
+        let mut a = LogHistogram::new(1.0, 10.0, 0.1);
+        let b = LogHistogram::new(1.0, 100.0, 0.1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0, 1)")]
+    fn quantile_domain_is_checked() {
+        let h = LogHistogram::for_latencies();
+        let _ = h.quantile(1.0);
+    }
+
+    #[test]
+    fn summary_returns_three_quantiles() {
+        let mut h = LogHistogram::for_latencies();
+        for i in 1..=100 {
+            h.add(i as f64 / 10.0);
+        }
+        let (p50, p95, p99) = h.summary();
+        assert!(p50 < p95 && p95 < p99);
+    }
+}

@@ -1,0 +1,33 @@
+//! `ccsim-stats` — statistical machinery for the concurrency-control
+//! performance study.
+//!
+//! The paper analyzes its simulations with a *modified batch means* method
+//! [Sarg76, Care83]: each run is divided into batches, per-batch throughput
+//! (and other metrics) form the samples, and 90% Student-t confidence
+//! intervals qualify which differences are statistically significant. This
+//! crate provides:
+//!
+//! * [`Welford`] — numerically stable running mean/variance;
+//! * [`BatchMeans`] / [`Estimate`] — batch means with t-based intervals and a
+//!   lag-1 autocorrelation diagnostic;
+//! * [`TimeWeighted`] — time-weighted averages of step signals (e.g. the
+//!   *actual* multiprogramming level the paper discusses in §4.3);
+//! * [`RunningAvg`] / [`Ewma`] — the adaptive restart-delay estimators;
+//! * [`LogHistogram`] — log-bucketed latency histogram with quantiles.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod batch;
+mod histogram;
+mod running;
+mod timeweighted;
+mod ttable;
+mod welford;
+
+pub use batch::{BatchMeans, Confidence, Estimate};
+pub use histogram::LogHistogram;
+pub use running::{Ewma, RunningAvg};
+pub use timeweighted::TimeWeighted;
+pub use ttable::{t_quantile_90, t_quantile_95};
+pub use welford::Welford;

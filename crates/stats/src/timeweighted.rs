@@ -1,0 +1,117 @@
+//! Time-weighted averages of piecewise-constant signals.
+//!
+//! Used for quantities like "average number of active transactions": the
+//! signal holds a value for a span of simulated time, and the average weights
+//! each value by how long it held.
+
+use ccsim_des::SimTime;
+
+/// Time-weighted average of an integer-valued step signal.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    window_start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `value`.
+    #[must_use]
+    pub fn new(t0: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_change: t0,
+            current: value,
+            weighted_sum: 0.0,
+            window_start: t0,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.weighted_sum += self.current * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.current = value;
+    }
+
+    /// The current value of the signal.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Average over the window `[window_start, now]`.
+    #[must_use]
+    pub fn average(&self, now: SimTime) -> f64 {
+        let pending = self.current * now.saturating_since(self.last_change).as_secs_f64();
+        let span = now.saturating_since(self.window_start).as_secs_f64();
+        if span == 0.0 {
+            self.current
+        } else {
+            (self.weighted_sum + pending) / span
+        }
+    }
+
+    /// Close the current window at `now`, return its average, and start a new
+    /// window (used at batch boundaries).
+    pub fn roll_window(&mut self, now: SimTime) -> f64 {
+        let avg = self.average(now);
+        self.set(now, self.current);
+        self.weighted_sum = 0.0;
+        self.window_start = now;
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 5.0);
+        assert_eq!(tw.average(SimTime::from_secs(10)), 5.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(4), 10.0);
+        // 4s at 0, 6s at 10 => avg 6.
+        assert!((tw.average(SimTime::from_secs(10)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_returns_current() {
+        let tw = TimeWeighted::new(SimTime::from_secs(3), 7.0);
+        assert_eq!(tw.average(SimTime::from_secs(3)), 7.0);
+    }
+
+    #[test]
+    fn multiple_steps() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(1), 2.0);
+        tw.set(SimTime::from_secs(3), 3.0);
+        // 1s@1 + 2s@2 + 2s@3 over 5s = (1+4+6)/5 = 2.2
+        assert!((tw.average(SimTime::from_secs(5)) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roll_window_resets() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.set(SimTime::from_secs(5), 4.0);
+        let first = tw.roll_window(SimTime::from_secs(10));
+        assert!((first - 3.0).abs() < 1e-12);
+        // New window sees only the value 4.
+        let second = tw.roll_window(SimTime::from_secs(20));
+        assert!((second - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_tracks_last_set() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(1), 9.0);
+        assert_eq!(tw.current(), 9.0);
+    }
+}

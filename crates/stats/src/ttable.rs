@@ -1,0 +1,94 @@
+//! Student-t quantiles for confidence intervals.
+//!
+//! The paper reports 90% confidence intervals from ~20 batch means, so we
+//! need the 0.95 one-sided quantile of the t distribution (two-sided 90%).
+//! A table covers 1–30 degrees of freedom; beyond that we use the normal
+//! approximation with a 1/df correction, which is accurate to <0.1% there.
+
+/// One-sided 0.95 quantiles of Student's t for df = 1..=30.
+const T_95: [f64; 30] = [
+    6.313752, 2.919986, 2.353363, 2.131847, 2.015048, 1.943180, 1.894579, 1.859548, 1.833113,
+    1.812461, 1.795885, 1.782288, 1.770933, 1.761310, 1.753050, 1.745884, 1.739607, 1.734064,
+    1.729133, 1.724718, 1.720743, 1.717144, 1.713872, 1.710882, 1.708141, 1.705618, 1.703288,
+    1.701131, 1.699127, 1.697261,
+];
+
+/// One-sided 0.975 quantiles of Student's t for df = 1..=30 (two-sided 95%).
+const T_975: [f64; 30] = [
+    12.706205, 4.302653, 3.182446, 2.776445, 2.570582, 2.446912, 2.364624, 2.306004, 2.262157,
+    2.228139, 2.200985, 2.178813, 2.160369, 2.144787, 2.131450, 2.119905, 2.109816, 2.100922,
+    2.093024, 2.085963, 2.079614, 2.073873, 2.068658, 2.063899, 2.059539, 2.055529, 2.051831,
+    2.048407, 2.045230, 2.042272,
+];
+
+fn lookup(table: &[f64; 30], asymptote: f64, df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => table[(df - 1) as usize],
+        _ => {
+            // Cornish-Fisher-style first-order correction to the normal
+            // quantile: t_p(df) ~ z_p + (z_p^3 + z_p) / (4 df).
+            let z = asymptote;
+            z + (z * z * z + z) / (4.0 * df as f64)
+        }
+    }
+}
+
+/// t quantile for a **two-sided 90%** confidence interval with `df` degrees
+/// of freedom (i.e. the one-sided 0.95 quantile).
+#[must_use]
+pub fn t_quantile_90(df: u64) -> f64 {
+    lookup(&T_95, 1.6448536269514722, df)
+}
+
+/// t quantile for a **two-sided 95%** confidence interval with `df` degrees
+/// of freedom (i.e. the one-sided 0.975 quantile).
+#[must_use]
+pub fn t_quantile_95(df: u64) -> f64 {
+    lookup(&T_975, 1.959963984540054, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_match_references() {
+        assert!((t_quantile_90(1) - 6.313752).abs() < 1e-5);
+        assert!((t_quantile_90(19) - 1.729133).abs() < 1e-5);
+        assert!((t_quantile_95(19) - 2.093024).abs() < 1e-5);
+        assert!((t_quantile_90(30) - 1.697261).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_df_is_infinite() {
+        assert!(t_quantile_90(0).is_infinite());
+        assert!(t_quantile_95(0).is_infinite());
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        assert!((t_quantile_90(1_000_000) - 1.6448536).abs() < 1e-4);
+        assert!((t_quantile_95(1_000_000) - 1.9599640).abs() < 1e-4);
+    }
+
+    #[test]
+    fn approximation_is_close_at_switchover() {
+        // The correction formula at df=31 should be near the df=30 table value
+        // and monotonically between it and the asymptote.
+        let t31 = t_quantile_90(31);
+        assert!(t31 < t_quantile_90(30));
+        assert!(t31 > 1.6448536);
+        assert!((t31 - 1.6955).abs() < 2e-3, "t31 = {t31}");
+    }
+
+    #[test]
+    fn monotone_decreasing_in_df() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_quantile_90(df);
+            assert!(t <= prev + 1e-12, "df {df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Welford's online algorithm for running mean and variance.
+
+/// Numerically stable running mean / variance / extrema accumulator.
+///
+/// ```
+/// use ccsim_stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.add(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (0 if empty).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN`-free; +∞ if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self) {
+        *self = Welford::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_benign() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut w = Welford::new();
+        w.add(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.add(x);
+        }
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 2.5).abs() < 1e-12);
+        assert!((w.population_variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation stress: large mean, tiny variance.
+        let mut w = Welford::new();
+        let base = 1e9;
+        for x in [base + 4.0, base + 7.0, base + 13.0, base + 16.0] {
+            w.add(x);
+        }
+        assert!((w.mean() - (base + 10.0)).abs() < 1e-3);
+        assert!((w.sample_variance() - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Welford::new();
+        a.add(1.0);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = Welford::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut w = Welford::new();
+        w.add(5.0);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+    }
+}

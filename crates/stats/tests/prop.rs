@@ -1,0 +1,122 @@
+//! Property tests for the statistics toolkit against naive reference
+//! implementations.
+
+use ccsim_des::{SimDuration, SimTime};
+use ccsim_stats::{BatchMeans, Confidence, LogHistogram, TimeWeighted, Welford};
+use proptest::prelude::*;
+
+fn finite_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)
+}
+
+proptest! {
+    /// Welford matches the two-pass reference for mean and variance.
+    #[test]
+    fn welford_matches_two_pass(xs in finite_values()) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!(
+                (w.sample_variance() - var).abs() <= 1e-5 * (1.0 + var.abs()),
+                "welford {} vs reference {}",
+                w.sample_variance(),
+                var
+            );
+        }
+        prop_assert_eq!(w.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(w.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Welford merge equals sequential accumulation for any split point.
+    #[test]
+    fn welford_merge_any_split(xs in finite_values(), split_frac in 0.0f64..1.0) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let (left, right) = xs.split_at(split.min(xs.len()));
+        let mut a = Welford::new();
+        for &x in left {
+            a.add(x);
+        }
+        let mut b = Welford::new();
+        for &x in right {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    /// Batch-means intervals contain the batch mean of means by
+    /// construction, and widen with confidence level.
+    #[test]
+    fn batch_means_interval_properties(xs in proptest::collection::vec(0.0f64..1000.0, 2..60)) {
+        let mut bm90 = BatchMeans::new(Confidence::Ninety);
+        let mut bm95 = BatchMeans::new(Confidence::NinetyFive);
+        for &x in &xs {
+            bm90.push(x);
+            bm95.push(x);
+        }
+        let e90 = bm90.estimate();
+        let e95 = bm95.estimate();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((e90.mean - mean).abs() <= 1e-9 * (1.0 + mean.abs()));
+        prop_assert!(e90.half_width >= 0.0);
+        prop_assert!(e95.half_width >= e90.half_width);
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by observed range
+    /// (up to bucket resolution).
+    #[test]
+    fn histogram_quantiles_monotone(xs in proptest::collection::vec(0.01f64..100.0, 1..300)) {
+        let mut h = LogHistogram::new(0.001, 1000.0, 0.05);
+        for &x in &xs {
+            h.add(x);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = 0.0;
+        for i in 1..=19 {
+            let q = h.quantile(f64::from(i) / 20.0);
+            prop_assert!(q >= last - 1e-12);
+            prop_assert!(q >= lo * 0.94, "q {q} below min {lo}");
+            prop_assert!(q <= hi * 1.06, "q {q} above max {hi}");
+            last = q;
+        }
+    }
+
+    /// The time-weighted average of a step signal equals the Riemann sum.
+    #[test]
+    fn time_weighted_matches_riemann(
+        steps in proptest::collection::vec((1u64..100, 0.0f64..50.0), 1..40)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut now = SimTime::ZERO;
+        let mut area = 0.0;
+        let mut current = 0.0;
+        for &(dt_s, value) in &steps {
+            let next = now + SimDuration::from_secs(dt_s);
+            area += current * dt_s as f64;
+            tw.set(next, value);
+            current = value;
+            now = next;
+        }
+        // Close the window one second later.
+        let end = now + SimDuration::from_secs(1);
+        area += current;
+        let expect = area / end.as_secs_f64();
+        let got = tw.average(end);
+        prop_assert!(
+            (got - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+            "{got} vs {expect}"
+        );
+    }
+}

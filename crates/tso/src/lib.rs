@@ -1,0 +1,370 @@
+//! `ccsim-tso` — basic timestamp ordering (T/O), after Bernstein & Goodman.
+//!
+//! The concurrency control family behind several of the contradictory
+//! studies the paper reconciles (`[Gall82]` and `[Lin83]` compared locking to
+//! basic timestamp ordering with opposite conclusions). Every transaction
+//! attempt carries a unique timestamp (its start time, with the transaction
+//! id as tie-break); operations must execute in timestamp order per object:
+//!
+//! * **read(X, ts)** — rejected if a transaction with a *larger* timestamp
+//!   already committed a write to `X` (the read arrived too late). If an
+//!   *uncommitted* prewrite with a smaller timestamp is pending, the read
+//!   must **wait** for that writer's fate (the version it should observe
+//!   does not exist yet). Otherwise it is granted and raises the read
+//!   timestamp.
+//! * **prewrite(X, ts)** — rejected if a read or committed write with a
+//!   larger timestamp exists (the write arrived too late). Otherwise it is
+//!   buffered (deferred updates).
+//! * **commit** — applies the buffered writes. A write whose timestamp is
+//!   below the object's committed-write timestamp is *skipped*: the Thomas
+//!   write rule (the newer version logically overwrites it anyway).
+//! * **abort** — drops the pending prewrites, waking any waiting readers.
+//!
+//! Readers wait only for *smaller*-timestamp writers and writers never
+//! wait, so waits-for chains strictly decrease in timestamp: basic T/O is
+//! deadlock-free by construction.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::HashMap;
+
+use ccsim_des::SimTime;
+use ccsim_workload::{ObjId, TxnId};
+
+/// A transaction timestamp: attempt start time, transaction id as
+/// tie-break. Totally ordered and unique per attempt.
+pub type Ts = (SimTime, TxnId);
+
+/// Outcome of a read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read may proceed.
+    Granted,
+    /// A smaller-timestamp prewrite is pending; the reader must wait for
+    /// that writer to commit or abort, then retry the read.
+    Wait,
+    /// The read arrived too late (a larger-timestamp write committed);
+    /// restart with a fresh timestamp.
+    Reject,
+}
+
+/// Outcome of a prewrite request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The prewrite is buffered.
+    Granted,
+    /// The write arrived too late (a larger-timestamp read or committed
+    /// write exists); restart with a fresh timestamp.
+    Reject,
+}
+
+#[derive(Debug, Default)]
+struct ObjState {
+    /// Largest granted read timestamp.
+    rts: Option<Ts>,
+    /// Largest committed write timestamp.
+    wts: Option<Ts>,
+    /// Uncommitted buffered prewrites.
+    pending: Vec<Ts>,
+    /// Readers waiting for a smaller pending prewrite to resolve.
+    waiting: Vec<TxnId>,
+}
+
+impl ObjState {
+    fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.waiting.is_empty()
+    }
+}
+
+/// The timestamp-ordering manager.
+#[derive(Debug, Default)]
+pub struct TsoManager {
+    objects: HashMap<ObjId, ObjState>,
+    /// Objects each live attempt has prewritten (for commit/abort).
+    prewrites: HashMap<TxnId, Vec<ObjId>>,
+    /// Objects each waiting reader is parked on.
+    parked: HashMap<TxnId, ObjId>,
+    rejects: u64,
+    waits: u64,
+}
+
+impl TsoManager {
+    /// An empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        TsoManager::default()
+    }
+
+    /// Request a read of `obj` at timestamp `ts` for `txn`.
+    ///
+    /// A [`ReadOutcome::Wait`] parks the reader; it is returned by the
+    /// wake-up lists of [`TsoManager::commit`] / [`TsoManager::abort`] and
+    /// must then re-issue the read.
+    pub fn read(&mut self, txn: TxnId, obj: ObjId, ts: Ts) -> ReadOutcome {
+        let state = self.objects.entry(obj).or_default();
+        if state.wts.is_some_and(|w| w > ts) {
+            self.rejects += 1;
+            return ReadOutcome::Reject;
+        }
+        // The reader's own prewrites cannot exist (reads precede writes in
+        // the transaction program), but be robust anyway.
+        if state
+            .pending
+            .iter()
+            .any(|&(at, t)| (at, t) < ts && t != txn)
+        {
+            state.waiting.push(txn);
+            self.parked.insert(txn, obj);
+            self.waits += 1;
+            return ReadOutcome::Wait;
+        }
+        if state.rts.is_none_or(|r| r < ts) {
+            state.rts = Some(ts);
+        }
+        ReadOutcome::Granted
+    }
+
+    /// Request a prewrite of `obj` at timestamp `ts` for `txn`.
+    pub fn prewrite(&mut self, txn: TxnId, obj: ObjId, ts: Ts) -> WriteOutcome {
+        let state = self.objects.entry(obj).or_default();
+        if state.rts.is_some_and(|r| r > ts) || state.wts.is_some_and(|w| w > ts) {
+            self.rejects += 1;
+            return WriteOutcome::Reject;
+        }
+        state.pending.push(ts);
+        self.prewrites.entry(txn).or_default().push(obj);
+        WriteOutcome::Granted
+    }
+
+    /// Commit `txn` at timestamp `ts`: apply its buffered writes (Thomas
+    /// write rule skips stale ones) and wake readers that were parked on
+    /// them. Returns `(woken_readers, applied_writes)` — applied writes are
+    /// the objects whose committed version this transaction now owns.
+    pub fn commit(&mut self, txn: TxnId, ts: Ts) -> (Vec<TxnId>, Vec<ObjId>) {
+        let objs = self.prewrites.remove(&txn).unwrap_or_default();
+        let mut woken = Vec::new();
+        let mut applied = Vec::new();
+        for obj in objs {
+            let state = self.objects.get_mut(&obj).expect("prewritten object exists");
+            state.pending.retain(|&p| p != ts);
+            if state.wts.is_none_or(|w| w < ts) {
+                state.wts = Some(ts);
+                applied.push(obj);
+            }
+            // All waiting readers get a wake-up; they re-run their read
+            // check and may wait again on another pending prewrite.
+            for reader in state.waiting.drain(..) {
+                self.parked.remove(&reader);
+                woken.push(reader);
+            }
+            if state.is_quiescent() && state.rts.is_none() && state.wts.is_none() {
+                self.objects.remove(&obj);
+            }
+        }
+        (woken, applied)
+    }
+
+    /// Abort `txn`'s attempt with timestamp `ts`: drop its prewrites and
+    /// cancel its parked read (if any). Returns the readers to wake.
+    pub fn abort(&mut self, txn: TxnId, ts: Ts) -> Vec<TxnId> {
+        let mut woken = Vec::new();
+        if let Some(obj) = self.parked.remove(&txn) {
+            if let Some(state) = self.objects.get_mut(&obj) {
+                state.waiting.retain(|&t| t != txn);
+            }
+        }
+        for obj in self.prewrites.remove(&txn).unwrap_or_default() {
+            let Some(state) = self.objects.get_mut(&obj) else {
+                continue;
+            };
+            state.pending.retain(|&p| p != ts);
+            for reader in state.waiting.drain(..) {
+                self.parked.remove(&reader);
+                woken.push(reader);
+            }
+        }
+        woken
+    }
+
+    /// The object a transaction is parked on, if any.
+    #[must_use]
+    pub fn parked_on(&self, txn: TxnId) -> Option<ObjId> {
+        self.parked.get(&txn).copied()
+    }
+
+    /// Lifetime counters: `(rejects, waits)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.rejects, self.waits)
+    }
+
+    /// Verify internal invariants (test aid).
+    ///
+    /// # Panics
+    /// Panics if the cross-indexes disagree with the object table.
+    pub fn assert_consistent(&self) {
+        for (txn, obj) in &self.parked {
+            assert!(
+                self.objects
+                    .get(obj)
+                    .is_some_and(|s| s.waiting.contains(txn)),
+                "{txn} parked on {obj} but not in its waiting list"
+            );
+        }
+        for (txn, objs) in &self.prewrites {
+            for obj in objs {
+                assert!(
+                    self.objects
+                        .get(obj)
+                        .is_some_and(|s| s.pending.iter().any(|&(_, t)| t == *txn)),
+                    "{txn} prewrite on {obj} missing from pending set"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64, id: u64) -> Ts {
+        (SimTime::from_secs(s), TxnId(id))
+    }
+    fn o(v: u64) -> ObjId {
+        ObjId(v)
+    }
+    fn t(v: u64) -> TxnId {
+        TxnId(v)
+    }
+
+    #[test]
+    fn reads_and_writes_in_timestamp_order_flow_through() {
+        let mut m = TsoManager::new();
+        assert_eq!(m.read(t(1), o(1), ts(1, 1)), ReadOutcome::Granted);
+        assert_eq!(m.prewrite(t(2), o(1), ts(2, 2)), WriteOutcome::Granted);
+        let (woken, applied) = m.commit(t(2), ts(2, 2));
+        assert!(woken.is_empty());
+        assert_eq!(applied, vec![o(1)]);
+        assert_eq!(m.read(t(3), o(1), ts(3, 3)), ReadOutcome::Granted);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn late_read_is_rejected() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(2), o(1), ts(5, 2));
+        m.commit(t(2), ts(5, 2));
+        assert_eq!(m.read(t(1), o(1), ts(3, 1)), ReadOutcome::Reject);
+        assert_eq!(m.counters().0, 1);
+    }
+
+    #[test]
+    fn late_write_is_rejected_by_read_timestamp() {
+        let mut m = TsoManager::new();
+        m.read(t(9), o(1), ts(9, 9));
+        assert_eq!(m.prewrite(t(1), o(1), ts(3, 1)), WriteOutcome::Reject);
+    }
+
+    #[test]
+    fn late_write_is_rejected_by_committed_write() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(9), o(1), ts(9, 9));
+        m.commit(t(9), ts(9, 9));
+        assert_eq!(m.prewrite(t(1), o(1), ts(3, 1)), WriteOutcome::Reject);
+    }
+
+    #[test]
+    fn reader_waits_for_smaller_pending_prewrite() {
+        let mut m = TsoManager::new();
+        assert_eq!(m.prewrite(t(1), o(1), ts(1, 1)), WriteOutcome::Granted);
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Wait);
+        assert_eq!(m.parked_on(t(5)), Some(o(1)));
+        m.assert_consistent();
+        // The writer commits: the reader wakes and its retry is granted.
+        let (woken, _) = m.commit(t(1), ts(1, 1));
+        assert_eq!(woken, vec![t(5)]);
+        assert_eq!(m.parked_on(t(5)), None);
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Granted);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn reader_does_not_wait_for_larger_pending_prewrite() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(9), o(1), ts(9, 9));
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Granted);
+    }
+
+    #[test]
+    fn aborting_writer_wakes_waiting_reader() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(1), o(1), ts(1, 1));
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Wait);
+        let woken = m.abort(t(1), ts(1, 1));
+        assert_eq!(woken, vec![t(5)]);
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Granted);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn thomas_write_rule_skips_stale_commit() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(1), o(1), ts(1, 1));
+        m.prewrite(t(2), o(1), ts(2, 2));
+        // The younger write commits first...
+        let (_, applied) = m.commit(t(2), ts(2, 2));
+        assert_eq!(applied, vec![o(1)]);
+        // ...so the older one is skipped at its commit.
+        let (_, applied) = m.commit(t(1), ts(1, 1));
+        assert!(applied.is_empty(), "stale write must be skipped");
+        // And readers between the two timestamps now reject.
+        assert_eq!(m.read(t(9), o(1), (SimTime::from_millis(1500), t(9))), ReadOutcome::Reject);
+    }
+
+    #[test]
+    fn aborted_attempt_cancels_parked_read() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(1), o(1), ts(1, 1));
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Wait);
+        // The *reader* aborts (e.g. wounded elsewhere): its parking is
+        // cancelled, and the writer's later commit wakes nobody.
+        let woken = m.abort(t(5), ts(5, 5));
+        assert!(woken.is_empty());
+        let (woken, _) = m.commit(t(1), ts(1, 1));
+        assert!(woken.is_empty());
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(1), o(1), ts(1, 1));
+        assert_eq!(m.read(t(5), o(1), ts(5, 5)), ReadOutcome::Wait);
+        assert_eq!(m.read(t(6), o(1), ts(6, 6)), ReadOutcome::Wait);
+        let (mut woken, _) = m.commit(t(1), ts(1, 1));
+        woken.sort();
+        assert_eq!(woken, vec![t(5), t(6)]);
+    }
+
+    #[test]
+    fn rts_advances_monotonically() {
+        let mut m = TsoManager::new();
+        m.read(t(5), o(1), ts(5, 5));
+        m.read(t(3), o(1), ts(3, 3)); // smaller read is fine
+        // A write between 3 and 5 must still reject (rts = 5).
+        assert_eq!(m.prewrite(t(4), o(1), ts(4, 4)), WriteOutcome::Reject);
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut m = TsoManager::new();
+        m.prewrite(t(1), o(1), ts(5, 1));
+        m.commit(t(1), ts(5, 1));
+        m.read(t(2), o(1), ts(1, 2)); // reject
+        m.prewrite(t(3), o(2), ts(1, 3));
+        m.read(t(4), o(2), ts(9, 4)); // wait
+        assert_eq!(m.counters(), (1, 1));
+    }
+}

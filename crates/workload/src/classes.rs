@@ -1,0 +1,143 @@
+//! Multi-class workloads (extension).
+//!
+//! The paper's workload is a single transaction class; its successors (and
+//! the studies it reconciles) repeatedly found that *transaction-size
+//! variance* matters enormously — large transactions starve under
+//! restart-oriented concurrency control because their long lifetimes make
+//! them perpetual validation/conflict victims. A [`TxnClass`] describes one
+//! population of transactions; [`Params::extra_classes`] adds classes
+//! beyond the Table-1 primary one, each drawn with probability
+//! proportional to its weight.
+
+use crate::params::{ParamError, Params};
+
+/// One transaction class: a relative frequency plus its own size range and
+/// write probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxnClass {
+    /// Relative frequency weight (> 0; normalized across all classes).
+    pub weight: f64,
+    /// Smallest readset size of this class.
+    pub min_size: u64,
+    /// Largest readset size of this class.
+    pub max_size: u64,
+    /// Probability a read is also written, for this class.
+    pub write_prob: f64,
+}
+
+impl TxnClass {
+    /// Validate the class against the database size.
+    ///
+    /// # Errors
+    /// Returns [`ParamError`] on out-of-domain fields.
+    pub fn validate(&self, db_size: u64) -> Result<(), ParamError> {
+        if !(self.weight > 0.0 && self.weight.is_finite()) {
+            return Err(ParamError(format!(
+                "class weight ({}) must be positive and finite",
+                self.weight
+            )));
+        }
+        if self.min_size == 0 {
+            return Err(ParamError("class min_size must be positive".into()));
+        }
+        if self.min_size > self.max_size {
+            return Err(ParamError(format!(
+                "class min_size ({}) exceeds max_size ({})",
+                self.min_size, self.max_size
+            )));
+        }
+        if self.max_size > db_size {
+            return Err(ParamError(format!(
+                "class max_size ({}) exceeds db_size ({db_size})",
+                self.max_size
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.write_prob) {
+            return Err(ParamError(format!(
+                "class write_prob ({}) must lie in [0, 1]",
+                self.write_prob
+            )));
+        }
+        Ok(())
+    }
+
+    /// Mean readset size of the class.
+    #[must_use]
+    pub fn mean_size(&self) -> f64 {
+        (self.min_size + self.max_size) as f64 / 2.0
+    }
+}
+
+/// The class table of a parameter set: class 0 is the primary (Table 1)
+/// class, followed by `extra_classes` in order.
+#[must_use]
+pub fn class_table(params: &Params) -> Vec<TxnClass> {
+    let mut classes = vec![TxnClass {
+        weight: params.primary_weight,
+        min_size: params.min_size,
+        max_size: params.max_size,
+        write_prob: params.write_prob,
+    }];
+    classes.extend(params.extra_classes.iter().copied());
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let ok = TxnClass {
+            weight: 1.0,
+            min_size: 2,
+            max_size: 5,
+            write_prob: 0.5,
+        };
+        assert!(ok.validate(100).is_ok());
+        assert!(TxnClass { weight: 0.0, ..ok }.validate(100).is_err());
+        assert!(TxnClass {
+            weight: f64::NAN,
+            ..ok
+        }
+        .validate(100)
+        .is_err());
+        assert!(TxnClass { min_size: 0, ..ok }.validate(100).is_err());
+        assert!(TxnClass {
+            min_size: 9,
+            max_size: 5,
+            ..ok
+        }
+        .validate(100)
+        .is_err());
+        assert!(TxnClass {
+            max_size: 200,
+            ..ok
+        }
+        .validate(100)
+        .is_err());
+        assert!(TxnClass {
+            write_prob: 1.5,
+            ..ok
+        }
+        .validate(100)
+        .is_err());
+    }
+
+    #[test]
+    fn class_table_starts_with_primary() {
+        let mut p = Params::paper_baseline();
+        p.extra_classes.push(TxnClass {
+            weight: 0.1,
+            min_size: 40,
+            max_size: 60,
+            write_prob: 0.25,
+        });
+        let table = class_table(&p);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].min_size, 4);
+        assert_eq!(table[0].max_size, 12);
+        assert_eq!(table[1].min_size, 40);
+        assert!((table[1].mean_size() - 50.0).abs() < 1e-12);
+    }
+}

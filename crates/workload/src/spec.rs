@@ -1,0 +1,148 @@
+//! Transaction specifications.
+//!
+//! A transaction is modeled by the objects it reads and the subset of those
+//! it also writes (paper §3): `tran_size` objects drawn without replacement,
+//! each written with probability `write_prob`. All reads happen before any
+//! writes, and updates are deferred to commit time.
+
+use crate::types::ObjId;
+
+/// The immutable "program" of one transaction: its readset (in access order)
+/// and which of those reads are upgraded to writes.
+///
+/// A restarted transaction re-executes the *same* spec (the simulator keeps
+/// backup copies of read and write sets — paper footnote 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    reads: Vec<ObjId>,
+    writes: Vec<bool>,
+}
+
+impl TxnSpec {
+    /// Build a spec from a readset and a parallel write-flag vector.
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different lengths, the readset is
+    /// empty, or the readset contains duplicates.
+    #[must_use]
+    pub fn new(reads: Vec<ObjId>, writes: Vec<bool>) -> Self {
+        assert_eq!(
+            reads.len(),
+            writes.len(),
+            "readset and write flags must be parallel"
+        );
+        assert!(!reads.is_empty(), "transactions access at least one object");
+        debug_assert!(
+            {
+                let mut sorted = reads.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "readset must not contain duplicates"
+        );
+        TxnSpec { reads, writes }
+    }
+
+    /// A read-only spec over the given objects.
+    #[must_use]
+    pub fn read_only(reads: Vec<ObjId>) -> Self {
+        let n = reads.len();
+        TxnSpec::new(reads, vec![false; n])
+    }
+
+    /// Number of objects read.
+    #[must_use]
+    pub fn num_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of objects written.
+    #[must_use]
+    pub fn num_writes(&self) -> usize {
+        self.writes.iter().filter(|&&w| w).count()
+    }
+
+    /// The readset in access order.
+    #[must_use]
+    pub fn reads(&self) -> &[ObjId] {
+        &self.reads
+    }
+
+    /// The `i`-th object read.
+    #[must_use]
+    pub fn read_at(&self, i: usize) -> ObjId {
+        self.reads[i]
+    }
+
+    /// Whether the `i`-th object read is also written.
+    #[must_use]
+    pub fn writes_at(&self, i: usize) -> bool {
+        self.writes[i]
+    }
+
+    /// The written objects, in the order they are written (which follows the
+    /// read order, as the model performs all reads before any writes).
+    pub fn write_objs(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.reads
+            .iter()
+            .zip(self.writes.iter())
+            .filter_map(|(&o, &w)| if w { Some(o) } else { None })
+    }
+
+    /// True if the transaction performs no writes.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.num_writes() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: u64) -> ObjId {
+        ObjId(v)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = TxnSpec::new(
+            vec![obj(3), obj(1), obj(7)],
+            vec![true, false, true],
+        );
+        assert_eq!(s.num_reads(), 3);
+        assert_eq!(s.num_writes(), 2);
+        assert_eq!(s.read_at(1), obj(1));
+        assert!(s.writes_at(0));
+        assert!(!s.writes_at(1));
+        assert_eq!(s.write_objs().collect::<Vec<_>>(), vec![obj(3), obj(7)]);
+        assert!(!s.is_read_only());
+    }
+
+    #[test]
+    fn read_only_constructor() {
+        let s = TxnSpec::read_only(vec![obj(1), obj(2)]);
+        assert!(s.is_read_only());
+        assert_eq!(s.num_writes(), 0);
+        assert_eq!(s.reads(), &[obj(1), obj(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let _ = TxnSpec::new(vec![obj(1)], vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_readset_panics() {
+        let _ = TxnSpec::new(vec![], vec![]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicates")]
+    fn duplicate_reads_panic_in_debug() {
+        let _ = TxnSpec::new(vec![obj(1), obj(1)], vec![false, false]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Identifier types shared across the model.
+
+use std::fmt;
+
+/// A database object (the paper equates objects with pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u64);
+
+/// A transaction. Identifiers are unique across the whole run (a restarted
+/// transaction keeps its id; a *new* transaction from the same terminal gets
+/// a fresh one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// A terminal (the source of transactions; `num_terms` of them exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "term{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjId(3).to_string(), "obj3");
+        assert_eq!(TxnId(9).to_string(), "txn9");
+        assert_eq!(TermId(1).to_string(), "term1");
+    }
+
+    #[test]
+    fn ordering_and_hashing_work() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ObjId(1));
+        s.insert(ObjId(1));
+        assert_eq!(s.len(), 1);
+        assert!(TxnId(1) < TxnId(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! Access skew: the paper's uniform workload vs. an 80/20 hotspot.
+//!
+//! The paper's database is uniformly accessed; real databases are not. This
+//! example applies the classic "80% of accesses to 20% of the pages" rule
+//! and shows that skew moves every curve left: conflicts at a given mpl
+//! look like the uniform workload at several times that mpl, and blocking's
+//! thrashing knee arrives much earlier.
+//!
+//! ```text
+//! cargo run --release --example hotspot_skew
+//! ```
+
+use ccsim_core::{run, AccessPattern, CcAlgorithm, MetricsConfig, Params, SimConfig};
+
+fn main() {
+    println!("blocking algorithm, 1 CPU / 2 disks; uniform vs 80/20 hotspot\n");
+    println!(
+        "{:>5} {:>16} {:>12} {:>16} {:>12}",
+        "mpl", "uniform tps", "blk/cmt", "hotspot tps", "blk/cmt"
+    );
+    for mpl in [5, 10, 25, 50, 100] {
+        let uniform = run(SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(mpl))
+            .with_metrics(MetricsConfig::quick()))
+        .expect("valid configuration");
+        let mut params = Params::paper_baseline().with_mpl(mpl);
+        params.access = AccessPattern::Hotspot {
+            data_frac: 0.2,
+            access_frac: 0.8,
+        };
+        let hotspot = run(SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(params)
+            .with_metrics(MetricsConfig::quick()))
+        .expect("valid configuration");
+        println!(
+            "{:>5} {:>10.2} ±{:<4.2} {:>12.2} {:>10.2} ±{:<4.2} {:>12.2}",
+            mpl,
+            uniform.throughput.mean,
+            uniform.throughput.half_width,
+            uniform.block_ratio,
+            hotspot.throughput.mean,
+            hotspot.throughput.half_width,
+            hotspot.block_ratio,
+        );
+    }
+    println!(
+        "\nAn 80/20 skew concentrates conflicts on a fifth of the database:\n\
+         the effective contention at mpl m resembles the uniform workload at\n\
+         roughly 3-4x that multiprogramming level."
+    );
+}

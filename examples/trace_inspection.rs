@@ -1,0 +1,67 @@
+//! Structured tracing: follow individual transactions through the model.
+//!
+//! Runs a short, highly contended simulation with tracing enabled, then
+//! prints (a) the full lifecycle of the transaction that restarted the most
+//! and (b) the deadlock victims picked by the blocking algorithm.
+//!
+//! ```text
+//! cargo run --release --example trace_inspection
+//! ```
+
+use std::collections::HashMap;
+
+use ccsim_core::{
+    run_with_trace, CcAlgorithm, Confidence, MetricsConfig, Params, SimConfig, TraceEvent, TxnId,
+};
+use ccsim_des::SimDuration;
+
+fn main() {
+    let mut params = Params::paper_baseline().with_mpl(15);
+    params.db_size = 60; // hot database: plenty of conflicts in a short run
+    params.write_prob = 0.6;
+    let cfg = SimConfig::new(CcAlgorithm::Blocking)
+        .with_params(params)
+        .with_metrics(MetricsConfig {
+            warmup_batches: 0,
+            batches: 1,
+            batch_time: SimDuration::from_secs(20),
+            confidence: Confidence::Ninety,
+        })
+        .with_seed(0x7ACE);
+    let (report, trace) = run_with_trace(cfg, 100_000).expect("valid configuration");
+
+    println!(
+        "20 simulated seconds: {} commits, {} blocks, {} restarts, {} deadlocks\n",
+        report.commits, report.blocks, report.restarts, report.deadlocks
+    );
+
+    // Who restarted the most?
+    let mut restarts: HashMap<TxnId, u32> = HashMap::new();
+    for (_, e) in trace.events() {
+        if let TraceEvent::Restart(t) = e {
+            *restarts.entry(*t).or_default() += 1;
+        }
+    }
+    if let Some((&victim, &n)) = restarts.iter().max_by_key(|&(_, n)| n) {
+        println!("Most-restarted transaction: {victim} ({n} restarts). Lifecycle:");
+        for (at, e) in trace.for_txn(victim) {
+            println!("  [{at}] {e}");
+        }
+    }
+
+    println!("\nDeadlocks resolved:");
+    let mut shown = 0;
+    for (at, e) in trace.events() {
+        if let TraceEvent::Deadlock { detector, victim } = e {
+            println!("  [{at}] cycle detected via {detector}; restarted {victim}");
+            shown += 1;
+            if shown >= 5 {
+                println!("  ... ({} total)", report.deadlocks);
+                break;
+            }
+        }
+    }
+    if shown == 0 {
+        println!("  (none in this run)");
+    }
+}

@@ -1,0 +1,98 @@
+//! Cross-crate reproducibility: identical configurations with identical
+//! seeds must replay bit-for-bit through the whole stack, including the
+//! experiment harness and its JSON serialization.
+
+use ccsim_core::{run, CcAlgorithm, Confidence, MetricsConfig, Params, SimConfig};
+use ccsim_des::SimDuration;
+use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RunOptions};
+
+fn quick() -> MetricsConfig {
+    MetricsConfig {
+        warmup_batches: 1,
+        batches: 4,
+        batch_time: SimDuration::from_secs(25),
+        confidence: Confidence::Ninety,
+    }
+}
+
+#[test]
+fn simulation_reports_replay_exactly() {
+    for algo in CcAlgorithm::ALL {
+        let mk = || {
+            SimConfig::new(algo)
+                .with_params(Params::paper_baseline().with_mpl(30))
+                .with_metrics(quick())
+                .with_seed(0xD5EED)
+        };
+        let a = run(mk()).unwrap();
+        let b = run(mk()).unwrap();
+        assert_eq!(a, b, "{algo} replay diverged");
+    }
+}
+
+#[test]
+fn experiment_results_and_json_replay_exactly() {
+    let mut spec = catalog::exp3();
+    spec.mpls = vec![10];
+    let opts = RunOptions {
+        fidelity: Fidelity::Quick,
+        base_seed: 99,
+        threads: 1,
+    };
+    let a = run_experiment(&spec, &opts);
+    let b = run_experiment(&spec, &opts);
+    assert_eq!(json::to_json(&a), json::to_json(&b));
+}
+
+#[test]
+fn seed_changes_results() {
+    let mk = |seed| {
+        SimConfig::new(CcAlgorithm::Optimistic)
+            .with_params(Params::paper_baseline().with_mpl(30))
+            .with_metrics(quick())
+            .with_seed(seed)
+    };
+    let a = run(mk(1)).unwrap();
+    let b = run(mk(2)).unwrap();
+    assert_ne!(a, b, "different seeds should explore different sample paths");
+    // ... but estimate the same system: throughputs within a loose factor.
+    let ratio = a.throughput.mean / b.throughput.mean;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "seeds disagree wildly: {} vs {}",
+        a.throughput.mean,
+        b.throughput.mean
+    );
+}
+
+#[test]
+fn batch_count_extends_rather_than_perturbs() {
+    // Running more batches keeps the same sample path for the early ones:
+    // the throughput estimate should move only modestly.
+    let mk = |batches| {
+        SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(25))
+            .with_metrics(MetricsConfig {
+                warmup_batches: 1,
+                batches,
+                batch_time: SimDuration::from_secs(30),
+                confidence: Confidence::Ninety,
+            })
+            .with_seed(7)
+    };
+    let short = run(mk(4)).unwrap();
+    let long = run(mk(8)).unwrap();
+    assert_eq!(short.throughput_per_batch.len(), 4);
+    assert_eq!(long.throughput_per_batch.len(), 8);
+    for (i, (a, b)) in short
+        .throughput_per_batch
+        .iter()
+        .zip(long.throughput_per_batch.iter())
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "batch {i} diverged between run lengths: {a} vs {b}"
+        );
+    }
+}
