@@ -89,6 +89,13 @@ pub struct SimConfig {
     /// Master random seed; identical configs with identical seeds replay
     /// bit-for-bit.
     pub seed: u64,
+    /// Optional separate seed for the *workload* streams (arrivals, think
+    /// times, access patterns, disk selection). When set, two configs that
+    /// share a `workload_seed` see the same transaction mix regardless of
+    /// `seed` — the common-random-numbers pairing used for sharp
+    /// algorithm-vs-algorithm comparisons. When `None`, every stream
+    /// derives from `seed` exactly as before.
+    pub workload_seed: Option<u64>,
     /// Record every committed transaction's footprint for offline
     /// serializability checking (see `ccsim-history`). Off by default —
     /// long runs accumulate large histories.
@@ -109,6 +116,7 @@ impl SimConfig {
             victim: VictimPolicy::Youngest,
             restart_delay_for_all: false,
             seed: 0x5EED_CC85,
+            workload_seed: None,
             record_history: false,
             trace_capacity: 0,
             metrics: MetricsConfig::paper(),
@@ -133,6 +141,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Builder-style workload-seed replacement (common random numbers).
+    #[must_use]
+    pub fn with_workload_seed(mut self, workload_seed: u64) -> Self {
+        self.workload_seed = Some(workload_seed);
         self
     }
 

@@ -138,6 +138,12 @@ impl Simulator {
     /// Returns [`ParamError`] if the configuration fails validation.
     pub fn new(cfg: SimConfig) -> Result<Self, ParamError> {
         cfg.validate()?;
+        // Workload-facing streams (arrivals, think times, access patterns,
+        // disk selection) come from `workload_seed` when set, so paired
+        // runs of different algorithms can share one transaction mix
+        // (common random numbers); control-side streams (restart delays)
+        // always come from `seed`.
+        let workload_streams = RngStreams::new(cfg.workload_seed.unwrap_or(cfg.seed));
         let streams = RngStreams::new(cfg.seed);
         let params = &cfg.params;
         let (cpus, disks, ncpu, ndisk) = match params.resources {
@@ -152,13 +158,13 @@ impl Simulator {
                 num_disks,
             ),
         };
-        let generator = Generator::new(params, streams.stream(streams::WORKLOAD));
+        let generator = Generator::new(params, workload_streams.stream(streams::WORKLOAD));
         let metrics = Metrics::new(cfg.metrics, ncpu, ndisk, generator.num_classes());
         Ok(Simulator {
             generator,
-            think_rng: streams.stream(streams::EXT_THINK),
+            think_rng: workload_streams.stream(streams::EXT_THINK),
             delay_rng: streams.stream(streams::DELAYS),
-            disk_rng: streams.stream(streams::DISKS),
+            disk_rng: workload_streams.stream(streams::DISKS),
             ext_think: Exponential::new(params.ext_think_time),
             int_think: Exponential::new(params.int_think_time),
             lockmgr: LockManager::new(),

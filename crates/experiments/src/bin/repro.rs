@@ -7,6 +7,9 @@
 //! flags:
 //!   --quick         smoke fidelity (short batches) instead of paper fidelity
 //!   --seed <u64>    base seed (default 0x0C551985)
+//!   --reps <n>      independent replications per point (default 1); means
+//!                   and 90% CIs are then taken across replications, with
+//!                   common random numbers pairing the algorithms
 //!   --threads <n>   worker threads (default: all cores)
 //!   --out <dir>     also write <dir>/<id>.json and <dir>/<id>.txt
 //!   --md <path>     write a combined markdown results appendix
@@ -45,6 +48,15 @@ fn parse_args() -> Result<Cli, String> {
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+            }
+            "--reps" => {
+                let v = args.next().ok_or("--reps needs a value")?;
+                opts.replications = v
+                    .parse()
+                    .map_err(|e| format!("bad replication count {v:?}: {e}"))?;
+                if opts.replications == 0 {
+                    return Err("--reps must be at least 1".to_string());
+                }
             }
             "--out" => {
                 let v = args.next().ok_or("--out needs a directory")?;
@@ -100,8 +112,12 @@ fn main() {
                 match found {
                     Some(s) => specs.push(s),
                     None => {
-                        eprintln!("error: no experiment or figure matches {other:?} (try `repro list`)");
-                        std::process::exit(2);
+                        let group = catalog::by_id_prefix(other);
+                        if group.is_empty() {
+                            eprintln!("error: no experiment or figure matches {other:?} (try `repro list`)");
+                            std::process::exit(2);
+                        }
+                        specs.extend(group);
                     }
                 }
             }
@@ -121,9 +137,10 @@ fn main() {
     for spec in &specs {
         let started = Instant::now();
         eprintln!(
-            ">> {} ({} runs, {:?} fidelity)...",
+            ">> {} ({} runs x {} rep(s), {:?} fidelity)...",
             spec.id,
             spec.num_runs(),
+            cli.opts.replications.max(1),
             cli.opts.fidelity
         );
         let result = run_experiment(spec, &cli.opts);

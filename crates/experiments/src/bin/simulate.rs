@@ -18,6 +18,9 @@
 //!   --infinite              infinite resources
 //!   --ext-think <secs> --int-think <secs>
 //!   --seed <u64>            master seed
+//!   --reps <n>              independent replications (default 1); prints
+//!                           per-replication throughput and the Student-t
+//!                           interval across replication means
 //!   --batches <n> --batch-secs <n> --warmup <n>
 //!   --check-serializable    record the history and run the checker
 //! ```
@@ -26,7 +29,9 @@ use ccsim_core::{
     check_conflict_serializable, run, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
     Params, Report, ResourceSpec, SimConfig,
 };
-use ccsim_des::SimDuration;
+use ccsim_des::{derive_seed, SimDuration};
+use ccsim_experiments::aggregate_reports;
+use ccsim_stats::Replications;
 
 fn algo_by_name(name: &str) -> Option<CcAlgorithm> {
     CcAlgorithm::ALL
@@ -38,6 +43,7 @@ fn algo_by_name(name: &str) -> Option<CcAlgorithm> {
 struct Cli {
     cfg: SimConfig,
     check_serializable: bool,
+    reps: u32,
 }
 
 fn parse() -> Result<Cli, String> {
@@ -45,6 +51,7 @@ fn parse() -> Result<Cli, String> {
     let mut params = Params::paper_baseline();
     let mut metrics = MetricsConfig::paper();
     let mut seed = 0xCC85_u64;
+    let mut reps = 1_u32;
     let mut check_serializable = false;
     let mut cpus: Option<u32> = None;
     let mut disks: Option<u32> = None;
@@ -80,6 +87,12 @@ fn parse() -> Result<Cli, String> {
                     SimDuration::from_secs_f64(parse_num(&next_val(&mut args, "--int-think")?)?);
             }
             "--seed" => seed = parse_num(&next_val(&mut args, "--seed")?)?,
+            "--reps" => {
+                reps = parse_num(&next_val(&mut args, "--reps")?)?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".to_string());
+                }
+            }
             "--batches" => metrics.batches = parse_num(&next_val(&mut args, "--batches")?)?,
             "--warmup" => {
                 metrics.warmup_batches = parse_num(&next_val(&mut args, "--warmup")?)?;
@@ -106,9 +119,13 @@ fn parse() -> Result<Cli, String> {
         .with_metrics(metrics)
         .with_seed(seed);
     cfg.validate().map_err(|e| e.to_string())?;
+    if check_serializable && reps > 1 {
+        return Err("--check-serializable works on a single run; use --reps 1".to_string());
+    }
     Ok(Cli {
         cfg,
         check_serializable,
+        reps,
     })
 }
 
@@ -213,6 +230,37 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    } else if cli.reps > 1 {
+        // Replication r's seeds derive from the master seed and r alone, so
+        // the sequence is reproducible and extending --reps only appends
+        // runs. The workload/control split matches the experiment runner's.
+        let replicates: Vec<Report> = (0..cli.reps)
+            .map(|r| {
+                let cfg = cli
+                    .cfg
+                    .clone()
+                    .with_seed(derive_seed(cli.cfg.seed, &[2, u64::from(r)]))
+                    .with_workload_seed(derive_seed(cli.cfg.seed, &[1, u64::from(r)]));
+                run(cfg).expect("configuration was validated")
+            })
+            .collect();
+        let agg = aggregate_reports(&replicates, cli.cfg.metrics.confidence);
+        print_report(&cli.cfg, &agg);
+        println!();
+        println!("replications");
+        let mut est = Replications::new(cli.cfg.metrics.confidence);
+        for (i, r) in replicates.iter().enumerate() {
+            println!(
+                "  rep {:<3} throughput {:.3} ± {:.3} tps (batch means)",
+                i, r.throughput.mean, r.throughput.half_width
+            );
+            est.push(r.throughput.mean);
+        }
+        let e = est.estimate();
+        println!(
+            "  across {} replications: {:.3} ± {:.3} tps (Student-t over replication means)",
+            cli.reps, e.mean, e.half_width
+        );
     } else {
         let report = run(cli.cfg.clone()).expect("configuration was validated");
         print_report(&cli.cfg, &report);

@@ -400,6 +400,21 @@ pub fn by_id(id: &str) -> Option<ExperimentSpec> {
     all().into_iter().find(|e| e.id == id)
 }
 
+/// All experiments whose id starts with `prefix` followed by `-` (or
+/// matches exactly) — so `"exp1"` selects both `exp1-inf` and `exp1-1x2`.
+#[must_use]
+pub fn by_id_prefix(prefix: &str) -> Vec<ExperimentSpec> {
+    all()
+        .into_iter()
+        .filter(|e| {
+            e.id == prefix
+                || (e.id.len() > prefix.len()
+                    && e.id.starts_with(prefix)
+                    && e.id.as_bytes()[prefix.len()] == b'-')
+        })
+        .collect()
+}
+
 /// Find the experiment that regenerates a given paper figure (e.g.
 /// `"fig5"`, `"Figure 5"`, `"5"`).
 #[must_use]
@@ -456,6 +471,17 @@ mod tests {
         assert_eq!(by_figure("21").unwrap().id, "exp5-10s");
         assert!(by_figure("fig99").is_none());
         assert!(by_figure("nodigits").is_none());
+    }
+
+    #[test]
+    fn lookup_by_id_prefix() {
+        let ids: Vec<&str> = by_id_prefix("exp1").iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec!["exp1-inf", "exp1-1x2"]);
+        // Exact ids resolve to themselves; a bare prefix never matches a
+        // longer word without the dash separator.
+        assert_eq!(by_id_prefix("exp2").len(), 1);
+        assert!(by_id_prefix("exp").is_empty());
+        assert!(by_id_prefix("nope").is_empty());
     }
 
     #[test]

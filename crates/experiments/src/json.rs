@@ -68,6 +68,17 @@ fn point_json(p: &DataPoint, out: &mut String) {
         ",\"commits\":{},\"blocks\":{},\"restarts\":{},\"deadlocks\":{}",
         r.commits, r.blocks, r.restarts, r.deadlocks
     );
+    if p.replicates.len() > 1 {
+        let _ = write!(out, ",\"replications\":{}", p.replicates.len());
+        out.push_str(",\"rep_throughputs\":[");
+        for (i, rep) in p.replicates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            number(rep.throughput.mean, out);
+        }
+        out.push(']');
+    }
     if r.class_reports.len() > 1 {
         out.push_str(",\"classes\":[");
         for (i, c) in r.class_reports.iter().enumerate() {
@@ -138,10 +149,10 @@ mod tests {
                     kind: FigureKind::Throughput,
                 }],
             },
-            points: vec![DataPoint {
-                series: "blocking".into(),
-                mpl: 5,
-                report: Report {
+            points: vec![DataPoint::single(
+                "blocking".into(),
+                5,
+                Report {
                     throughput: Estimate {
                         mean: 1.5,
                         half_width: 0.25,
@@ -179,8 +190,23 @@ mod tests {
                     restarts: 2,
                     deadlocks: 1,
                 },
-            }],
+            )],
         }
+    }
+
+    #[test]
+    fn replicated_points_emit_rep_throughputs() {
+        let mut r = tiny_result();
+        let single = r.points[0].report.clone();
+        let mut second = single.clone();
+        second.throughput.mean = 2.5;
+        r.points[0].replicates = vec![single, second];
+        let j = to_json(&r);
+        assert!(j.contains("\"replications\":2"));
+        assert!(j.contains("\"rep_throughputs\":[1.5,2.5]"));
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Single-replication points stay free of replication keys.
+        assert!(!to_json(&tiny_result()).contains("\"replications\""));
     }
 
     #[test]

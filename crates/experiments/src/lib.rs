@@ -23,8 +23,10 @@ pub mod checks;
 pub mod json;
 pub mod md;
 pub mod report;
+mod replicate;
 mod runner;
 mod spec;
 
+pub use replicate::aggregate_reports;
 pub use runner::{run_experiment, Fidelity, RunOptions};
 pub use spec::{DataPoint, ExperimentResult, ExperimentSpec, FigureKind, FigureView, Series};

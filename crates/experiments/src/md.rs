@@ -70,6 +70,13 @@ fn md_view(result: &ExperimentResult, view: &FigureView, out: &mut String) {
 pub fn experiment_to_markdown(result: &ExperimentResult, checks: &[CheckOutcome]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## {} (`{}`)\n", result.spec.title, result.spec.id);
+    let reps = result.replications();
+    if reps > 1 {
+        let _ = writeln!(
+            out,
+            "_{reps} independent replications per point; ± is the Student-t interval across replication means (common random numbers pair the series)._\n"
+        );
+    }
     for view in &result.spec.views {
         md_view(result, view, &mut out);
     }
@@ -116,7 +123,7 @@ mod tests {
             &RunOptions {
                 fidelity: Fidelity::Quick,
                 base_seed: 3,
-                threads: 0,
+                ..RunOptions::default()
             },
         )
     }

@@ -134,6 +134,13 @@ fn point<'a>(
 pub fn render_experiment(result: &ExperimentResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {} ({})\n", result.spec.title, result.spec.id);
+    let reps = result.replications();
+    if reps > 1 {
+        let _ = writeln!(
+            out,
+            "{reps} replications per point; ± is the Student-t interval across replication means.\n"
+        );
+    }
     for view in &result.spec.views {
         out.push_str(&render_view(result, view));
         out.push('\n');
@@ -199,7 +206,7 @@ mod tests {
             &RunOptions {
                 fidelity: Fidelity::Quick,
                 base_seed: 7,
-                threads: 0,
+                ..RunOptions::default()
             },
         )
     }

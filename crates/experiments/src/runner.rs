@@ -1,12 +1,23 @@
-//! Runs an experiment's `(series × mpl)` grid, in parallel across OS
-//! threads. Each point is an independent simulation, so parallelism is
-//! embarrassing; results are deterministic because every point derives its
-//! seed from the experiment's base seed and its grid coordinates, not from
+//! Runs an experiment's `(series × mpl × replication)` grid, in parallel
+//! across OS threads. Each run is an independent simulation, so parallelism
+//! is embarrassing; results are deterministic because every run derives its
+//! seeds from the experiment's base seed and its grid coordinates, not from
 //! scheduling order.
+//!
+//! Seeding implements **common random numbers**: a run's *workload* seed is
+//! derived from `(mpl, replication)` only — never the series — so at a
+//! given point the same replication index drives every algorithm with the
+//! same arrival, think-time, and access-pattern streams. The *control*
+//! seed (restart delays) does include the series, keeping the algorithms'
+//! internal randomness independent. Paired comparisons across series then
+//! cancel the shared workload noise (see
+//! [`ExperimentResult::paired_throughput_t`]).
 
-use ccsim_core::{run as run_sim, MetricsConfig};
+use ccsim_core::{run as run_sim, MetricsConfig, Report};
+use ccsim_des::derive_seed;
 use crossbeam::channel;
 
+use crate::replicate::aggregate_reports;
 use crate::spec::{DataPoint, ExperimentResult, ExperimentSpec};
 
 /// Fidelity of a sweep.
@@ -40,6 +51,10 @@ pub struct RunOptions {
     pub base_seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Independent replications per `(series, mpl)` point (0 is treated
+    /// as 1). Replication `i` reuses one workload stream across all
+    /// series — common random numbers.
+    pub replications: u32,
 }
 
 impl Default for RunOptions {
@@ -48,26 +63,49 @@ impl Default for RunOptions {
             fidelity: Fidelity::Paper,
             base_seed: 0x0C55_1985,
             threads: 0,
+            replications: 1,
         }
     }
 }
 
-/// Deterministic per-point seed: mix the base seed with grid coordinates.
-fn point_seed(base: u64, series_ix: usize, mpl: u32) -> u64 {
-    base ^ (series_ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ u64::from(mpl).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+/// Domain tags keeping the workload and control seed families disjoint.
+const WORKLOAD_DOMAIN: u64 = 1;
+const CONTROL_DOMAIN: u64 = 2;
+
+/// Workload-stream seed for one run. Deliberately independent of the
+/// series: all algorithms at `(mpl, rep)` see the same transaction mix.
+fn workload_seed(base: u64, mpl: u32, rep: u32) -> u64 {
+    derive_seed(base, &[WORKLOAD_DOMAIN, u64::from(mpl), u64::from(rep)])
 }
 
-/// Run every point of `spec` and collect the results (ordered by series,
-/// then mpl, regardless of completion order).
+/// Control-stream seed for one run (restart delays etc.); series-specific.
+fn control_seed(base: u64, series_ix: usize, mpl: u32, rep: u32) -> u64 {
+    derive_seed(
+        base,
+        &[
+            CONTROL_DOMAIN,
+            series_ix as u64 + 1,
+            u64::from(mpl),
+            u64::from(rep),
+        ],
+    )
+}
+
+/// Run every replication of every point of `spec` and collect the results
+/// (ordered by series, then mpl, regardless of completion order).
 #[must_use]
 pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentResult {
     let metrics = opts.fidelity.metrics();
-    let jobs: Vec<(usize, u32)> = spec
+    let reps = opts.replications.max(1);
+    let jobs: Vec<(usize, u32, u32)> = spec
         .series
         .iter()
         .enumerate()
-        .flat_map(|(si, _)| spec.mpls.iter().map(move |&mpl| (si, mpl)))
+        .flat_map(|(si, _)| {
+            spec.mpls
+                .iter()
+                .flat_map(move |&mpl| (0..reps).map(move |rep| (si, mpl, rep)))
+        })
         .collect();
 
     let threads = if opts.threads == 0 {
@@ -77,8 +115,8 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     }
     .min(jobs.len().max(1));
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, u32)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, DataPoint)>();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, u32, u32)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, u32, Report)>();
     for job in &jobs {
         job_tx.send(*job).expect("queueing jobs");
     }
@@ -90,17 +128,13 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             let res_tx = res_tx.clone();
             let spec_ref = &*spec;
             s.spawn(move |_| {
-                while let Ok((si, mpl)) = job_rx.recv() {
+                while let Ok((si, mpl, rep)) = job_rx.recv() {
                     let series = &spec_ref.series[si];
-                    let seed = point_seed(opts.base_seed, si, mpl);
-                    let cfg = spec_ref.config(series, mpl, metrics, seed);
+                    let cfg = spec_ref
+                        .config(series, mpl, metrics, control_seed(opts.base_seed, si, mpl, rep))
+                        .with_workload_seed(workload_seed(opts.base_seed, mpl, rep));
                     let report = run_sim(cfg).expect("catalog configs validate");
-                    let point = DataPoint {
-                        series: series.label.clone(),
-                        mpl,
-                        report,
-                    };
-                    res_tx.send((si, mpl, point)).expect("collecting results");
+                    res_tx.send((si, mpl, rep, report)).expect("collecting results");
                 }
             });
         }
@@ -108,11 +142,24 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     })
     .expect("worker panicked");
 
-    let mut collected: Vec<(usize, u32, DataPoint)> = res_rx.iter().collect();
-    collected.sort_by_key(|(si, mpl, _)| (*si, *mpl));
+    let mut collected: Vec<(usize, u32, u32, Report)> = res_rx.iter().collect();
+    collected.sort_by_key(|(si, mpl, rep, _)| (*si, *mpl, *rep));
+    let points = collected
+        .chunk_by(|a, b| a.0 == b.0 && a.1 == b.1)
+        .map(|chunk| {
+            let (si, mpl, _, _) = chunk[0];
+            let replicates: Vec<Report> = chunk.iter().map(|(_, _, _, r)| r.clone()).collect();
+            DataPoint {
+                series: spec.series[si].label.clone(),
+                mpl,
+                report: aggregate_reports(&replicates, metrics.confidence),
+                replicates,
+            }
+        })
+        .collect();
     ExperimentResult {
         spec: spec.clone(),
-        points: collected.into_iter().map(|(_, _, p)| p).collect(),
+        points,
     }
 }
 
@@ -126,6 +173,7 @@ mod tests {
             fidelity: Fidelity::Quick,
             base_seed: 42,
             threads: 0,
+            replications: 1,
         }
     }
 
@@ -156,6 +204,8 @@ mod tests {
         assert_eq!(result.points[1].mpl, 25);
         for p in &result.points {
             assert!(p.report.commits > 0, "{}@{} ran nothing", p.series, p.mpl);
+            assert_eq!(p.replicates.len(), 1);
+            assert_eq!(p.replicates[0], p.report);
         }
     }
 
@@ -178,14 +228,46 @@ mod tests {
     }
 
     #[test]
-    fn point_seeds_differ_across_grid() {
-        let a = point_seed(1, 0, 5);
-        let b = point_seed(1, 0, 10);
-        let c = point_seed(1, 1, 5);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        assert_ne!(b, c);
-        assert_eq!(a, point_seed(1, 0, 5));
+    fn replications_aggregate_per_point() {
+        let mut spec = tiny_spec();
+        spec.mpls = vec![5];
+        let result = run_experiment(
+            &spec,
+            &RunOptions {
+                replications: 2,
+                ..tiny_opts()
+            },
+        );
+        assert_eq!(result.points.len(), 3);
+        assert_eq!(result.replications(), 2);
+        for p in &result.points {
+            assert_eq!(p.replicates.len(), 2);
+            assert_ne!(
+                p.replicates[0], p.replicates[1],
+                "{}@{}: replications should differ",
+                p.series, p.mpl
+            );
+            let mean =
+                (p.replicates[0].throughput.mean + p.replicates[1].throughput.mean) / 2.0;
+            assert!((p.report.throughput.mean - mean).abs() < 1e-12);
+            assert_eq!(
+                p.report.commits,
+                p.replicates[0].commits + p.replicates[1].commits
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        // Workload seeds ignore the series (common random numbers)...
+        assert_eq!(workload_seed(1, 5, 0), workload_seed(1, 5, 0));
+        assert_ne!(workload_seed(1, 5, 0), workload_seed(1, 5, 1));
+        assert_ne!(workload_seed(1, 5, 0), workload_seed(1, 10, 0));
+        // ...while control seeds are series-specific and never collide
+        // with workload seeds.
+        assert_ne!(control_seed(1, 0, 5, 0), control_seed(1, 1, 5, 0));
+        assert_ne!(control_seed(1, 0, 5, 0), control_seed(1, 0, 5, 1));
+        assert_ne!(control_seed(1, 0, 5, 0), workload_seed(1, 5, 0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! regenerate.
 
 use ccsim_core::{CcAlgorithm, MetricsConfig, Params, Report, SimConfig, VictimPolicy};
+use ccsim_stats::{paired_t, Confidence, PairedT};
 
 /// Which observable a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,8 +106,32 @@ pub struct DataPoint {
     pub series: String,
     /// Multiprogramming level.
     pub mpl: u32,
-    /// The full simulation report.
+    /// The aggregate report. With one replication this is that run's
+    /// report verbatim; with several, scalar metrics are averaged across
+    /// replications and `report.throughput` carries the cross-replication
+    /// mean with its Student-t half-width.
     pub report: Report,
+    /// Per-replication reports, in replication order (always at least one).
+    pub replicates: Vec<Report>,
+}
+
+impl DataPoint {
+    /// A point measured by a single run (the aggregate *is* the run).
+    #[must_use]
+    pub fn single(series: String, mpl: u32, report: Report) -> Self {
+        DataPoint {
+            series,
+            mpl,
+            replicates: vec![report.clone()],
+            report,
+        }
+    }
+
+    /// Number of replications behind this point.
+    #[must_use]
+    pub fn replication_count(&self) -> usize {
+        self.replicates.len().max(1)
+    }
 }
 
 /// All measured points of one experiment.
@@ -145,6 +170,40 @@ impl ExperimentResult {
             .iter()
             .find(|p| p.series == label && p.mpl == mpl)
             .map(|p| p.report.throughput.mean)
+    }
+
+    /// Replications behind this result (the maximum over its points; 1 for
+    /// single-run sweeps).
+    #[must_use]
+    pub fn replications(&self) -> usize {
+        self.points
+            .iter()
+            .map(DataPoint::replication_count)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Per-replication mean throughputs of a series at one mpl, in
+    /// replication order.
+    #[must_use]
+    pub fn rep_throughputs(&self, label: &str, mpl: u32) -> Option<Vec<f64>> {
+        self.points
+            .iter()
+            .find(|p| p.series == label && p.mpl == mpl)
+            .map(|p| p.replicates.iter().map(|r| r.throughput.mean).collect())
+    }
+
+    /// Paired Student-t comparison of two series at one mpl, pairing
+    /// per-replication throughputs. Because the runner gives the same
+    /// replication index the same workload stream in every series (common
+    /// random numbers), the pairing cancels shared workload noise. `None`
+    /// when either point is missing or there are fewer than two
+    /// replications.
+    #[must_use]
+    pub fn paired_throughput_t(&self, a: &str, b: &str, mpl: u32) -> Option<PairedT> {
+        let xa = self.rep_throughputs(a, mpl)?;
+        let xb = self.rep_throughputs(b, mpl)?;
+        paired_t(&xa, &xb, Confidence::Ninety)
     }
 }
 

@@ -13,13 +13,16 @@
 //! * [`TimeWeighted`] — time-weighted averages of step signals (e.g. the
 //!   *actual* multiprogramming level the paper discusses in §4.3);
 //! * [`RunningAvg`] / [`Ewma`] — the adaptive restart-delay estimators;
-//! * [`LogHistogram`] — log-bucketed latency histogram with quantiles.
+//! * [`LogHistogram`] — log-bucketed latency histogram with quantiles;
+//! * [`Replications`] / [`paired_t`] — independent-replication intervals and
+//!   paired comparisons under common random numbers.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 mod batch;
 mod histogram;
+mod replication;
 mod running;
 mod timeweighted;
 mod ttable;
@@ -27,6 +30,7 @@ mod welford;
 
 pub use batch::{BatchMeans, Confidence, Estimate};
 pub use histogram::LogHistogram;
+pub use replication::{paired_t, PairedT, Replications};
 pub use running::{Ewma, RunningAvg};
 pub use timeweighted::TimeWeighted;
 pub use ttable::{t_quantile_90, t_quantile_95};

@@ -38,6 +38,7 @@ fn experiment_results_and_json_replay_exactly() {
         fidelity: Fidelity::Quick,
         base_seed: 99,
         threads: 1,
+        replications: 1,
     };
     let a = run_experiment(&spec, &opts);
     let b = run_experiment(&spec, &opts);

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal wall-clock benchmark harness with the API slice its benches
+//! use: `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `measurement_time`, `throughput`), `bench_function` with
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Reporting is intentionally simple: mean wall-clock time per iteration
+//! (and derived element throughput when configured), printed to stdout.
+//! There is no statistical regression analysis, HTML output, or warmup
+//! model beyond one untimed calibration pass.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::ZERO,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the untimed warm-up budget run before sampling begins.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark: calibrate, then time samples until the sample
+    /// budget or the measurement-time budget is exhausted.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed calibration pass, then warm up until the budget is
+        // spent.
+        f(&mut bencher);
+        let calibration = bencher.per_iter();
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+        }
+
+        let budget_start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut samples = 0usize;
+        while samples < self.sample_size && budget_start.elapsed() < self.measurement_time {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iters;
+            samples += 1;
+        }
+        let per_iter = if iters == 0 {
+            calibration
+        } else {
+            total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX)
+        };
+        let mut line = format!(
+            "{}/{id}: {per_iter:?}/iter over {samples} samples",
+            self.name
+        );
+        if let Some(tp) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        line += &format!(" ({:.0} elem/s)", n as f64 / secs);
+                    }
+                    Throughput::Bytes(n) => {
+                        line += &format!(" ({:.0} B/s)", n as f64 / secs);
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (parity with criterion; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (accumulating across calls).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Define a group-running function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut runs = 0;
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        g.finish();
+        assert!(runs >= 4, "calibration + samples should run the routine");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors the thin slice of crossbeam it actually uses:
+//!
+//! * [`scope`] — scoped threads, implemented over [`std::thread::scope`]
+//!   (stable since Rust 1.63) with crossbeam's `Result`-returning signature;
+//! * [`channel::unbounded`] — a multi-producer multi-consumer FIFO channel
+//!   built on `Mutex` + `Condvar`.
+//!
+//! Semantics match crossbeam for the operations the workspace exercises:
+//! cloneable senders and receivers, `recv` blocking until a message arrives
+//! or every sender is dropped, and `scope` returning `Err` with the panic
+//! payload if any spawned thread panicked.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::{scope, Scope};

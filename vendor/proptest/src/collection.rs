@@ -1,0 +1,55 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span as u64) as usize
+            };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A vector of values from `elem`, with length in `size` (half-open).
+#[must_use]
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec-length range");
+    VecStrategy { elem, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::deterministic(4, 4);
+        let s = vec(0u32..50, 2..9);
+        let mut min_len = usize::MAX;
+        let mut max_len = 0;
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            min_len = min_len.min(v.len());
+            max_len = max_len.max(v.len());
+            assert!(v.iter().all(|&x| x < 50));
+        }
+        assert_eq!(min_len, 2);
+        assert_eq!(max_len, 8);
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest its test suites use: the [`Strategy`] abstraction
+//! (ranges, tuples, `Just`, `any`, `prop_map`, `prop_oneof!`,
+//! `collection::vec`), the [`proptest!`] test macro with
+//! `ProptestConfig::with_cases`, and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`) and
+//!   the deterministic case number instead of a minimized counterexample.
+//! * **Deterministic by construction.** Case `k` of test `t` always draws
+//!   from the same stream, seeded by FNV-1a of the test's module path and
+//!   name mixed with `k`, so failures reproduce without a persistence file.
+//!
+//! [`Strategy`]: strategy::Strategy
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // (in a test module this would also carry `#[test]`)
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+#![warn(clippy::all)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// FNV-1a over a string: a stable, dependency-free hash for per-test seeds.
+#[doc(hidden)]
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that runs the body over `cases` generated inputs.
+///
+/// An optional leading `#![proptest_config(...)]` sets the configuration
+/// for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let test_seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(test_seed, u64::from(case));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs before the body runs: the body may consume
+                // (move out of) the generated values.
+                let rendered_inputs = format!("{:#?}", ($(&$arg,)+));
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest case {case}/{} failed: {err}\ninputs: {rendered_inputs}",
+                        config.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (with
+/// optional formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
