@@ -18,7 +18,9 @@ impl AnalyticModel {
     /// Panics if the parameters fail validation.
     #[must_use]
     pub fn new(params: Params) -> Self {
-        params.validate().expect("AnalyticModel requires valid parameters");
+        params
+            .validate()
+            .expect("AnalyticModel requires valid parameters");
         AnalyticModel { params }
     }
 
@@ -47,8 +49,8 @@ impl AnalyticModel {
             return None;
         };
         let (cpu_v, io_v) = self.visits();
-        let think = self.params.ext_think_time.as_secs_f64()
-            + self.params.int_think_time.as_secs_f64();
+        let think =
+            self.params.ext_think_time.as_secs_f64() + self.params.int_think_time.as_secs_f64();
         Some(vec![
             Station::delay(think, 1.0),
             Station::queueing(self.params.obj_cpu.as_secs_f64(), cpu_v, num_cpus),
@@ -72,10 +74,7 @@ impl AnalyticModel {
     #[must_use]
     pub fn mva_saturated(&self, n: u32) -> Option<MvaSolution> {
         self.stations().map(|stations| {
-            let no_think: Vec<Station> = stations
-                .into_iter()
-                .filter(|s| s.servers > 0)
-                .collect();
+            let no_think: Vec<Station> = stations.into_iter().filter(|s| s.servers > 0).collect();
             solve(&no_think, n)
         })
     }
@@ -142,9 +141,7 @@ mod tests {
 
     #[test]
     fn infinite_resources_have_no_bottleneck() {
-        let m = AnalyticModel::new(
-            Params::paper_baseline().with_resources(ResourceSpec::Infinite),
-        );
+        let m = AnalyticModel::new(Params::paper_baseline().with_resources(ResourceSpec::Infinite));
         assert!(m.bottleneck_bound().is_infinite());
         assert!((m.infinite_resource_throughput() - 200.0 / 1.5).abs() < 1e-9);
         assert!(m.mva(10).is_none());

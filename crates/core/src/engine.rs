@@ -15,20 +15,22 @@
 use std::collections::VecDeque;
 
 use ccsim_des::{
-    sample_exponential, Calendar, Exponential, RngStreams, SimDuration, SimTime,
-    Xoshiro256StarStar,
+    sample_exponential, Calendar, Exponential, RngStreams, SimDuration, SimTime, Xoshiro256StarStar,
 };
-use ccsim_lockmgr::{Grant, LockManager, LockMode, RequestOutcome};
 use ccsim_history::{CommittedTxn, History};
+use ccsim_lockmgr::{Grant, LockManager, LockMode, RequestOutcome};
 use ccsim_occ::Validator;
-use ccsim_tso::{ReadOutcome as TsoRead, TsoManager, WriteOutcome as TsoWrite};
 use ccsim_resources::{DiskArray, Priority, Request, ServerPool};
 use ccsim_stats::RunningAvg;
-use ccsim_workload::{Generator, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TxnId};
+use ccsim_tso::{ReadOutcome as TsoRead, TsoManager, WriteOutcome as TsoWrite};
+use ccsim_workload::{
+    Generator, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TxnId,
+};
 
 use crate::algorithm::{CcAlgorithm, VictimPolicy};
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
+use crate::sink::{CenterFlow, EventSink, FlowStats};
 use crate::trace::{Trace, TraceEvent};
 use crate::txn::{Step, Txn, TxnState};
 
@@ -123,6 +125,15 @@ pub struct Simulator {
     resp_avg: RunningAvg,
     history: Option<History>,
     trace: Option<Trace>,
+    /// Additional observers of the event stream (see [`EventSink`]).
+    sinks: Vec<Box<dyn EventSink>>,
+    /// The instant of the event being handled (the run's end time once the
+    /// loop finishes).
+    now: SimTime,
+    /// Test hook: when set, the next commit skips its lock release — an
+    /// injected conservation violation that an auditor must catch.
+    #[cfg(feature = "test-hooks")]
+    leak_next_commit: bool,
     next_serial: u64,
     /// Transactions to dispatch before the next calendar event: `(terminal,
     /// epoch)`. Deferring dispatches through this queue instead of recursing
@@ -181,6 +192,10 @@ impl Simulator {
             resp_avg: RunningAvg::new(params.expected_service_time()),
             history: cfg.record_history.then(History::new),
             trace: (cfg.trace_capacity > 0).then(|| Trace::with_capacity(cfg.trace_capacity)),
+            sinks: Vec::new(),
+            now: SimTime::ZERO,
+            #[cfg(feature = "test-hooks")]
+            leak_next_commit: false,
             next_serial: 0,
             work: VecDeque::new(),
             metrics,
@@ -189,16 +204,87 @@ impl Simulator {
         })
     }
 
+    /// Register an additional observer of the engine's event stream. Sinks
+    /// see every emitted event (warmup included) in simulation order and
+    /// receive the final report plus flow statistics when the run ends.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The configuration this simulator was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Test hook (`test-hooks` feature): make the next commit *leak* its
+    /// locks — the release step is skipped and no `LocksReleased` event is
+    /// emitted. This deliberately breaks lock conservation so tests can
+    /// verify an attached auditor catches it.
+    #[cfg(feature = "test-hooks")]
+    pub fn inject_lock_leak(&mut self) {
+        self.leak_next_commit = true;
+    }
+
+    #[cfg(feature = "test-hooks")]
+    fn take_lock_leak(&mut self) -> bool {
+        std::mem::take(&mut self.leak_next_commit)
+    }
+
+    #[cfg(not(feature = "test-hooks"))]
+    fn take_lock_leak(&mut self) -> bool {
+        false
+    }
+
     /// Run the full simulation and return the report.
     pub fn run_to_completion(mut self) -> Report {
+        self.run_loop();
+        self.finish()
+    }
+
+    fn run_loop(&mut self) {
         self.prime();
         while !self.done {
             let Some((now, ev)) = self.cal.pop() else {
                 break;
             };
+            self.now = now;
             self.handle(now, ev);
         }
-        self.metrics.report()
+    }
+
+    /// Close out a finished run: compute the report and flow statistics and
+    /// notify every sink.
+    fn finish(&mut self) -> Report {
+        let report = self.metrics.report();
+        let now = self.now;
+        let flow = self.flow_stats(now);
+        for sink in &mut self.sinks {
+            sink.on_run_end(now, &report, &flow);
+        }
+        report
+    }
+
+    fn flow_stats(&self, now: SimTime) -> FlowStats {
+        FlowStats {
+            horizon_us: now.since(SimTime::ZERO).as_micros(),
+            cpu: self.cpus.as_ref().map(|p| CenterFlow {
+                servers: p.num_servers(),
+                busy_us: p.busy_micros(now),
+                served: p.served(),
+                queue_integral_us: p.queue_integral_us(now),
+                total_wait_us: p.total_wait_us(),
+                pending_wait_us: p.pending_wait_us(now),
+            }),
+            disk: self.disks.as_ref().map(|d| CenterFlow {
+                servers: d.num_disks(),
+                busy_us: d.busy_micros(now),
+                served: d.served(),
+                queue_integral_us: d.queue_integral_us(now),
+                total_wait_us: d.total_wait_us(),
+                pending_wait_us: d.pending_wait_us(now),
+            }),
+        }
     }
 
     fn prime(&mut self) {
@@ -206,10 +292,8 @@ impl Simulator {
             let at = SimTime::ZERO + self.ext_think.sample(&mut self.think_rng);
             self.cal.schedule(at, Event::Arrive(term));
         }
-        self.cal.schedule(
-            SimTime::ZERO + self.cfg.metrics.batch_time,
-            Event::BatchEnd,
-        );
+        self.cal
+            .schedule(SimTime::ZERO + self.cfg.metrics.batch_time, Event::BatchEnd);
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -442,7 +526,11 @@ impl Simulator {
             match txn.step() {
                 Step::PreclaimLock(k) => {
                     let (obj, write) = txn.lock_plan[k];
-                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    let mode = if write {
+                        LockMode::Write
+                    } else {
+                        LockMode::Read
+                    };
                     match self.cc_request(term, obj, mode, now) {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
@@ -456,7 +544,10 @@ impl Simulator {
                     }
                 }
                 Step::LockWrite(j) => {
-                    let obj = self.txns[term].as_ref().unwrap().write_objs[j];
+                    let obj = self.txns[term]
+                        .as_ref()
+                        .expect("terminal has no active transaction")
+                        .write_objs[j];
                     match self.cc_request(term, obj, LockMode::Write, now) {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
@@ -479,7 +570,9 @@ impl Simulator {
                 }
                 Step::IntThink => {
                     let d = self.int_think.sample(&mut self.delay_rng);
-                    let txn = self.txns[term].as_mut().unwrap();
+                    let txn = self.txns[term]
+                        .as_mut()
+                        .expect("terminal has no active transaction");
                     if d.is_zero() {
                         txn.advance();
                         continue;
@@ -514,7 +607,9 @@ impl Simulator {
         if cc_cpu.is_zero() {
             return false;
         }
-        let txn = self.txns[term].as_ref().unwrap();
+        let txn = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction");
         if txn.cc_charged {
             return false;
         }
@@ -550,11 +645,14 @@ impl Simulator {
     }
 
     fn cc_blocking(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
                 txn.advance();
+                self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
             RequestOutcome::Queued => {
@@ -577,11 +675,14 @@ impl Simulator {
         now: SimTime,
         cause: AbortCause,
     ) -> CcAction {
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         match self.lockmgr.try_request(tid, obj, mode) {
             RequestOutcome::Granted => {
                 txn.advance();
+                self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
             RequestOutcome::Denied => {
@@ -594,7 +695,9 @@ impl Simulator {
 
     /// Wait-die: on conflict, an older requester waits; a younger one dies.
     fn cc_wait_die(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term].as_ref().unwrap();
+        let txn = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         let my_ts = (txn.arrival, tid);
         let blockers = self.lockmgr.blockers(tid, obj, mode);
@@ -605,10 +708,13 @@ impl Simulator {
             self.abort_and_restart(term, AbortCause::Died, now);
             return CcAction::Suspend;
         }
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
                 txn.advance();
+                self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
             RequestOutcome::Queued => {
@@ -626,7 +732,9 @@ impl Simulator {
     /// holders; a younger requester waits. Holders past their commit point
     /// are spared (wounding them gains nothing).
     fn cc_wound_wait(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term].as_ref().unwrap();
+        let txn = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         let my_ts = (txn.arrival, tid);
         // Wound younger blockers one at a time, re-reading the blocker set
@@ -654,13 +762,16 @@ impl Simulator {
         // A wound cascade can come full circle: releasing a victim's locks
         // dispatches waiters, one of which may be older than *us* and wound
         // us in turn. If that happened, our attempt is over.
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         if txn.id != tid || txn.state != TxnState::Running {
             return CcAction::Suspend;
         }
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
                 txn.advance();
+                self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
             RequestOutcome::Queued => {
@@ -678,7 +789,9 @@ impl Simulator {
     /// order; late operations restart with a fresh timestamp; readers wait
     /// out pending smaller-timestamp prewrites.
     fn cc_tso(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         let ts = (txn.attempt_start, tid);
         match mode {
@@ -700,6 +813,7 @@ impl Simulator {
                     CcAction::Suspend
                 }
                 TsoRead::Reject => {
+                    self.emit(now, TraceEvent::TsRejected(tid, obj));
                     self.abort_and_restart(term, AbortCause::TsRejected, now);
                     CcAction::Suspend
                 }
@@ -710,6 +824,7 @@ impl Simulator {
                     CcAction::Proceed
                 }
                 TsoWrite::Reject => {
+                    self.emit(now, TraceEvent::TsRejected(tid, obj));
                     self.abort_and_restart(term, AbortCause::TsRejected, now);
                     CcAction::Suspend
                 }
@@ -721,7 +836,6 @@ impl Simulator {
     /// the read is *re-checked* (not advanced past): the reader may wait
     /// again on another pending prewrite, be granted, or reject.
     fn process_tso_wakeups(&mut self, woken: Vec<TxnId>, now: SimTime) {
-        let _ = now;
         for w in woken {
             let term = self.term_of(w);
             let Some(txn) = self.txns[term].as_mut() else {
@@ -731,6 +845,15 @@ impl Simulator {
                 continue;
             }
             txn.state = TxnState::Running;
+            // A TSO wait only ever happens on a read step; report which
+            // object the reader resumes on. The re-check may block again.
+            let obj = match txn.step() {
+                Step::LockRead(i) => Some(txn.spec.read_at(i)),
+                _ => None,
+            };
+            if let Some(obj) = obj {
+                self.emit(now, TraceEvent::Grant(w, obj, LockMode::Read));
+            }
             self.enqueue_dispatch(term);
         }
     }
@@ -738,11 +861,15 @@ impl Simulator {
     /// The optimistic commit-point test (a no-op for locking algorithms).
     fn validate(&mut self, term: usize, now: SimTime) -> CcAction {
         if self.cfg.algorithm != CcAlgorithm::Optimistic {
-            let txn = self.txns[term].as_mut().unwrap();
+            let txn = self.txns[term]
+                .as_mut()
+                .expect("terminal has no active transaction");
             txn.advance();
             return CcAction::Proceed;
         }
-        let txn = self.txns[term].as_ref().unwrap();
+        let txn = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction");
         let tid = txn.id;
         let start = txn.attempt_start;
         let outcome = self.validator.validate(start, txn.spec.reads());
@@ -753,9 +880,15 @@ impl Simulator {
         }
         {
             // Kung–Robinson critical section: stamp writes at validation.
-            let writes: Vec<ObjId> = self.txns[term].as_ref().unwrap().write_objs.clone();
+            let writes: Vec<ObjId> = self.txns[term]
+                .as_ref()
+                .expect("terminal has no active transaction")
+                .write_objs
+                .clone();
             self.validator.commit(now, writes);
-            let txn = self.txns[term].as_mut().unwrap();
+            let txn = self.txns[term]
+                .as_mut()
+                .expect("terminal has no active transaction");
             txn.publish_at = Some(now);
             txn.advance();
             CcAction::Proceed
@@ -766,7 +899,9 @@ impl Simulator {
     /// longer blocked or no cycle remains.
     fn resolve_deadlocks(&mut self, term: usize, now: SimTime) {
         loop {
-            let txn = self.txns[term].as_ref().unwrap();
+            let txn = self.txns[term]
+                .as_ref()
+                .expect("terminal has no active transaction");
             if txn.state != TxnState::Blocked {
                 return;
             }
@@ -775,7 +910,10 @@ impl Simulator {
             };
             let victim = self.choose_victim(&cycle);
             let victim_term = self.term_of(victim);
-            let detector = self.txns[term].as_ref().unwrap().id;
+            let detector = self.txns[term]
+                .as_ref()
+                .expect("terminal has no active transaction")
+                .id;
             self.emit(now, TraceEvent::Deadlock { detector, victim });
             self.abort_and_restart(victim_term, AbortCause::Deadlock, now);
         }
@@ -810,7 +948,8 @@ impl Simulator {
         txn.bump_epoch();
         let tid = txn.id;
         let class = txn.class;
-        self.metrics.on_restart(class, cause == AbortCause::Deadlock);
+        self.metrics
+            .on_restart(class, cause == AbortCause::Deadlock);
         self.emit(now, TraceEvent::Restart(tid));
 
         // Leave the active set.
@@ -819,13 +958,22 @@ impl Simulator {
 
         // Release locks (and any queued request); this may unblock others.
         let grants = if self.cfg.algorithm.uses_locks() {
-            self.lockmgr.release_all(tid)
+            let held = self.lockmgr.locks_held(tid) as u32;
+            let grants = self.lockmgr.release_all(tid);
+            self.emit(now, TraceEvent::LocksReleased(tid, held));
+            grants
         } else {
             Vec::new()
         };
         // Basic T/O: drop prewrites and cancel a parked read; wake readers.
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
-            let ts = (self.txns[term].as_ref().unwrap().attempt_start, tid);
+            let ts = (
+                self.txns[term]
+                    .as_ref()
+                    .expect("terminal has no active transaction")
+                    .attempt_start,
+                tid,
+            );
             self.tso.abort(tid, ts)
         } else {
             Vec::new()
@@ -833,7 +981,9 @@ impl Simulator {
 
         // Requeue per policy.
         let delay = self.restart_delay_for(cause);
-        let txn = self.txns[term].as_mut().unwrap();
+        let txn = self.txns[term]
+            .as_mut()
+            .expect("terminal has no active transaction");
         if delay.is_zero() {
             txn.state = TxnState::Ready;
             self.ready.push_back(term);
@@ -884,7 +1034,11 @@ impl Simulator {
                 AbortCause::Denial | AbortCause::Died | AbortCause::TsRejected
             )
         {
-            let floor_mean = self.cfg.params.obj_io.saturating_add(self.cfg.params.obj_cpu);
+            let floor_mean = self
+                .cfg
+                .params
+                .obj_io
+                .saturating_add(self.cfg.params.obj_cpu);
             delay = sample_exponential(floor_mean, &mut self.delay_rng)
                 .max(SimDuration::from_micros(1));
         }
@@ -915,7 +1069,10 @@ impl Simulator {
             });
         }
 
-        let class = self.txns[term].as_ref().unwrap().class;
+        let class = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction")
+            .class;
         self.emit(now, TraceEvent::Commit(tid));
         self.resp_avg.observe(response);
         self.metrics
@@ -925,13 +1082,23 @@ impl Simulator {
         self.metrics.on_active_change(now, self.active);
 
         // Strict 2PL: locks released after the deferred updates, i.e. here.
-        let grants = if self.cfg.algorithm.uses_locks() {
-            self.lockmgr.release_all(tid)
+        let leak = self.take_lock_leak();
+        let grants = if self.cfg.algorithm.uses_locks() && !leak {
+            let held = self.lockmgr.locks_held(tid) as u32;
+            let grants = self.lockmgr.release_all(tid);
+            self.emit(now, TraceEvent::LocksReleased(tid, held));
+            grants
         } else {
             Vec::new()
         };
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
-            let ts = (self.txns[term].as_ref().unwrap().attempt_start, tid);
+            let ts = (
+                self.txns[term]
+                    .as_ref()
+                    .expect("terminal has no active transaction")
+                    .attempt_start,
+                tid,
+            );
             let (woken, applied) = self.tso.commit(tid, ts);
             // The Thomas write rule may have skipped stale writes: only the
             // applied ones were published (fix the history record).
@@ -972,7 +1139,7 @@ impl Simulator {
             ));
             txn.state = TxnState::Running;
             txn.advance();
-            self.emit(now, TraceEvent::Grant(g.txn, g.obj));
+            self.emit(now, TraceEvent::Grant(g.txn, g.obj, g.mode));
             self.enqueue_dispatch(term);
         }
     }
@@ -982,7 +1149,10 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn submit_cpu(&mut self, term: usize, dur: SimDuration, prio: Priority, now: SimTime) {
-        let epoch = self.txns[term].as_ref().unwrap().epoch;
+        let epoch = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction")
+            .epoch;
         match &mut self.cpus {
             None => {
                 self.inf_cpu_busy_us += dur.as_micros();
@@ -1007,7 +1177,10 @@ impl Simulator {
     fn submit_io(&mut self, term: usize, obj: ObjId, now: SimTime) {
         let _ = obj;
         let dur = self.cfg.params.obj_io;
-        let epoch = self.txns[term].as_ref().unwrap().epoch;
+        let epoch = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction")
+            .epoch;
         match &mut self.disks {
             None => {
                 self.inf_io_busy_us += dur.as_micros();
@@ -1050,6 +1223,9 @@ impl Simulator {
         if let Some(trace) = self.trace.as_mut() {
             trace.push(now, event);
         }
+        for sink in &mut self.sinks {
+            sink.on_event(now, &event);
+        }
     }
 
     fn term_of(&self, tid: TxnId) -> usize {
@@ -1064,7 +1240,9 @@ impl Simulator {
 
     /// Past the commit point (validation) — only deferred updates remain.
     fn is_committing(&self, term: usize) -> bool {
-        let txn = self.txns[term].as_ref().unwrap();
+        let txn = self.txns[term]
+            .as_ref()
+            .expect("terminal has no active transaction");
         matches!(txn.step(), Step::UpdateIo(_) | Step::Commit)
     }
 
@@ -1091,14 +1269,8 @@ pub fn run(cfg: SimConfig) -> Result<Report, ParamError> {
 pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Trace), ParamError> {
     cfg.trace_capacity = capacity.max(1);
     let mut sim = Simulator::new(cfg)?;
-    sim.prime();
-    while !sim.done {
-        let Some((now, ev)) = sim.cal.pop() else {
-            break;
-        };
-        sim.handle(now, ev);
-    }
-    let report = sim.metrics.report();
+    sim.run_loop();
+    let report = sim.finish();
     let trace = sim.trace.take().expect("tracing was enabled");
     Ok((report, trace))
 }
@@ -1111,14 +1283,8 @@ pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Tr
 pub fn run_with_history(mut cfg: SimConfig) -> Result<(Report, History), ParamError> {
     cfg.record_history = true;
     let mut sim = Simulator::new(cfg)?;
-    sim.prime();
-    while !sim.done {
-        let Some((now, ev)) = sim.cal.pop() else {
-            break;
-        };
-        sim.handle(now, ev);
-    }
-    let report = sim.metrics.report();
+    sim.run_loop();
+    let report = sim.finish();
     let history = sim.history.take().expect("history recording was enabled");
     Ok((report, history))
 }
@@ -1202,8 +1368,8 @@ mod tests {
     fn disk_bound_throughput_is_capped_by_disk_capacity() {
         // 1 CPU / 2 disks, avg 350 ms of disk time per transaction:
         // the disks cannot push more than 2 / 0.35 ≈ 5.7 tps.
-        let cfg = quick_cfg(CcAlgorithm::Blocking)
-            .with_params(Params::paper_baseline().with_mpl(25));
+        let cfg =
+            quick_cfg(CcAlgorithm::Blocking).with_params(Params::paper_baseline().with_mpl(25));
         let r = run(cfg).unwrap();
         assert!(
             r.throughput.mean < 5.8,
@@ -1217,11 +1383,17 @@ mod tests {
 
     #[test]
     fn infinite_resources_scale_with_mpl_at_low_conflict() {
-        let lo = run(quick_cfg(CcAlgorithm::Optimistic)
-            .with_params(Params::low_conflict().with_mpl(5).with_resources(ResourceSpec::Infinite)))
+        let lo = run(quick_cfg(CcAlgorithm::Optimistic).with_params(
+            Params::low_conflict()
+                .with_mpl(5)
+                .with_resources(ResourceSpec::Infinite),
+        ))
         .unwrap();
-        let hi = run(quick_cfg(CcAlgorithm::Optimistic)
-            .with_params(Params::low_conflict().with_mpl(50).with_resources(ResourceSpec::Infinite)))
+        let hi = run(quick_cfg(CcAlgorithm::Optimistic).with_params(
+            Params::low_conflict()
+                .with_mpl(50)
+                .with_resources(ResourceSpec::Infinite),
+        ))
         .unwrap();
         assert!(
             hi.throughput.mean > lo.throughput.mean * 2.0,
@@ -1258,7 +1430,11 @@ mod tests {
 
     #[test]
     fn deadlock_prevention_schemes_never_deadlock() {
-        for algo in [CcAlgorithm::WaitDie, CcAlgorithm::WoundWait, CcAlgorithm::NoWaiting] {
+        for algo in [
+            CcAlgorithm::WaitDie,
+            CcAlgorithm::WoundWait,
+            CcAlgorithm::NoWaiting,
+        ] {
             let r = run(quick_cfg(algo)).unwrap();
             assert_eq!(r.deadlocks, 0, "{algo} reported deadlocks");
         }
@@ -1295,9 +1471,8 @@ mod tests {
         params.cc_cpu = SimDuration::from_millis(5);
         let with_charge = run(quick_cfg(CcAlgorithm::Blocking).with_params(params)).unwrap();
         let without =
-            run(quick_cfg(CcAlgorithm::Blocking)
-                .with_params(Params::paper_baseline().with_mpl(5)))
-            .unwrap();
+            run(quick_cfg(CcAlgorithm::Blocking).with_params(Params::paper_baseline().with_mpl(5)))
+                .unwrap();
         assert!(
             with_charge.cpu_util_total.mean > without.cpu_util_total.mean,
             "cc_cpu should raise CPU utilization ({} vs {})",
@@ -1388,8 +1563,9 @@ mod tests {
     fn static_locking_trails_dynamic_at_moderate_contention() {
         // Preclaiming holds every lock for the whole transaction, so at the
         // baseline contention level dynamic 2PL should be at least as good.
-        let dynamic = run(quick_cfg(CcAlgorithm::Blocking)
-            .with_params(Params::paper_baseline().with_mpl(25)))
+        let dynamic = run(
+            quick_cfg(CcAlgorithm::Blocking).with_params(Params::paper_baseline().with_mpl(25))
+        )
         .unwrap();
         let static_ = run(quick_cfg(CcAlgorithm::StaticLocking)
             .with_params(Params::paper_baseline().with_mpl(25)))
@@ -1404,8 +1580,8 @@ mod tests {
 
     #[test]
     fn trace_captures_transaction_lifecycles() {
-        let (report, trace) = super::run_with_trace(quick_cfg(CcAlgorithm::Blocking), 100_000)
-            .expect("valid config");
+        let (report, trace) =
+            super::run_with_trace(quick_cfg(CcAlgorithm::Blocking), 100_000).expect("valid config");
         assert!(!trace.is_empty());
         // Every lifecycle event kind should appear under contention.
         let mut commits = 0u64;
@@ -1437,6 +1613,21 @@ mod tests {
     }
 
     #[test]
+    fn trace_capacity_never_perturbs_results() {
+        // Recording is pure observation: a disabled ring (capacity 0), a
+        // tiny evicting ring, and a lossless one must all report the same
+        // simulation.
+        let mk = |capacity| {
+            let mut cfg = quick_cfg(CcAlgorithm::Blocking);
+            cfg.trace_capacity = capacity;
+            run(cfg).expect("valid config")
+        };
+        let silent = mk(0);
+        assert_eq!(silent, mk(8), "small evicting ring changed the run");
+        assert_eq!(silent, mk(100_000), "lossless ring changed the run");
+    }
+
+    #[test]
     fn basic_to_commits_and_never_deadlocks() {
         let r = run(quick_cfg(CcAlgorithm::BasicTO)).unwrap();
         assert!(r.commits > 100, "{} commits", r.commits);
@@ -1458,19 +1649,23 @@ mod tests {
     #[test]
     fn victim_policies_all_resolve_deadlocks() {
         for victim in VictimPolicy::ALL {
-            let mut cfg = quick_cfg(CcAlgorithm::Blocking)
-                .with_params(Params::paper_baseline().with_mpl(50));
+            let mut cfg =
+                quick_cfg(CcAlgorithm::Blocking).with_params(Params::paper_baseline().with_mpl(50));
             cfg.victim = victim;
             let r = run(cfg).unwrap();
             assert!(r.commits > 100, "{:?}: {} commits", victim, r.commits);
-            assert!(r.deadlocks > 0, "{:?}: expected deadlocks at mpl 50", victim);
+            assert!(
+                r.deadlocks > 0,
+                "{:?}: expected deadlocks at mpl 50",
+                victim
+            );
         }
     }
 
     #[test]
     fn victim_policy_changes_outcomes() {
-        let mut young = quick_cfg(CcAlgorithm::Blocking)
-            .with_params(Params::paper_baseline().with_mpl(75));
+        let mut young =
+            quick_cfg(CcAlgorithm::Blocking).with_params(Params::paper_baseline().with_mpl(75));
         young.victim = VictimPolicy::Youngest;
         let mut old = young.clone();
         old.victim = VictimPolicy::Oldest;
@@ -1487,12 +1682,11 @@ mod tests {
         // A very long fixed delay should depress immediate-restart
         // throughput relative to the adaptive policy (the paper's
         // sensitivity result).
-        let adaptive = run(quick_cfg(CcAlgorithm::ImmediateRestart)
-            .with_params(
-                Params::paper_baseline()
-                    .with_mpl(100)
-                    .with_resources(ResourceSpec::Infinite),
-            ))
+        let adaptive = run(quick_cfg(CcAlgorithm::ImmediateRestart).with_params(
+            Params::paper_baseline()
+                .with_mpl(100)
+                .with_resources(ResourceSpec::Infinite),
+        ))
         .unwrap();
         let long_delay = run(quick_cfg(CcAlgorithm::ImmediateRestart).with_params(
             Params::paper_baseline()
@@ -1525,8 +1719,7 @@ mod tests {
     fn useful_utilization_equals_total_when_no_restarts() {
         // Low conflict + blocking: restarts are rare, so wasted work ~ 0
         // and useful ≈ total.
-        let cfg = quick_cfg(CcAlgorithm::Blocking)
-            .with_params(Params::low_conflict().with_mpl(10));
+        let cfg = quick_cfg(CcAlgorithm::Blocking).with_params(Params::low_conflict().with_mpl(10));
         let r = run(cfg).unwrap();
         assert!(
             (r.disk_util_total.mean - r.disk_util_useful.mean).abs() < 0.02,

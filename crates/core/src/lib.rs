@@ -29,6 +29,7 @@ mod algorithm;
 mod config;
 mod engine;
 mod metrics;
+mod sink;
 mod trace;
 mod txn;
 
@@ -36,11 +37,13 @@ pub use algorithm::{CcAlgorithm, VictimPolicy};
 pub use config::{MetricsConfig, SimConfig};
 pub use engine::{run, run_with_history, run_with_trace, Simulator};
 pub use metrics::{ClassReport, Metrics, Report};
+pub use sink::{CenterFlow, EventSink, FlowStats};
 pub use trace::{Trace, TraceEvent};
 pub use txn::{AttemptUsage, Program, ProgramShape, Step, Txn, TxnState};
 
 // Re-export the vocabulary types callers need to configure runs.
 pub use ccsim_history::{check_conflict_serializable, CommittedTxn, History};
+pub use ccsim_lockmgr::LockMode;
 pub use ccsim_stats::{Confidence, Estimate};
 pub use ccsim_workload::{
     AccessPattern, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TermId, TxnId,

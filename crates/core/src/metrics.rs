@@ -171,8 +171,7 @@ impl Metrics {
             return false;
         }
         let batch_secs = self.cfg.batch_time.as_secs_f64();
-        self.throughput
-            .push(self.batch.commits as f64 / batch_secs);
+        self.throughput.push(self.batch.commits as f64 / batch_secs);
         self.avg_active_batches.add(avg_active);
 
         let cpu_delta = cpu_busy_us.saturating_sub(self.cpu_busy_baseline_us);

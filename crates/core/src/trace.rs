@@ -15,7 +15,15 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use ccsim_des::SimTime;
+use ccsim_lockmgr::LockMode;
 use ccsim_workload::{ObjId, TxnId};
+
+fn mode_str(mode: LockMode) -> &'static str {
+    match mode {
+        LockMode::Read => "read",
+        LockMode::Write => "write",
+    }
+}
 
 /// One traced state transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,10 +32,15 @@ pub enum TraceEvent {
     Arrive(TxnId),
     /// A transaction was admitted into the active set (attempt start).
     Admit(TxnId),
-    /// A lock request blocked on an object.
+    /// A lock request was granted immediately (no queueing). Also covers
+    /// in-place read→write upgrades.
+    Acquire(TxnId, ObjId, LockMode),
+    /// A lock request blocked on an object (or, under basic T/O, a read
+    /// parked on a pending smaller-timestamp prewrite).
     Block(TxnId, ObjId),
-    /// A queued lock request was granted.
-    Grant(TxnId, ObjId),
+    /// A queued lock request was granted (or a parked basic-T/O read
+    /// resumed; the resumed read is then re-checked, so it may block again).
+    Grant(TxnId, ObjId, LockMode),
     /// A deadlock was detected and a victim chosen.
     Deadlock {
         /// The transaction whose block completed the cycle.
@@ -39,8 +52,15 @@ pub enum TraceEvent {
     Restart(TxnId),
     /// An optimistic validation failed against a committed writer.
     ValidationFailure(TxnId, ObjId),
+    /// A basic-T/O operation arrived too late and was rejected.
+    TsRejected(TxnId, ObjId),
     /// A transaction committed.
     Commit(TxnId),
+    /// All locks of a terminating transaction were released (`n` distinct
+    /// objects). Emitted immediately after `Commit`/`Restart` by every
+    /// lock-using algorithm; the count lets an auditor cross-check its own
+    /// event-derived holdings against the lock manager's.
+    LocksReleased(TxnId, u32),
 }
 
 impl TraceEvent {
@@ -50,11 +70,14 @@ impl TraceEvent {
         match *self {
             TraceEvent::Arrive(t)
             | TraceEvent::Admit(t)
+            | TraceEvent::Acquire(t, _, _)
             | TraceEvent::Block(t, _)
-            | TraceEvent::Grant(t, _)
+            | TraceEvent::Grant(t, _, _)
             | TraceEvent::Restart(t)
             | TraceEvent::ValidationFailure(t, _)
-            | TraceEvent::Commit(t) => t,
+            | TraceEvent::TsRejected(t, _)
+            | TraceEvent::Commit(t)
+            | TraceEvent::LocksReleased(t, _) => t,
             TraceEvent::Deadlock { detector, .. } => detector,
         }
     }
@@ -65,8 +88,9 @@ impl fmt::Display for TraceEvent {
         match *self {
             TraceEvent::Arrive(t) => write!(f, "{t} arrives"),
             TraceEvent::Admit(t) => write!(f, "{t} admitted"),
+            TraceEvent::Acquire(t, o, m) => write!(f, "{t} acquires {o} ({})", mode_str(m)),
             TraceEvent::Block(t, o) => write!(f, "{t} blocks on {o}"),
-            TraceEvent::Grant(t, o) => write!(f, "{t} granted {o}"),
+            TraceEvent::Grant(t, o, m) => write!(f, "{t} granted {o} ({})", mode_str(m)),
             TraceEvent::Deadlock { detector, victim } => {
                 write!(f, "deadlock via {detector}; victim {victim}")
             }
@@ -74,7 +98,11 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ValidationFailure(t, o) => {
                 write!(f, "{t} fails validation on {o}")
             }
+            TraceEvent::TsRejected(t, o) => {
+                write!(f, "{t} rejected by timestamp order on {o}")
+            }
             TraceEvent::Commit(t) => write!(f, "{t} commits"),
+            TraceEvent::LocksReleased(t, n) => write!(f, "{t} releases {n} lock(s)"),
         }
     }
 }
@@ -88,13 +116,11 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// A trace retaining at most `capacity` most-recent events.
-    ///
-    /// # Panics
-    /// Panics if `capacity == 0`.
+    /// A trace retaining at most `capacity` most-recent events. A capacity
+    /// of zero disables recording entirely: pushes are no-ops (nothing is
+    /// retained and nothing is counted as dropped).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be positive");
         Trace {
             events: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
@@ -104,6 +130,9 @@ impl Trace {
 
     /// Append an event at `now`.
     pub fn push(&mut self, now: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -246,11 +275,56 @@ mod tests {
             TraceEvent::ValidationFailure(t(4), ObjId(2)).to_string(),
             "txn4 fails validation on obj2"
         );
+        assert_eq!(
+            TraceEvent::Acquire(t(5), ObjId(3), LockMode::Write).to_string(),
+            "txn5 acquires obj3 (write)"
+        );
+        assert_eq!(
+            TraceEvent::Grant(t(5), ObjId(3), LockMode::Read).to_string(),
+            "txn5 granted obj3 (read)"
+        );
+        assert_eq!(
+            TraceEvent::TsRejected(t(6), ObjId(1)).to_string(),
+            "txn6 rejected by timestamp order on obj1"
+        );
+        assert_eq!(
+            TraceEvent::LocksReleased(t(7), 4).to_string(),
+            "txn7 releases 4 lock(s)"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        let _ = Trace::with_capacity(0);
+    fn capacity_n_retains_exactly_last_n_in_order() {
+        for capacity in [1usize, 2, 3, 7] {
+            let mut tr = Trace::with_capacity(capacity);
+            let total = 10u64;
+            for i in 0..total {
+                tr.push(at(i), TraceEvent::Arrive(t(i)));
+            }
+            assert_eq!(tr.len(), capacity.min(total as usize));
+            assert_eq!(tr.dropped(), total - capacity as u64);
+            let kept: Vec<u64> = tr
+                .events()
+                .map(|&(_, e)| match e {
+                    TraceEvent::Arrive(TxnId(v)) => v,
+                    other => panic!("unexpected event {other:?}"),
+                })
+                .collect();
+            let expected: Vec<u64> = (total - capacity as u64..total).collect();
+            assert_eq!(kept, expected, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut tr = Trace::with_capacity(0);
+        for i in 0..5 {
+            tr.push(at(i), TraceEvent::Commit(t(i)));
+        }
+        assert_eq!(tr.len(), 0);
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0, "a disabled trace counts nothing");
+        assert!(tr.render().is_empty());
+        assert!(tr.for_txn(t(0)).is_empty());
     }
 }

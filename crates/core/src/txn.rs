@@ -444,10 +444,7 @@ mod tests {
                         assert_eq!(*steps.last().unwrap(), Step::Commit);
                         assert!(!p.is_empty());
                         // Exactly one validate and one commit.
-                        assert_eq!(
-                            steps.iter().filter(|s| **s == Step::Validate).count(),
-                            1
-                        );
+                        assert_eq!(steps.iter().filter(|s| **s == Step::Validate).count(), 1);
                         assert_eq!(steps.iter().filter(|s| **s == Step::Commit).count(), 1);
                         // Think appears iff requested.
                         assert_eq!(
@@ -471,7 +468,14 @@ mod tests {
     #[test]
     fn txn_lifecycle_helpers() {
         let s = spec(2, &[1]);
-        let mut t = Txn::new(TxnId(7), s, ProgramShape::Dynamic2pl, false, SimTime::from_secs(1), 0);
+        let mut t = Txn::new(
+            TxnId(7),
+            s,
+            ProgramShape::Dynamic2pl,
+            false,
+            SimTime::from_secs(1),
+            0,
+        );
         assert_eq!(t.step(), Step::LockRead(0));
         assert_eq!(t.write_objs, vec![ObjId(1)]);
         t.advance();

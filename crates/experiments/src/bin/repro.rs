@@ -5,7 +5,10 @@
 //! repro <id|figN|all> [flags]   run experiments
 //!
 //! flags:
+//!   --list          show the experiment catalog and exit
 //!   --quick         smoke fidelity (short batches) instead of paper fidelity
+//!   --audit         attach the online invariant auditor to every run; any
+//!                   violation fails the command
 //!   --seed <u64>    base seed (default 0x0C551985)
 //!   --reps <n>      independent replications per point (default 1); means
 //!                   and 90% CIs are then taken across replications, with
@@ -20,7 +23,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ccsim_experiments::{catalog, checks, json, md, report, run_experiment, Fidelity, RunOptions};
+use ccsim_experiments::{
+    catalog, checks, json, md, report, run_experiment, ExperimentSpec, Fidelity, RunOptions,
+};
 
 struct Cli {
     targets: Vec<String>,
@@ -30,24 +35,28 @@ struct Cli {
     chart: bool,
 }
 
-fn parse_args() -> Result<Cli, String> {
+fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut targets = Vec::new();
     let mut opts = RunOptions::default();
     let mut out = None;
     let mut md_out = None;
     let mut chart = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.fidelity = Fidelity::Quick,
+            "--audit" => opts.audit = true,
             "--chart" => chart = true,
+            "--list" => targets.push("list".to_string()),
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.base_seed = v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?;
             }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
-                opts.threads = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count {v:?}: {e}"))?;
             }
             "--reps" => {
                 let v = args.next().ok_or("--reps needs a value")?;
@@ -82,30 +91,14 @@ fn parse_args() -> Result<Cli, String> {
     })
 }
 
-fn list_catalog() {
-    println!("{:<20} {:<28} title", "id", "figures");
-    for e in catalog::all() {
-        let figures: Vec<&str> = e.views.iter().map(|v| v.figure).collect();
-        println!("{:<20} {:<28} {}", e.id, figures.join(", "), e.title);
-    }
-}
-
-fn main() {
-    let cli = match parse_args() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-
+/// Resolve run targets to catalog entries: exact id, figure name, or a
+/// shared id prefix (e.g. `exp1` matching `exp1-inf` and `exp1-1cpu2dk`).
+/// `None` means a target asked for the catalog listing instead.
+fn resolve_specs(targets: &[String]) -> Result<Option<Vec<ExperimentSpec>>, String> {
     let mut specs = Vec::new();
-    for t in &cli.targets {
+    for t in targets {
         match t.as_str() {
-            "list" => {
-                list_catalog();
-                return;
-            }
+            "list" => return Ok(None),
             "all" => specs = catalog::all(),
             other => {
                 let found = catalog::by_id(other).or_else(|| catalog::by_figure(other));
@@ -114,8 +107,9 @@ fn main() {
                     None => {
                         let group = catalog::by_id_prefix(other);
                         if group.is_empty() {
-                            eprintln!("error: no experiment or figure matches {other:?} (try `repro list`)");
-                            std::process::exit(2);
+                            return Err(format!(
+                                "no experiment or figure matches {other:?} (try `repro list`)"
+                            ));
                         }
                         specs.extend(group);
                     }
@@ -124,6 +118,43 @@ fn main() {
         }
     }
     specs.dedup_by_key(|s| s.id);
+    Ok(Some(specs))
+}
+
+fn list_catalog() {
+    println!("{:<20} {:<28} {:>5}  title", "id", "figures", "runs");
+    for e in catalog::all() {
+        let figures: Vec<&str> = e.views.iter().map(|v| v.figure).collect();
+        println!(
+            "{:<20} {:<28} {:>5}  {}",
+            e.id,
+            figures.join(", "),
+            e.num_runs(),
+            e.title
+        );
+    }
+}
+
+fn main() {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let specs = match resolve_specs(&cli.targets) {
+        Ok(Some(specs)) => specs,
+        Ok(None) => {
+            list_catalog();
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     if let Some(dir) = &cli.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -137,11 +168,12 @@ fn main() {
     for spec in &specs {
         let started = Instant::now();
         eprintln!(
-            ">> {} ({} runs x {} rep(s), {:?} fidelity)...",
+            ">> {} ({} runs x {} rep(s), {:?} fidelity{})...",
             spec.id,
             spec.num_runs(),
             cli.opts.replications.max(1),
-            cli.opts.fidelity
+            cli.opts.fidelity,
+            if cli.opts.audit { ", audited" } else { "" }
         );
         let result = run_experiment(spec, &cli.opts);
         let elapsed = started.elapsed();
@@ -149,6 +181,20 @@ fn main() {
         println!("{text}");
         if cli.chart {
             println!("{}", report::ascii_chart(&result, 3));
+        }
+        if cli.opts.audit {
+            if result.audit_failures.is_empty() {
+                println!("Invariant audit: clean across all runs.");
+            } else {
+                failures += result.audit_failures.len();
+                println!(
+                    "Invariant audit: {} violation(s):",
+                    result.audit_failures.len()
+                );
+                for v in &result.audit_failures {
+                    println!("  [FAIL] {v}");
+                }
+            }
         }
         println!("Shape checks vs. the paper:");
         let outcomes = checks::evaluate(&result);
@@ -184,7 +230,96 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
     if failures > 0 {
-        eprintln!("{failures} shape check(s) FAILED");
+        eprintln!("{failures} check(s) FAILED");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn defaults_to_listing() {
+        let cli = parse(&[]).expect("parses");
+        assert_eq!(cli.targets, vec!["list"]);
+        assert!(!cli.opts.audit);
+        assert!(resolve_specs(&cli.targets).expect("resolves").is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse(&[
+            "exp3",
+            "--quick",
+            "--audit",
+            "--seed",
+            "9",
+            "--reps",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .expect("parses");
+        assert_eq!(cli.targets, vec!["exp3"]);
+        assert_eq!(cli.opts.fidelity, Fidelity::Quick);
+        assert!(cli.opts.audit);
+        assert_eq!(cli.opts.base_seed, 9);
+        assert_eq!(cli.opts.replications, 3);
+        assert_eq!(cli.opts.threads, 2);
+    }
+
+    #[test]
+    fn list_flag_lists() {
+        let cli = parse(&["--list"]).expect("parses");
+        assert!(resolve_specs(&cli.targets).expect("resolves").is_none());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err(), "missing value");
+        assert!(parse(&["--reps", "0"]).is_err(), "reps must be positive");
+    }
+
+    #[test]
+    fn exact_id_and_figure_resolve() {
+        let specs = resolve_specs(&["exp3".to_string()])
+            .expect("resolves")
+            .expect("runs");
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].id, "exp3");
+        let by_fig =
+            resolve_specs(&[specs[0].views[0].figure.replace("Figure ", "fig")]).expect("resolves");
+        assert!(by_fig.is_some());
+    }
+
+    #[test]
+    fn id_prefix_matches_a_group() {
+        let specs = resolve_specs(&["exp1".to_string()])
+            .expect("resolves")
+            .expect("runs");
+        assert!(
+            specs.len() >= 2,
+            "exp1 should expand to the infinite- and limited-resource variants"
+        );
+        assert!(specs.iter().all(|s| s.id.starts_with("exp1")));
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        assert!(resolve_specs(&["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_targets_dedupe() {
+        let specs = resolve_specs(&["exp3".to_string(), "exp3".to_string()])
+            .expect("resolves")
+            .expect("runs");
+        assert_eq!(specs.len(), 1);
     }
 }

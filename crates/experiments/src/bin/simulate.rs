@@ -23,6 +23,9 @@
 //!                           interval across replication means
 //!   --batches <n> --batch-secs <n> --warmup <n>
 //!   --check-serializable    record the history and run the checker
+//!   --audit                 attach the online invariant auditor; any
+//!                           violation is printed with its event context
+//!                           and fails the command
 //! ```
 
 use ccsim_core::{
@@ -43,6 +46,7 @@ fn algo_by_name(name: &str) -> Option<CcAlgorithm> {
 struct Cli {
     cfg: SimConfig,
     check_serializable: bool,
+    audit: bool,
     reps: u32,
 }
 
@@ -53,6 +57,7 @@ fn parse() -> Result<Cli, String> {
     let mut seed = 0xCC85_u64;
     let mut reps = 1_u32;
     let mut check_serializable = false;
+    let mut audit = false;
     let mut cpus: Option<u32> = None;
     let mut disks: Option<u32> = None;
     let mut infinite = false;
@@ -102,6 +107,7 @@ fn parse() -> Result<Cli, String> {
                     SimDuration::from_secs(parse_num(&next_val(&mut args, "--batch-secs")?)?);
             }
             "--check-serializable" => check_serializable = true,
+            "--audit" => audit = true,
             "--quick" => metrics = MetricsConfig::quick(),
             other => return Err(format!("unknown flag {other} (see --help in the source)")),
         }
@@ -122,9 +128,16 @@ fn parse() -> Result<Cli, String> {
     if check_serializable && reps > 1 {
         return Err("--check-serializable works on a single run; use --reps 1".to_string());
     }
+    if audit && check_serializable {
+        return Err("--audit and --check-serializable cannot be combined".to_string());
+    }
+    if audit && reps > 1 {
+        return Err("--audit works on a single run; use --reps 1".to_string());
+    }
     Ok(Cli {
         cfg,
         check_serializable,
+        audit,
         reps,
     })
 }
@@ -216,7 +229,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if cli.check_serializable {
+    if cli.audit {
+        let (report, audit) =
+            ccsim_audit::run_with_audit(cli.cfg.clone()).expect("configuration was validated");
+        print_report(&cli.cfg, &report);
+        if audit.is_clean() {
+            println!(
+                "  invariant audit  clean ({} events checked)",
+                audit.events_seen
+            );
+        } else {
+            println!();
+            println!("{}", audit.render());
+            std::process::exit(1);
+        }
+    } else if cli.check_serializable {
         let (report, history) =
             run_with_history(cli.cfg.clone()).expect("configuration was validated");
         print_report(&cli.cfg, &report);

@@ -98,7 +98,11 @@ pub fn exp3() -> ExperimentSpec {
         mpls: paper_mpls(),
         restart_delay_for_all: false,
         views: vec![
-            view("Figure 8", "Throughput (1 CPU, 2 Disks)", FigureKind::Throughput),
+            view(
+                "Figure 8",
+                "Throughput (1 CPU, 2 Disks)",
+                FigureKind::Throughput,
+            ),
             view(
                 "Figure 9",
                 "Disk Utilization (1 CPU, 2 Disks)",
@@ -163,8 +167,7 @@ pub fn exp4_large() -> ExperimentSpec {
     ExperimentSpec {
         id: "exp4-25x50",
         title: "Experiment 4: multiple resources (25 CPUs, 50 disks)",
-        params: Params::paper_baseline()
-            .with_resources(ResourceSpec::TWENTY_FIVE_CPUS_FIFTY_DISKS),
+        params: Params::paper_baseline().with_resources(ResourceSpec::TWENTY_FIVE_CPUS_FIFTY_DISKS),
         series: Series::paper_trio(),
         mpls: paper_mpls(),
         restart_delay_for_all: false,
@@ -183,14 +186,18 @@ pub fn exp4_large() -> ExperimentSpec {
     }
 }
 
-fn exp5(id: &'static str, title: &'static str, int_s: u64, ext_s: u64, views: Vec<FigureView>) -> ExperimentSpec {
+fn exp5(
+    id: &'static str,
+    title: &'static str,
+    int_s: u64,
+    ext_s: u64,
+    views: Vec<FigureView>,
+) -> ExperimentSpec {
     ExperimentSpec {
         id,
         title,
-        params: Params::paper_baseline().with_think_times(
-            SimDuration::from_secs(ext_s),
-            SimDuration::from_secs(int_s),
-        ),
+        params: Params::paper_baseline()
+            .with_think_times(SimDuration::from_secs(ext_s), SimDuration::from_secs(int_s)),
         series: Series::paper_trio(),
         mpls: paper_mpls(),
         restart_delay_for_all: false,
@@ -495,9 +502,6 @@ mod tests {
     fn fig11_sets_delay_for_all() {
         let e = exp3_delay();
         assert!(e.restart_delay_for_all);
-        assert_eq!(
-            e.params.restart_delay,
-            RestartDelayPolicy::Adaptive
-        );
+        assert_eq!(e.params.restart_delay, RestartDelayPolicy::Adaptive);
     }
 }

@@ -264,9 +264,7 @@ fn exp3_delay(result: &ExperimentResult) -> Vec<CheckOutcome> {
         outcome(
             "the delay arrests throughput degradation at high mpl (Fig. 11)",
             b_200 > b * 0.6 && o_200 > o * 0.6,
-            format!(
-                "@200 vs peak: blocking {b_200:.2}/{b:.2}, occ {o_200:.2}/{o:.2}"
-            ),
+            format!("@200 vs peak: blocking {b_200:.2}/{b:.2}, occ {o_200:.2}/{o:.2}"),
         ),
     ]
 }
@@ -373,7 +371,12 @@ fn ablation_tso(result: &ExperimentResult) -> Vec<CheckOutcome> {
     )]
 }
 
-fn ratio_at(result: &ExperimentResult, label: &str, mpl: u32, f: fn(&ccsim_core::Report) -> f64) -> f64 {
+fn ratio_at(
+    result: &ExperimentResult,
+    label: &str,
+    mpl: u32,
+    f: fn(&ccsim_core::Report) -> f64,
+) -> f64 {
     result
         .points
         .iter()
@@ -455,6 +458,7 @@ mod tests {
                 .iter()
                 .map(|&(s, mpl, v)| DataPoint::single(s.to_string(), mpl, fake_report(v)))
                 .collect(),
+            audit_failures: Vec::new(),
         }
     }
 

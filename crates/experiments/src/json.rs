@@ -191,6 +191,7 @@ mod tests {
                     deadlocks: 1,
                 },
             )],
+            audit_failures: Vec::new(),
         }
     }
 

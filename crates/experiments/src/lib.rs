@@ -22,8 +22,8 @@ pub mod catalog;
 pub mod checks;
 pub mod json;
 pub mod md;
-pub mod report;
 mod replicate;
+pub mod report;
 mod runner;
 mod spec;
 

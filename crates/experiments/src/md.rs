@@ -141,11 +141,7 @@ mod tests {
         assert!(md.contains("Shape checks:"));
         // Every table row has a consistent column count.
         for line in md.lines().filter(|l| l.starts_with('|')) {
-            assert_eq!(
-                line.matches('|').count(),
-                5,
-                "ragged markdown row: {line}"
-            );
+            assert_eq!(line.matches('|').count(), 5, "ragged markdown row: {line}");
         }
     }
 

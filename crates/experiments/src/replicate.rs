@@ -53,8 +53,7 @@ fn aggregate_classes(reports: &[Report]) -> Vec<ClassReport> {
                 } else {
                     0.0
                 },
-                response_time_mean: per_class.iter().map(|c| c.response_time_mean).sum::<f64>()
-                    / n,
+                response_time_mean: per_class.iter().map(|c| c.response_time_mean).sum::<f64>() / n,
                 response_time_std: per_class.iter().map(|c| c.response_time_std).sum::<f64>() / n,
             }
         })
@@ -81,10 +80,7 @@ pub fn aggregate_reports(replicates: &[Report], confidence: Confidence) -> Repor
         return replicates[0].clone();
     }
     Report {
-        throughput: rep_estimate(
-            replicates.iter().map(|r| r.throughput.mean),
-            confidence,
-        ),
+        throughput: rep_estimate(replicates.iter().map(|r| r.throughput.mean), confidence),
         throughput_per_batch: replicates
             .iter()
             .flat_map(|r| r.throughput_per_batch.iter().copied())
@@ -106,10 +102,7 @@ pub fn aggregate_reports(replicates: &[Report], confidence: Confidence) -> Repor
             replicates.iter().map(|r| r.disk_util_useful.mean),
             confidence,
         ),
-        cpu_util_total: rep_estimate(
-            replicates.iter().map(|r| r.cpu_util_total.mean),
-            confidence,
-        ),
+        cpu_util_total: rep_estimate(replicates.iter().map(|r| r.cpu_util_total.mean), confidence),
         cpu_util_useful: rep_estimate(
             replicates.iter().map(|r| r.cpu_util_useful.mean),
             confidence,

@@ -10,7 +10,12 @@ use crate::spec::{ExperimentResult, FigureKind, FigureView};
 pub fn render_view(result: &ExperimentResult, view: &FigureView) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## {} — {}", view.figure, view.caption);
-    let labels: Vec<&str> = result.spec.series.iter().map(|s| s.label.as_str()).collect();
+    let labels: Vec<&str> = result
+        .spec
+        .series
+        .iter()
+        .map(|s| s.label.as_str())
+        .collect();
     match view.kind {
         FigureKind::Throughput => {
             let _ = write!(out, "{:>5}", "mpl");
@@ -48,11 +53,8 @@ pub fn render_view(result: &ExperimentResult, view: &FigureView) -> String {
                 for l in &labels {
                     match point(result, l, mpl) {
                         Some(r) => {
-                            let _ = write!(
-                                out,
-                                "  {:>11.3} /{:>11.3}",
-                                r.block_ratio, r.restart_ratio
-                            );
+                            let _ =
+                                write!(out, "  {:>11.3} /{:>11.3}", r.block_ratio, r.restart_ratio);
                         }
                         None => {
                             let _ = write!(out, "  {:>24}", "-");
@@ -172,8 +174,7 @@ pub fn ascii_chart(result: &ExperimentResult, width: usize) -> String {
     for s in &result.spec.series {
         let _ = write!(out, "{:>label_w$} |", s.label);
         for &mpl in &result.spec.mpls {
-            let v = point(result, &s.label, mpl)
-                .map_or(0.0, |r| r.throughput.mean);
+            let v = point(result, &s.label, mpl).map_or(0.0, |r| r.throughput.mean);
             let ix = ((v / max) * 8.0).round() as usize;
             for _ in 0..width.max(1) {
                 out.push(BLOCKS[ix.min(8)]);
@@ -250,7 +251,9 @@ mod tests {
     #[test]
     fn missing_points_render_as_dash() {
         let mut result = small_result();
-        result.points.retain(|p| p.mpl != 25 || p.series != "blocking");
+        result
+            .points
+            .retain(|p| p.mpl != 25 || p.series != "blocking");
         let text = render_view(&result, &result.spec.views[0].clone());
         assert!(text.contains('-'));
     }

@@ -55,6 +55,10 @@ pub struct RunOptions {
     /// as 1). Replication `i` reuses one workload stream across all
     /// series — common random numbers.
     pub replications: u32,
+    /// Attach the online invariant auditor (`ccsim-audit`) to every run.
+    /// Violations do not abort the sweep; they are collected as summary
+    /// lines in [`ExperimentResult::audit_failures`].
+    pub audit: bool,
 }
 
 impl Default for RunOptions {
@@ -64,6 +68,7 @@ impl Default for RunOptions {
             base_seed: 0x0C55_1985,
             threads: 0,
             replications: 1,
+            audit: false,
         }
     }
 }
@@ -116,7 +121,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     .min(jobs.len().max(1));
 
     let (job_tx, job_rx) = channel::unbounded::<(usize, u32, u32)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, u32, Report)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, u32, Report, Vec<String>)>();
     for job in &jobs {
         job_tx.send(*job).expect("queueing jobs");
     }
@@ -131,10 +136,28 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                 while let Ok((si, mpl, rep)) = job_rx.recv() {
                     let series = &spec_ref.series[si];
                     let cfg = spec_ref
-                        .config(series, mpl, metrics, control_seed(opts.base_seed, si, mpl, rep))
+                        .config(
+                            series,
+                            mpl,
+                            metrics,
+                            control_seed(opts.base_seed, si, mpl, rep),
+                        )
                         .with_workload_seed(workload_seed(opts.base_seed, mpl, rep));
-                    let report = run_sim(cfg).expect("catalog configs validate");
-                    res_tx.send((si, mpl, rep, report)).expect("collecting results");
+                    let (report, failures) = if opts.audit {
+                        let (report, audit) =
+                            ccsim_audit::run_with_audit(cfg).expect("catalog configs validate");
+                        let failures = audit
+                            .summaries()
+                            .into_iter()
+                            .map(|v| format!("{}@{} rep {rep}: {v}", series.label, mpl))
+                            .collect();
+                        (report, failures)
+                    } else {
+                        (run_sim(cfg).expect("catalog configs validate"), Vec::new())
+                    };
+                    res_tx
+                        .send((si, mpl, rep, report, failures))
+                        .expect("collecting results");
                 }
             });
         }
@@ -142,13 +165,17 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     })
     .expect("worker panicked");
 
-    let mut collected: Vec<(usize, u32, u32, Report)> = res_rx.iter().collect();
-    collected.sort_by_key(|(si, mpl, rep, _)| (*si, *mpl, *rep));
+    let mut collected: Vec<(usize, u32, u32, Report, Vec<String>)> = res_rx.iter().collect();
+    collected.sort_by_key(|(si, mpl, rep, _, _)| (*si, *mpl, *rep));
+    let audit_failures: Vec<String> = collected
+        .iter()
+        .flat_map(|(_, _, _, _, f)| f.iter().cloned())
+        .collect();
     let points = collected
         .chunk_by(|a, b| a.0 == b.0 && a.1 == b.1)
         .map(|chunk| {
-            let (si, mpl, _, _) = chunk[0];
-            let replicates: Vec<Report> = chunk.iter().map(|(_, _, _, r)| r.clone()).collect();
+            let (si, mpl, _, _, _) = chunk[0];
+            let replicates: Vec<Report> = chunk.iter().map(|(_, _, _, r, _)| r.clone()).collect();
             DataPoint {
                 series: spec.series[si].label.clone(),
                 mpl,
@@ -160,6 +187,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     ExperimentResult {
         spec: spec.clone(),
         points,
+        audit_failures,
     }
 }
 
@@ -174,6 +202,7 @@ mod tests {
             base_seed: 42,
             threads: 0,
             replications: 1,
+            audit: false,
         }
     }
 
@@ -247,12 +276,39 @@ mod tests {
                 "{}@{}: replications should differ",
                 p.series, p.mpl
             );
-            let mean =
-                (p.replicates[0].throughput.mean + p.replicates[1].throughput.mean) / 2.0;
+            let mean = (p.replicates[0].throughput.mean + p.replicates[1].throughput.mean) / 2.0;
             assert!((p.report.throughput.mean - mean).abs() < 1e-12);
             assert_eq!(
                 p.report.commits,
                 p.replicates[0].commits + p.replicates[1].commits
+            );
+        }
+    }
+
+    #[test]
+    fn audited_sweep_is_clean_and_identical_to_unaudited() {
+        let mut spec = tiny_spec();
+        spec.mpls = vec![5];
+        let plain = run_experiment(&spec, &tiny_opts());
+        let audited = run_experiment(
+            &spec,
+            &RunOptions {
+                audit: true,
+                ..tiny_opts()
+            },
+        );
+        assert!(
+            audited.audit_failures.is_empty(),
+            "audit violations: {:?}",
+            audited.audit_failures
+        );
+        assert!(plain.audit_failures.is_empty());
+        // Observing the run must not perturb it.
+        for (a, b) in plain.points.iter().zip(audited.points.iter()) {
+            assert_eq!(
+                a.report, b.report,
+                "{}@{} differs under audit",
+                a.series, a.mpl
             );
         }
     }

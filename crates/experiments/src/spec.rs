@@ -54,7 +54,11 @@ impl Series {
     /// The paper's three curves.
     #[must_use]
     pub fn paper_trio() -> Vec<Series> {
-        CcAlgorithm::PAPER_TRIO.iter().copied().map(Series::paper).collect()
+        CcAlgorithm::PAPER_TRIO
+            .iter()
+            .copied()
+            .map(Series::paper)
+            .collect()
     }
 }
 
@@ -82,7 +86,13 @@ impl ExperimentSpec {
     /// Materialize the simulator configuration for one `(series, mpl)`
     /// point.
     #[must_use]
-    pub fn config(&self, series: &Series, mpl: u32, metrics: MetricsConfig, seed: u64) -> SimConfig {
+    pub fn config(
+        &self,
+        series: &Series,
+        mpl: u32,
+        metrics: MetricsConfig,
+        seed: u64,
+    ) -> SimConfig {
         let mut cfg = SimConfig::new(series.algorithm)
             .with_params(self.params.clone().with_mpl(mpl))
             .with_metrics(metrics)
@@ -141,14 +151,17 @@ pub struct ExperimentResult {
     pub spec: ExperimentSpec,
     /// Points, ordered by series then mpl.
     pub points: Vec<DataPoint>,
+    /// Invariant-audit failures, one summary line per violating run
+    /// (empty when auditing was off or every run was clean). See
+    /// [`crate::RunOptions::audit`].
+    pub audit_failures: Vec<String>,
 }
 
 impl ExperimentResult {
     /// The points of one series, ordered by mpl.
     #[must_use]
     pub fn series_points(&self, label: &str) -> Vec<&DataPoint> {
-        let mut pts: Vec<&DataPoint> =
-            self.points.iter().filter(|p| p.series == label).collect();
+        let mut pts: Vec<&DataPoint> = self.points.iter().filter(|p| p.series == label).collect();
         pts.sort_by_key(|p| p.mpl);
         pts
     }

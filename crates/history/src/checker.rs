@@ -73,11 +73,7 @@ impl std::error::Error for CycleError {}
 /// otherwise returns a witness serial order of all committed transactions.
 pub fn check_conflict_serializable(history: &History) -> Result<Vec<TxnId>, CycleError> {
     let txns = history.txns();
-    let index: HashMap<TxnId, usize> = txns
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.id, i))
-        .collect();
+    let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
 
     // Per-object timelines.
     #[derive(Default)]
@@ -222,12 +218,7 @@ mod tests {
         SimTime::from_secs(v)
     }
 
-    fn txn(
-        id: u64,
-        reads: &[(u64, u64)],
-        writes: &[u64],
-        commit_s: u64,
-    ) -> CommittedTxn {
+    fn txn(id: u64, reads: &[(u64, u64)], writes: &[u64], commit_s: u64) -> CommittedTxn {
         CommittedTxn {
             id: TxnId(id),
             start: SimTime::ZERO,
@@ -255,10 +246,7 @@ mod tests {
 
     #[test]
     fn disjoint_transactions_are_serializable() {
-        let h = history(vec![
-            txn(1, &[(1, 1)], &[1], 2),
-            txn(2, &[(2, 1)], &[2], 3),
-        ]);
+        let h = history(vec![txn(1, &[(1, 1)], &[1], 2), txn(2, &[(2, 1)], &[2], 3)]);
         let order = check_conflict_serializable(&h).unwrap();
         assert_eq!(order.len(), 2);
     }
@@ -281,10 +269,7 @@ mod tests {
         // T1 reads X at 1 (before T2's commit), T2 reads X at 2 (before
         // T1's commit); both write X. Whatever order we pick, someone read
         // a stale version: T1 -> T2 (RW) and T2 -> T1 (RW).
-        let h = history(vec![
-            txn(1, &[(1, 1)], &[1], 5),
-            txn(2, &[(1, 2)], &[1], 6),
-        ]);
+        let h = history(vec![txn(1, &[(1, 1)], &[1], 5), txn(2, &[(1, 2)], &[1], 6)]);
         let err = check_conflict_serializable(&h).unwrap_err();
         assert!(err.edges.len() >= 2, "{err}");
         let msg = err.to_string();
@@ -308,10 +293,7 @@ mod tests {
     fn own_writes_create_no_self_edges() {
         // A transaction reads X after another writer committed, and also
         // writes X itself: WR from the writer, WW to itself excluded.
-        let h = history(vec![
-            txn(1, &[], &[1], 2),
-            txn(2, &[(1, 3)], &[1], 4),
-        ]);
+        let h = history(vec![txn(1, &[], &[1], 2), txn(2, &[(1, 3)], &[1], 4)]);
         let order = check_conflict_serializable(&h).unwrap();
         assert_eq!(order, vec![TxnId(1), TxnId(2)]);
     }

@@ -520,8 +520,14 @@ mod tests {
     #[test]
     fn read_locks_share() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), o(7), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Read),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), o(7), LockMode::Read),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.holders_of(o(7)).len(), 2);
         lm.assert_consistent();
     }
@@ -529,8 +535,14 @@ mod tests {
     #[test]
     fn write_excludes_read() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), o(7), LockMode::Read), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Write),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), o(7), LockMode::Read),
+            RequestOutcome::Queued
+        );
         assert_eq!(lm.waiting_on(t(2)), Some(o(7)));
         lm.assert_consistent();
     }
@@ -538,8 +550,14 @@ mod tests {
     #[test]
     fn read_excludes_write() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(2), o(7), LockMode::Write), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Read),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(2), o(7), LockMode::Write),
+            RequestOutcome::Queued
+        );
         lm.assert_consistent();
     }
 
@@ -547,10 +565,19 @@ mod tests {
     fn reacquisition_is_noop() {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Read);
-        assert_eq!(lm.request(t(1), o(7), LockMode::Read), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Read),
+            RequestOutcome::Granted
+        );
         lm.request(t(1), o(8), LockMode::Write);
-        assert_eq!(lm.request(t(1), o(8), LockMode::Read), RequestOutcome::Granted);
-        assert_eq!(lm.request(t(1), o(8), LockMode::Write), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), o(8), LockMode::Read),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(t(1), o(8), LockMode::Write),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.locks_held(t(1)), 2);
         lm.assert_consistent();
     }
@@ -559,7 +586,10 @@ mod tests {
     fn sole_reader_upgrades_in_place() {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Read);
-        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Write),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.holds(t(1), o(7)), Some(LockMode::Write));
         lm.assert_consistent();
     }
@@ -569,7 +599,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Read);
         lm.request(t(2), o(7), LockMode::Read);
-        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Write),
+            RequestOutcome::Queued
+        );
         lm.assert_consistent();
         // When t2 releases, the upgrade is granted.
         let grants = lm.release_all(t(2));
@@ -591,8 +624,14 @@ mod tests {
         lm.request(t(1), o(7), LockMode::Read);
         lm.request(t(2), o(7), LockMode::Read);
         // t3 queues a plain write first, then t1 requests its upgrade.
-        assert_eq!(lm.request(t(3), o(7), LockMode::Write), RequestOutcome::Queued);
-        assert_eq!(lm.request(t(1), o(7), LockMode::Write), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(3), o(7), LockMode::Write),
+            RequestOutcome::Queued
+        );
+        assert_eq!(
+            lm.request(t(1), o(7), LockMode::Write),
+            RequestOutcome::Queued
+        );
         lm.assert_consistent();
         let grants = lm.release_all(t(2));
         // Upgrade first despite arriving later.
@@ -606,14 +645,31 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Read);
         lm.request(t(2), o(7), LockMode::Write); // queued
-        // A later read must not jump the queued writer.
-        assert_eq!(lm.request(t(3), o(7), LockMode::Read), RequestOutcome::Queued);
+                                                 // A later read must not jump the queued writer.
+        assert_eq!(
+            lm.request(t(3), o(7), LockMode::Read),
+            RequestOutcome::Queued
+        );
         lm.assert_consistent();
         let grants = lm.release_all(t(1));
         assert_eq!(grants.len(), 1);
-        assert_eq!(grants[0], Grant { txn: t(2), obj: o(7), mode: LockMode::Write });
+        assert_eq!(
+            grants[0],
+            Grant {
+                txn: t(2),
+                obj: o(7),
+                mode: LockMode::Write
+            }
+        );
         let grants = lm.release_all(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(3), obj: o(7), mode: LockMode::Read }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                obj: o(7),
+                mode: LockMode::Read
+            }]
+        );
         lm.assert_consistent();
     }
 
@@ -634,12 +690,18 @@ mod tests {
     fn try_request_denies_instead_of_queueing() {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Write);
-        assert_eq!(lm.try_request(t(2), o(7), LockMode::Read), RequestOutcome::Denied);
+        assert_eq!(
+            lm.try_request(t(2), o(7), LockMode::Read),
+            RequestOutcome::Denied
+        );
         assert_eq!(lm.waiting_on(t(2)), None);
         // Upgrade denial.
         lm.request(t(2), o(8), LockMode::Read);
         lm.request(t(3), o(8), LockMode::Read);
-        assert_eq!(lm.try_request(t(2), o(8), LockMode::Write), RequestOutcome::Denied);
+        assert_eq!(
+            lm.try_request(t(2), o(8), LockMode::Write),
+            RequestOutcome::Denied
+        );
         let (_, _, denials) = lm.counters();
         assert_eq!(denials, 2);
         lm.assert_consistent();
@@ -650,9 +712,15 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), o(1), LockMode::Write);
         lm.request(t(2), o(2), LockMode::Write);
-        assert_eq!(lm.request(t(1), o(2), LockMode::Read), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(1), o(2), LockMode::Read),
+            RequestOutcome::Queued
+        );
         assert!(lm.find_deadlock(t(1)).is_none());
-        assert_eq!(lm.request(t(2), o(1), LockMode::Read), RequestOutcome::Queued);
+        assert_eq!(
+            lm.request(t(2), o(1), LockMode::Read),
+            RequestOutcome::Queued
+        );
         let cycle = lm.find_deadlock(t(2)).expect("deadlock expected");
         let mut c = cycle.clone();
         c.sort();
@@ -684,7 +752,10 @@ mod tests {
         lm.request(t(3), o(2), LockMode::Write);
         lm.request(t(2), o(1), LockMode::Write); // waits on t1
         lm.request(t(3), o(1), LockMode::Read); // waits behind t2 (conflicting)
-        assert_eq!(lm.request(t(1), o(2), LockMode::Read), RequestOutcome::Queued); // waits on t3
+        assert_eq!(
+            lm.request(t(1), o(2), LockMode::Read),
+            RequestOutcome::Queued
+        ); // waits on t3
         let cycle = lm.find_deadlock(t(1)).expect("3-cycle through queue edge");
         assert!(cycle.contains(&t(1)) && cycle.contains(&t(3)));
         lm.assert_consistent();
@@ -700,7 +771,14 @@ mod tests {
         assert!(lm.find_deadlock(t(2)).is_some());
         // Abort t2: its lock on o2 goes to t1; t1 unblocks.
         let grants = lm.release_all(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(1), obj: o(2), mode: LockMode::Write }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(1),
+                obj: o(2),
+                mode: LockMode::Write
+            }]
+        );
         assert!(lm.find_deadlock(t(1)).is_none());
         assert_eq!(lm.waiting_on(t(1)), None);
         assert_eq!(lm.locks_held(t(1)), 2);
@@ -713,9 +791,16 @@ mod tests {
         lm.request(t(1), o(7), LockMode::Read);
         lm.request(t(2), o(7), LockMode::Write); // queued
         lm.request(t(3), o(7), LockMode::Read); // queued behind writer
-        // Abort the queued writer: t3's read becomes grantable.
+                                                // Abort the queued writer: t3's read becomes grantable.
         let grants = lm.release_all(t(2));
-        assert_eq!(grants, vec![Grant { txn: t(3), obj: o(7), mode: LockMode::Read }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                txn: t(3),
+                obj: o(7),
+                mode: LockMode::Read
+            }]
+        );
         lm.assert_consistent();
     }
 
@@ -771,7 +856,7 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), o(7), LockMode::Read);
         lm.request(t(2), o(7), LockMode::Write); // queued
-        // A new read waits for the queued writer (no overtaking).
+                                                 // A new read waits for the queued writer (no overtaking).
         assert_eq!(lm.blockers(t(3), o(7), LockMode::Read), vec![t(2)]);
         // A new write waits for the read holder and the queued writer.
         let mut b = lm.blockers(t(3), o(7), LockMode::Write);

@@ -15,10 +15,16 @@ enum Op {
 
 fn op_strategy(txns: u64, objs: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..txns, 0..objs, any::<bool>())
-            .prop_map(|(txn, obj, write)| Op::Request { txn, obj, write }),
-        (0..txns, 0..objs, any::<bool>())
-            .prop_map(|(txn, obj, write)| Op::TryRequest { txn, obj, write }),
+        (0..txns, 0..objs, any::<bool>()).prop_map(|(txn, obj, write)| Op::Request {
+            txn,
+            obj,
+            write
+        }),
+        (0..txns, 0..objs, any::<bool>()).prop_map(|(txn, obj, write)| Op::TryRequest {
+            txn,
+            obj,
+            write
+        }),
         (0..txns).prop_map(|txn| Op::ReleaseAll { txn }),
     ]
 }

@@ -167,9 +167,7 @@ mod tests {
         // it writes, so this matches the paper's conflict definition).
         let mut v = Validator::new();
         v.commit(t(10), [o(5)]);
-        assert!(v
-            .validate_and_commit(t(3), t(12), &[o(1)], [o(5)])
-            .is_ok());
+        assert!(v.validate_and_commit(t(3), t(12), &[o(1)], [o(5)]).is_ok());
         assert_eq!(v.last_write(o(5)), Some(t(12)));
     }
 

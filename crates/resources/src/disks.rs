@@ -115,6 +115,24 @@ impl<T> DiskArray<T> {
     pub fn served(&self) -> u64 {
         self.disks.iter().map(ServerPool::served).sum()
     }
+
+    /// ∫ (queue length) dt summed over all disk queues, µs·requests.
+    #[must_use]
+    pub fn queue_integral_us(&self, now: SimTime) -> u64 {
+        self.disks.iter().map(|d| d.queue_integral_us(now)).sum()
+    }
+
+    /// Total queue-waiting time of I/Os that have entered service, µs.
+    #[must_use]
+    pub fn total_wait_us(&self) -> u64 {
+        self.disks.iter().map(ServerPool::total_wait_us).sum()
+    }
+
+    /// Waiting time accrued up to `now` by I/Os still queued, µs.
+    #[must_use]
+    pub fn pending_wait_us(&self, now: SimTime) -> u64 {
+        self.disks.iter().map(|d| d.pending_wait_us(now)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +187,22 @@ mod tests {
     #[should_panic(expected = "at least one disk")]
     fn zero_disks_panics() {
         let _: DiskArray<()> = DiskArray::new(0);
+    }
+
+    #[test]
+    fn wait_accounting_aggregates_across_disks() {
+        let mut d = DiskArray::new(2);
+        let t0 = SimTime::ZERO;
+        let io = SimDuration::from_millis(10);
+        let a = d.submit(t0, 0, 1, io).unwrap();
+        assert!(d.submit(t0, 0, 2, io).is_none()); // waits 10 ms on disk 0
+        d.submit(t0, 1, 3, io).unwrap();
+        let (_, next) = d.complete(a.completes_at, 0);
+        let next = next.unwrap();
+        d.complete(next.completes_at, 0);
+        let end = SimTime::from_millis(20);
+        assert_eq!(d.total_wait_us(), 10_000);
+        assert_eq!(d.queue_integral_us(end), 10_000);
+        assert_eq!(d.pending_wait_us(end), 0);
     }
 }

@@ -55,15 +55,39 @@ struct InService<T> {
     duration: SimDuration,
 }
 
+/// A request waiting in queue, stamped with its enqueue time so waiting
+/// time can be accounted per request when it dequeues.
+#[derive(Debug)]
+struct Queued<T> {
+    enqueued_at: SimTime,
+    req: Request<T>,
+}
+
 /// A pool of `n` identical servers with a shared two-class FCFS queue.
+///
+/// Besides busy time, the pool keeps two *independent* waiting-time
+/// accounts: the time integral of the queue length
+/// ([`ServerPool::queue_integral_us`], advanced lazily at every queue
+/// change) and the per-request waits ([`ServerPool::total_wait_us`] for
+/// dequeued requests plus [`ServerPool::pending_wait_us`] for those still
+/// queued). By the operational form of Little's law the two accounts must
+/// agree exactly at every instant; an auditor can use the identity as a
+/// flow-balance check.
 #[derive(Debug)]
 pub struct ServerPool<T> {
     servers: Vec<Option<InService<T>>>,
     free: Vec<usize>,
-    high: VecDeque<Request<T>>,
-    normal: VecDeque<Request<T>>,
+    high: VecDeque<Queued<T>>,
+    normal: VecDeque<Queued<T>>,
     completed_busy_us: u64,
     served: u64,
+    /// ∫ queue_len dt up to `queue_changed_at`, µs·requests.
+    queue_integral_us: u64,
+    /// Instant of the last enqueue/dequeue (the integral is exact up to
+    /// here; accessors extend it to `now` at the current queue length).
+    queue_changed_at: SimTime,
+    /// Summed waiting time of requests that already left the queue, µs.
+    total_wait_us: u64,
 }
 
 impl<T> ServerPool<T> {
@@ -81,7 +105,17 @@ impl<T> ServerPool<T> {
             normal: VecDeque::new(),
             completed_busy_us: 0,
             served: 0,
+            queue_integral_us: 0,
+            queue_changed_at: SimTime::ZERO,
+            total_wait_us: 0,
         }
+    }
+
+    /// Extend the queue-length integral up to `now` at the current length.
+    fn advance_queue_clock(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.queue_changed_at).as_micros();
+        self.queue_integral_us += self.queue_len() as u64 * elapsed;
+        self.queue_changed_at = now;
     }
 
     /// Number of servers in the pool.
@@ -115,9 +149,14 @@ impl<T> ServerPool<T> {
         if let Some(server) = self.free.pop() {
             Some(self.start_on(server, now, req))
         } else {
-            match req.priority {
-                Priority::High => self.high.push_back(req),
-                Priority::Normal => self.normal.push_back(req),
+            self.advance_queue_clock(now);
+            let queued = Queued {
+                enqueued_at: now,
+                req,
+            };
+            match queued.req.priority {
+                Priority::High => self.high.push_back(queued),
+                Priority::Normal => self.normal.push_back(queued),
             }
             None
         }
@@ -140,11 +179,15 @@ impl<T> ServerPool<T> {
         );
         self.completed_busy_us += svc.duration.as_micros();
         self.served += 1;
-        let next = self
-            .high
-            .pop_front()
-            .or_else(|| self.normal.pop_front())
-            .map(|req| self.start_on(server, now, req));
+        if self.queue_len() > 0 {
+            // Extend the integral at the pre-dequeue length.
+            self.advance_queue_clock(now);
+        }
+        let queued = self.high.pop_front().or_else(|| self.normal.pop_front());
+        let next = queued.map(|q| {
+            self.total_wait_us += now.saturating_since(q.enqueued_at).as_micros();
+            self.start_on(server, now, q.req)
+        });
         if next.is_none() {
             self.free.push(server);
         }
@@ -174,9 +217,37 @@ impl<T> ServerPool<T> {
             .servers
             .iter()
             .flatten()
-            .map(|svc| now.saturating_since(svc.started_at).as_micros().min(svc.duration.as_micros()))
+            .map(|svc| {
+                now.saturating_since(svc.started_at)
+                    .as_micros()
+                    .min(svc.duration.as_micros())
+            })
             .sum();
         self.completed_busy_us + in_flight
+    }
+
+    /// ∫ (queue length) dt from time zero to `now`, in µs·requests.
+    /// Counts waiting requests only, not those in service.
+    #[must_use]
+    pub fn queue_integral_us(&self, now: SimTime) -> u64 {
+        let elapsed = now.saturating_since(self.queue_changed_at).as_micros();
+        self.queue_integral_us + self.queue_len() as u64 * elapsed
+    }
+
+    /// Total queue-waiting time of requests that have entered service, µs.
+    #[must_use]
+    pub fn total_wait_us(&self) -> u64 {
+        self.total_wait_us
+    }
+
+    /// Waiting time accrued up to `now` by requests still in queue, µs.
+    #[must_use]
+    pub fn pending_wait_us(&self, now: SimTime) -> u64 {
+        self.high
+            .iter()
+            .chain(self.normal.iter())
+            .map(|q| now.saturating_since(q.enqueued_at).as_micros())
+            .sum()
     }
 }
 
@@ -316,6 +387,55 @@ mod tests {
             }
         }
         assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn queue_integral_matches_per_request_waits() {
+        // One server; three requests land at t=0. The second waits 10 ms,
+        // the third 20 ms. The queue holds 2 requests for the first 10 ms
+        // and 1 for the next 10 ms: ∫q dt = 2·10 + 1·10 = 30 ms.
+        let mut p = ServerPool::new(1);
+        let t0 = SimTime::ZERO;
+        let s = p.submit(t0, req(1, 10)).unwrap();
+        assert!(p.submit(t0, req(2, 10)).is_none());
+        assert!(p.submit(t0, req(3, 10)).is_none());
+
+        // Mid-flight the identity already holds: integral == pending waits.
+        let mid = SimTime::from_millis(5);
+        assert_eq!(p.queue_integral_us(mid), 10_000);
+        assert_eq!(p.total_wait_us(), 0);
+        assert_eq!(p.pending_wait_us(mid), 10_000);
+
+        let (_, next) = p.complete(SimTime::from_millis(10), s.server);
+        let next = next.unwrap();
+        let (_, next) = p.complete(SimTime::from_millis(20), next.server);
+        let next = next.unwrap();
+        let (_, next) = p.complete(SimTime::from_millis(30), next.server);
+        assert!(next.is_none());
+
+        let end = SimTime::from_millis(30);
+        assert_eq!(p.queue_integral_us(end), 30_000);
+        assert_eq!(p.total_wait_us(), 30_000);
+        assert_eq!(p.pending_wait_us(end), 0);
+        assert_eq!(
+            p.queue_integral_us(end),
+            p.total_wait_us() + p.pending_wait_us(end),
+            "flow balance must be exact"
+        );
+    }
+
+    #[test]
+    fn immediate_starts_accrue_no_wait() {
+        let mut p = ServerPool::new(2);
+        let t0 = SimTime::from_secs(1);
+        let a = p.submit(t0, req(1, 10)).unwrap();
+        let b = p.submit(t0, req(2, 10)).unwrap();
+        p.complete(a.completes_at, a.server);
+        p.complete(b.completes_at, b.server);
+        let end = SimTime::from_secs(2);
+        assert_eq!(p.queue_integral_us(end), 0);
+        assert_eq!(p.total_wait_us(), 0);
+        assert_eq!(p.pending_wait_us(end), 0);
     }
 
     #[test]

@@ -146,7 +146,10 @@ impl TsoManager {
         let mut woken = Vec::new();
         let mut applied = Vec::new();
         for obj in objs {
-            let state = self.objects.get_mut(&obj).expect("prewritten object exists");
+            let state = self
+                .objects
+                .get_mut(&obj)
+                .expect("prewritten object exists");
             state.pending.retain(|&p| p != ts);
             if state.wts.is_none_or(|w| w < ts) {
                 state.wts = Some(ts);
@@ -320,7 +323,10 @@ mod tests {
         let (_, applied) = m.commit(t(1), ts(1, 1));
         assert!(applied.is_empty(), "stale write must be skipped");
         // And readers between the two timestamps now reject.
-        assert_eq!(m.read(t(9), o(1), (SimTime::from_millis(1500), t(9))), ReadOutcome::Reject);
+        assert_eq!(
+            m.read(t(9), o(1), (SimTime::from_millis(1500), t(9))),
+            ReadOutcome::Reject
+        );
     }
 
     #[test]
@@ -353,7 +359,7 @@ mod tests {
         let mut m = TsoManager::new();
         m.read(t(5), o(1), ts(5, 5));
         m.read(t(3), o(1), ts(3, 3)); // smaller read is fine
-        // A write between 3 and 5 must still reject (rts = 5).
+                                      // A write between 3 and 5 must still reject (rts = 5).
         assert_eq!(m.prewrite(t(4), o(1), ts(4, 4)), WriteOutcome::Reject);
     }
 

@@ -209,7 +209,7 @@ mod tests {
     fn hotspot_skews_accesses() {
         let mut p = Params::paper_baseline();
         p.access = AccessPattern::Hotspot {
-            data_frac: 0.1,  // hot region: objects [0, 100)
+            data_frac: 0.1, // hot region: objects [0, 100)
             access_frac: 0.9,
         };
         let mut g = gen_with(&p, 5);

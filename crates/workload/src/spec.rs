@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn basic_accessors() {
-        let s = TxnSpec::new(
-            vec![obj(3), obj(1), obj(7)],
-            vec![true, false, true],
-        );
+        let s = TxnSpec::new(vec![obj(3), obj(1), obj(7)], vec![true, false, true]);
         assert_eq!(s.num_reads(), 3);
         assert_eq!(s.num_writes(), 2);
         assert_eq!(s.read_at(1), obj(1));

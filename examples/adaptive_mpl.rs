@@ -59,7 +59,10 @@ fn main() {
         let (grid_mpl, grid_tps) = Params::PAPER_MPLS
             .iter()
             .map(|&m| (m, throughput_at(algo, m)))
-            .fold((0, f64::MIN), |acc, (m, t)| if t > acc.1 { (m, t) } else { acc });
+            .fold(
+                (0, f64::MIN),
+                |acc, (m, t)| if t > acc.1 { (m, t) } else { acc },
+            );
         println!(
             "{:<18} {:>9} {:>12.3} {:>8}   mpl {} -> {:.3} tps",
             algo.label(),

@@ -31,16 +31,16 @@ fn main() {
         for algo in CcAlgorithm::PAPER_TRIO {
             let params = Params::paper_baseline()
                 .with_mpl(mpl)
-                .with_think_times(
-                    SimDuration::from_secs(ext_s),
-                    SimDuration::from_secs(int_s),
-                );
+                .with_think_times(SimDuration::from_secs(ext_s), SimDuration::from_secs(int_s));
             let cfg = SimConfig::new(algo)
                 .with_params(params)
                 .with_metrics(MetricsConfig::quick());
             let r = run(cfg).expect("valid configuration");
             tps.push(r.throughput.mean);
-            print!(" {:>12.3} ±{:<4.2}", r.throughput.mean, r.throughput.half_width);
+            print!(
+                " {:>12.3} ±{:<4.2}",
+                r.throughput.mean, r.throughput.half_width
+            );
         }
         let winner = if tps[0] >= tps[1] && tps[0] >= tps[2] {
             "blocking"

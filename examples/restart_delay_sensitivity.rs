@@ -27,7 +27,10 @@ fn main() {
          time = {:.3} s\n",
         txn_time.as_secs_f64()
     );
-    println!("{:>22} {:>14} {:>16}", "restart delay", "tps", "restarts/commit");
+    println!(
+        "{:>22} {:>14} {:>16}",
+        "restart delay", "tps", "restarts/commit"
+    );
 
     let multiples = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
     for &m in &multiples {

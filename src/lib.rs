@@ -21,9 +21,9 @@
 
 pub use ccsim_analytic as analytic;
 pub use ccsim_core as core;
-pub use ccsim_history as history;
 pub use ccsim_des as des;
 pub use ccsim_experiments as experiments;
+pub use ccsim_history as history;
 pub use ccsim_lockmgr as lockmgr;
 pub use ccsim_occ as occ;
 pub use ccsim_resources as resources;

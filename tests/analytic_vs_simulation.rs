@@ -20,7 +20,9 @@ fn metrics() -> MetricsConfig {
 /// Contention-free configuration: huge database, read-only workload, no mpl
 /// cap — the simulated network *is* the MVA network.
 fn contention_free(resources: ccsim_workload::ResourceSpec) -> Params {
-    let mut p = Params::low_conflict().with_mpl(200).with_resources(resources);
+    let mut p = Params::low_conflict()
+        .with_mpl(200)
+        .with_resources(resources);
     p.write_prob = 0.0;
     p
 }

@@ -39,6 +39,7 @@ fn experiment_results_and_json_replay_exactly() {
         base_seed: 99,
         threads: 1,
         replications: 1,
+        audit: false,
     };
     let a = run_experiment(&spec, &opts);
     let b = run_experiment(&spec, &opts);
@@ -55,7 +56,10 @@ fn seed_changes_results() {
     };
     let a = run(mk(1)).unwrap();
     let b = run(mk(2)).unwrap();
-    assert_ne!(a, b, "different seeds should explore different sample paths");
+    assert_ne!(
+        a, b,
+        "different seeds should explore different sample paths"
+    );
     // ... but estimate the same system: throughputs within a loose factor.
     let ratio = a.throughput.mean / b.throughput.mean;
     assert!(

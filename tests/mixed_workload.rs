@@ -105,9 +105,7 @@ fn single_class_runs_have_one_class_report() {
     .unwrap();
     assert_eq!(r.class_reports.len(), 1);
     assert_eq!(r.class_reports[0].commits, r.commits);
-    assert!(
-        (r.class_reports[0].response_time_mean - r.response_time_mean).abs() < 1e-9
-    );
+    assert!((r.class_reports[0].response_time_mean - r.response_time_mean).abs() < 1e-9);
 }
 
 #[test]

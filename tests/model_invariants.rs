@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: physical invariants the closed queuing
 //! model must satisfy regardless of concurrency control algorithm.
 
-use ccsim_core::{
-    run, CcAlgorithm, Confidence, MetricsConfig, Params, ResourceSpec, SimConfig,
-};
+use ccsim_core::{run, CcAlgorithm, Confidence, MetricsConfig, Params, ResourceSpec, SimConfig};
 use ccsim_des::SimDuration;
 
 fn quick() -> MetricsConfig {
@@ -95,8 +93,8 @@ fn response_times_respect_service_floor() {
         let params = Params::paper_baseline()
             .with_mpl(5)
             .with_resources(ResourceSpec::Infinite);
-        let floor = params.min_size as f64
-            * (params.obj_io.as_secs_f64() + params.obj_cpu.as_secs_f64());
+        let floor =
+            params.min_size as f64 * (params.obj_io.as_secs_f64() + params.obj_cpu.as_secs_f64());
         let r = run(cfg(algo, params)).unwrap();
         assert!(
             r.response_time_mean > floor,

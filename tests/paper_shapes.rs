@@ -90,10 +90,12 @@ fn fig14_optimistic_catches_blocking_with_abundant_resources() {
             .with_mpl(mpl)
             .with_resources(ResourceSpec::TWENTY_FIVE_CPUS_FIFTY_DISKS)
     };
-    let b_peak = [50, 75].map(|m| tps(CcAlgorithm::Blocking, big(m)))
+    let b_peak = [50, 75]
+        .map(|m| tps(CcAlgorithm::Blocking, big(m)))
         .into_iter()
         .fold(f64::MIN, f64::max);
-    let o_peak = [100, 200].map(|m| tps(CcAlgorithm::Optimistic, big(m)))
+    let o_peak = [100, 200]
+        .map(|m| tps(CcAlgorithm::Optimistic, big(m)))
         .into_iter()
         .fold(f64::MIN, f64::max);
     assert!(
@@ -107,10 +109,9 @@ fn fig14_optimistic_catches_blocking_with_abundant_resources() {
 #[test]
 fn exp5_interactive_crossover() {
     let think = |int_s, ext_s, mpl| {
-        Params::paper_baseline().with_mpl(mpl).with_think_times(
-            SimDuration::from_secs(ext_s),
-            SimDuration::from_secs(int_s),
-        )
+        Params::paper_baseline()
+            .with_mpl(mpl)
+            .with_think_times(SimDuration::from_secs(ext_s), SimDuration::from_secs(int_s))
     };
     let b_short = tps(CcAlgorithm::Blocking, think(1, 3, 25));
     let o_short = tps(CcAlgorithm::Optimistic, think(1, 3, 25));
@@ -118,10 +119,12 @@ fn exp5_interactive_crossover() {
         b_short > o_short * 0.95,
         "short thinks: blocking {b_short:.2} vs optimistic {o_short:.2}"
     );
-    let b_long = [50, 100].map(|m| tps(CcAlgorithm::Blocking, think(10, 21, m)))
+    let b_long = [50, 100]
+        .map(|m| tps(CcAlgorithm::Blocking, think(10, 21, m)))
         .into_iter()
         .fold(f64::MIN, f64::max);
-    let o_long = [50, 100].map(|m| tps(CcAlgorithm::Optimistic, think(10, 21, m)))
+    let o_long = [50, 100]
+        .map(|m| tps(CcAlgorithm::Optimistic, think(10, 21, m)))
         .into_iter()
         .fold(f64::MIN, f64::max);
     assert!(

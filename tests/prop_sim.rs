@@ -7,8 +7,8 @@
 //! integration tests instead.
 
 use ccsim_core::{
-    check_conflict_serializable, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
-    Params, ResourceSpec, SimConfig,
+    check_conflict_serializable, run_with_history, CcAlgorithm, Confidence, MetricsConfig, Params,
+    ResourceSpec, SimConfig,
 };
 use ccsim_des::SimDuration;
 use proptest::prelude::*;
@@ -51,12 +51,12 @@ fn resource_strategy() -> impl Strategy<Value = ResourceSpec> {
 
 fn config_strategy() -> impl Strategy<Value = RandomConfig> {
     (
-        20u64..500,      // db_size
-        1u64..5,         // size_lo
-        0u64..6,         // size_span
-        0.0f64..=1.0,    // write_prob
-        2u32..30,        // num_terms
-        1u32..30,        // mpl
+        20u64..500,   // db_size
+        1u64..5,      // size_lo
+        0u64..6,      // size_span
+        0.0f64..=1.0, // write_prob
+        2u32..30,     // num_terms
+        1u32..30,     // mpl
         resource_strategy(),
         algo_strategy(),
         any::<u64>(),

@@ -27,6 +27,7 @@ fn tiny_opts(threads: usize, replications: u32) -> RunOptions {
         base_seed: 0xBEEF,
         threads,
         replications,
+        audit: false,
     }
 }
 
@@ -38,7 +39,11 @@ fn replicated_sweep_is_identical_across_thread_counts() {
     let parallel = run_experiment(&spec, &tiny_opts(0, 3));
     for (a, b) in serial.points.iter().zip(parallel.points.iter()) {
         assert_eq!(a.series, b.series);
-        assert_eq!(a.replicates, b.replicates, "{}@{} diverged", a.series, a.mpl);
+        assert_eq!(
+            a.replicates, b.replicates,
+            "{}@{} diverged",
+            a.series, a.mpl
+        );
         assert_eq!(a.report, b.report);
     }
     assert_eq!(json::to_json(&serial), json::to_json(&parallel));

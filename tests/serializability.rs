@@ -6,8 +6,8 @@
 //! not of the workload.
 
 use ccsim_core::{
-    check_conflict_serializable, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
-    Params, ResourceSpec, SimConfig,
+    check_conflict_serializable, run_with_history, CcAlgorithm, Confidence, MetricsConfig, Params,
+    ResourceSpec, SimConfig,
 };
 use ccsim_des::SimDuration;
 
@@ -96,7 +96,11 @@ fn basic_to_stays_serializable_with_maximal_overlap() {
         let (report, history) = run_with_history(c).unwrap();
         // Timestamp rejections are rampant at this contention level; the
         // point is what *does* commit must be serializable.
-        assert!(report.commits > 10, "seed{seed}: {} commits", report.commits);
+        assert!(
+            report.commits > 10,
+            "seed{seed}: {} commits",
+            report.commits
+        );
         check_conflict_serializable(&history).unwrap_or_else(|e| {
             panic!("basic-to/seed{seed} produced a non-serializable history: {e}")
         });

@@ -63,10 +63,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         }),
         ready: Condvar::new(),
     });
-    (
-        Sender { chan: chan.clone() },
-        Receiver { chan },
-    )
+    (Sender { chan: chan.clone() }, Receiver { chan })
 }
 
 impl<T> Sender<T> {
