@@ -46,9 +46,8 @@ pub mod golden;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ccsim_core::{EventSink, FlowStats, Report, SimConfig, Simulator, TraceEvent};
+use ccsim_core::{EventSink, FlowStats, Report, RunError, SimConfig, Simulator, TraceEvent};
 use ccsim_des::SimTime;
-use ccsim_workload::ParamError;
 
 pub use auditor::{AuditReport, Auditor, Violation};
 
@@ -90,11 +89,12 @@ pub fn attach(sim: &mut Simulator) -> AuditorHandle {
 /// simulation [`Report`] together with the [`AuditReport`].
 ///
 /// # Errors
-/// Returns [`ParamError`] if the configuration is invalid.
-pub fn run_with_audit(cfg: SimConfig) -> Result<(Report, AuditReport), ParamError> {
+/// Returns [`RunError`] if the configuration is invalid or the run exceeds
+/// its budget.
+pub fn run_with_audit(cfg: SimConfig) -> Result<(Report, AuditReport), RunError> {
     let mut sim = Simulator::new(cfg)?;
     let handle = attach(&mut sim);
-    let report = sim.run_to_completion();
+    let report = sim.run_to_completion()?;
     Ok((report, handle.report()))
 }
 

@@ -5,6 +5,7 @@ use ccsim_stats::Confidence;
 use ccsim_workload::{ParamError, Params};
 
 use crate::algorithm::{CcAlgorithm, VictimPolicy};
+use crate::budget::RunBudget;
 
 /// Statistical-analysis settings (the paper's modified batch means method:
 /// 20 batches with a large batch time, 90% confidence intervals, after a
@@ -104,6 +105,9 @@ pub struct SimConfig {
     pub trace_capacity: usize,
     /// Batch means settings.
     pub metrics: MetricsConfig,
+    /// Hard ceilings for the run (events, simulated time, wall clock). The
+    /// default caps events only; see [`RunBudget`].
+    pub budget: RunBudget,
 }
 
 impl SimConfig {
@@ -120,6 +124,7 @@ impl SimConfig {
             record_history: false,
             trace_capacity: 0,
             metrics: MetricsConfig::paper(),
+            budget: RunBudget::default(),
         }
     }
 
@@ -148,6 +153,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_workload_seed(mut self, workload_seed: u64) -> Self {
         self.workload_seed = Some(workload_seed);
+        self
+    }
+
+    /// Builder-style run-budget replacement.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -193,6 +205,14 @@ mod tests {
         assert_eq!(c.metrics, MetricsConfig::quick());
         assert_eq!(c.params.db_size, 10_000);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn budget_builder_replaces_default() {
+        let c = SimConfig::new(CcAlgorithm::Blocking);
+        assert_eq!(c.budget, RunBudget::default());
+        let c = c.with_budget(RunBudget::unlimited().with_max_events(7));
+        assert_eq!(c.budget.max_events, Some(7));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use ccsim_workload::{
 };
 
 use crate::algorithm::{CcAlgorithm, VictimPolicy};
+use crate::budget::{BudgetKind, RunError};
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
 use crate::sink::{CenterFlow, EventSink, FlowStats};
@@ -237,20 +238,60 @@ impl Simulator {
     }
 
     /// Run the full simulation and return the report.
-    pub fn run_to_completion(mut self) -> Report {
-        self.run_loop();
-        self.finish()
+    ///
+    /// # Errors
+    /// Returns [`RunError::BudgetExhausted`] if the run exceeds its
+    /// configured [`crate::RunBudget`].
+    pub fn run_to_completion(mut self) -> Result<Report, RunError> {
+        self.run_loop()?;
+        Ok(self.finish())
     }
 
-    fn run_loop(&mut self) {
+    /// How often (in events) the wall clock is sampled for budget checks.
+    /// Event and sim-time ceilings are checked on every event; the wall
+    /// clock only every `WALL_CHECK_PERIOD` events because `Instant::now`
+    /// costs more than an event dispatch. The check fires on event 1, so a
+    /// zero wall-clock budget trips immediately (used by tests).
+    const WALL_CHECK_PERIOD: u64 = 8192;
+
+    fn run_loop(&mut self) -> Result<(), RunError> {
+        let budget = self.cfg.budget;
+        let started = std::time::Instant::now();
+        let mut events: u64 = 0;
         self.prime();
         while !self.done {
             let Some((now, ev)) = self.cal.pop() else {
                 break;
             };
+            events += 1;
+            let exceeded = if budget.max_events.is_some_and(|cap| events > cap) {
+                Some(BudgetKind::Events)
+            } else if budget
+                .max_sim_time
+                .is_some_and(|cap| now.since(SimTime::ZERO) > cap)
+            {
+                Some(BudgetKind::SimTime)
+            } else if events % Self::WALL_CHECK_PERIOD == 1
+                && budget
+                    .max_wall_clock
+                    .is_some_and(|cap| started.elapsed() > cap)
+            {
+                Some(BudgetKind::WallClock)
+            } else {
+                None
+            };
+            if let Some(exceeded) = exceeded {
+                return Err(RunError::BudgetExhausted {
+                    exceeded,
+                    events,
+                    sim_time: now,
+                    wall_clock: started.elapsed(),
+                });
+            }
             self.now = now;
             self.handle(now, ev);
         }
+        Ok(())
     }
 
     /// Close out a finished run: compute the report and flow statistics and
@@ -1256,20 +1297,22 @@ impl Simulator {
 /// Validate `cfg`, run the simulation to completion, and return the report.
 ///
 /// # Errors
-/// Returns [`ParamError`] if the configuration is invalid.
-pub fn run(cfg: SimConfig) -> Result<Report, ParamError> {
-    Ok(Simulator::new(cfg)?.run_to_completion())
+/// Returns [`RunError::InvalidConfig`] if the configuration is invalid, or
+/// [`RunError::BudgetExhausted`] if the run exceeds its [`crate::RunBudget`].
+pub fn run(cfg: SimConfig) -> Result<Report, RunError> {
+    Simulator::new(cfg)?.run_to_completion()
 }
 
 /// Like [`run`], but enable tracing (with the given event capacity) and
 /// also return the [`Trace`].
 ///
 /// # Errors
-/// Returns [`ParamError`] if the configuration is invalid.
-pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Trace), ParamError> {
+/// Returns [`RunError`] if the configuration is invalid or the run exceeds
+/// its budget.
+pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Trace), RunError> {
     cfg.trace_capacity = capacity.max(1);
     let mut sim = Simulator::new(cfg)?;
-    sim.run_loop();
+    sim.run_loop()?;
     let report = sim.finish();
     let trace = sim.trace.take().expect("tracing was enabled");
     Ok((report, trace))
@@ -1279,11 +1322,12 @@ pub fn run_with_trace(mut cfg: SimConfig, capacity: usize) -> Result<(Report, Tr
 /// committed-transaction [`History`] for serializability checking.
 ///
 /// # Errors
-/// Returns [`ParamError`] if the configuration is invalid.
-pub fn run_with_history(mut cfg: SimConfig) -> Result<(Report, History), ParamError> {
+/// Returns [`RunError`] if the configuration is invalid or the run exceeds
+/// its budget.
+pub fn run_with_history(mut cfg: SimConfig) -> Result<(Report, History), RunError> {
     cfg.record_history = true;
     let mut sim = Simulator::new(cfg)?;
-    sim.run_loop();
+    sim.run_loop()?;
     let report = sim.finish();
     let history = sim.history.take().expect("history recording was enabled");
     Ok((report, history))
@@ -1343,7 +1387,75 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut cfg = quick_cfg(CcAlgorithm::Blocking);
         cfg.params.mpl = 0;
-        assert!(run(cfg).is_err());
+        assert!(matches!(run(cfg), Err(RunError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn event_budget_exhausts_deterministically() {
+        let budget = crate::RunBudget::unlimited().with_max_events(500);
+        let exhaust = || run(quick_cfg(CcAlgorithm::Blocking).with_budget(budget));
+        let (a, b) = (exhaust(), exhaust());
+        let Err(RunError::BudgetExhausted {
+            exceeded,
+            events,
+            sim_time,
+            ..
+        }) = a
+        else {
+            panic!("expected budget exhaustion, got {a:?}");
+        };
+        assert_eq!(exceeded, BudgetKind::Events);
+        assert_eq!(events, 501, "stops on the first event past the cap");
+        // The twin run stops at the same event and instant (wall clock is
+        // the one nondeterministic field).
+        let Err(RunError::BudgetExhausted {
+            events: events_b,
+            sim_time: sim_time_b,
+            ..
+        }) = b
+        else {
+            panic!("expected budget exhaustion, got {b:?}");
+        };
+        assert_eq!((events, sim_time), (events_b, sim_time_b));
+    }
+
+    #[test]
+    fn sim_time_budget_exhausts() {
+        let budget = crate::RunBudget::unlimited().with_max_sim_time(SimDuration::from_secs(5));
+        let res = run(quick_cfg(CcAlgorithm::Optimistic).with_budget(budget));
+        let Err(RunError::BudgetExhausted {
+            exceeded, sim_time, ..
+        }) = res
+        else {
+            panic!("expected budget exhaustion, got {res:?}");
+        };
+        assert_eq!(exceeded, BudgetKind::SimTime);
+        assert!(sim_time.since(SimTime::ZERO) > SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_trips_on_first_check() {
+        let budget = crate::RunBudget::unlimited().with_max_wall_clock(std::time::Duration::ZERO);
+        let res = run(quick_cfg(CcAlgorithm::Blocking).with_budget(budget));
+        assert!(
+            matches!(
+                res,
+                Err(RunError::BudgetExhausted {
+                    exceeded: BudgetKind::WallClock,
+                    ..
+                })
+            ),
+            "got {res:?}"
+        );
+    }
+
+    #[test]
+    fn default_budget_does_not_perturb_reports() {
+        let capped = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        let uncapped =
+            run(quick_cfg(CcAlgorithm::Blocking).with_budget(crate::RunBudget::unlimited()))
+                .unwrap();
+        assert_eq!(capped, uncapped);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(clippy::all)]
 
 mod algorithm;
+mod budget;
 mod config;
 mod engine;
 mod metrics;
@@ -34,6 +35,7 @@ mod trace;
 mod txn;
 
 pub use algorithm::{CcAlgorithm, VictimPolicy};
+pub use budget::{BudgetKind, RunBudget, RunError};
 pub use config::{MetricsConfig, SimConfig};
 pub use engine::{run, run_with_history, run_with_trace, Simulator};
 pub use metrics::{ClassReport, Metrics, Report};

@@ -14,18 +14,57 @@
 //!                   and 90% CIs are then taken across replications, with
 //!                   common random numbers pairing the algorithms
 //!   --threads <n>   worker threads (default: all cores)
-//!   --out <dir>     also write <dir>/<id>.json and <dir>/<id>.txt
+//!   --out <dir>     also write <dir>/<id>.json and <dir>/<id>.txt, and
+//!                   journal completed runs to <dir>/<id>.manifest.jsonl
+//!   --resume        skip runs already journaled in the checkpoint manifest
+//!                   (requires --out); the final output is byte-identical
+//!                   to an uninterrupted run
+//!   --retry-quick   retry each failed run once at quick fidelity so the
+//!                   hole carries a degraded measurement (the failure stays
+//!                   on record and still fails the command)
 //!   --md <path>     write a combined markdown results appendix
 //!   --chart         print an ASCII throughput chart per experiment
 //! ```
+//!
+//! A failed run (panic, budget exhaustion, invalid configuration) never
+//! aborts the sweep: it is reported as an explicit hole and the command
+//! exits non-zero. SIGINT lets in-flight runs finish and be journaled,
+//! then exits 130 with a `--resume` hint.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ccsim_experiments::{
-    catalog, checks, json, md, report, run_experiment, ExperimentSpec, Fidelity, RunOptions,
+    catalog, checks, json, md, report, run_experiment_supervised, write_atomic, ExperimentSpec,
+    Fidelity, RunOptions, SweepControl,
 };
+
+/// Cooperative SIGINT flag, installed via the raw C `signal` interface so
+/// no extra dependency is needed. The handler only flips an atomic; the
+/// supervisor notices between run completions.
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() {
+        use std::sync::atomic::Ordering;
+        extern "C" fn on_sigint(_sig: i32) {
+            INTERRUPTED.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
 
 struct Cli {
     targets: Vec<String>,
@@ -33,6 +72,7 @@ struct Cli {
     out: Option<PathBuf>,
     md_out: Option<PathBuf>,
     chart: bool,
+    resume: bool,
 }
 
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
@@ -41,12 +81,15 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut out = None;
     let mut md_out = None;
     let mut chart = false;
+    let mut resume = false;
     let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.fidelity = Fidelity::Quick,
             "--audit" => opts.audit = true,
             "--chart" => chart = true,
+            "--resume" => resume = true,
+            "--retry-quick" => opts.retry_quick = true,
             "--list" => targets.push("list".to_string()),
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -79,6 +122,9 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             target => targets.push(target.to_string()),
         }
     }
+    if resume && out.is_none() {
+        return Err("--resume needs --out <dir> (the manifest lives there)".to_string());
+    }
     if targets.is_empty() {
         targets.push("list".to_string());
     }
@@ -88,6 +134,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         out,
         md_out,
         chart,
+        resume,
     })
 }
 
@@ -163,20 +210,72 @@ fn main() {
         }
     }
 
+    #[cfg(feature = "chaos")]
+    let chaos = match ccsim_experiments::ChaosPoint::from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: CCSIM_CHAOS: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    sigint::install();
+
     let mut failures = 0usize;
     let mut collected = Vec::new();
     for spec in &specs {
         let started = Instant::now();
         eprintln!(
-            ">> {} ({} runs x {} rep(s), {:?} fidelity{})...",
+            ">> {} ({} runs x {} rep(s), {:?} fidelity{}{})...",
             spec.id,
             spec.num_runs(),
             cli.opts.replications.max(1),
             cli.opts.fidelity,
-            if cli.opts.audit { ", audited" } else { "" }
+            if cli.opts.audit { ", audited" } else { "" },
+            if cli.resume { ", resuming" } else { "" }
         );
-        let result = run_experiment(spec, &cli.opts);
+        let manifest_path = cli
+            .out
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.manifest.jsonl", spec.id)));
+        let ctl = SweepControl {
+            checkpoint: manifest_path.as_deref(),
+            resume: cli.resume,
+            interrupt: Some(&sigint::INTERRUPTED),
+            stop_after: None,
+            #[cfg(feature = "chaos")]
+            chaos,
+        };
+        let result = match run_experiment_supervised(spec, &cli.opts, &ctl) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", spec.id);
+                std::process::exit(1);
+            }
+        };
         let elapsed = started.elapsed();
+
+        if result.interrupted {
+            // Partial results are not written (a stale complete .json must
+            // not be overwritten by a truncated one); the manifest already
+            // holds every completed run.
+            eprintln!(
+                "interrupted: {} with {} point(s) collected",
+                spec.id,
+                result.points.len()
+            );
+            match &manifest_path {
+                Some(m) => eprintln!(
+                    "hint: completed runs are journaled in {}; re-run with --resume to continue",
+                    m.display()
+                ),
+                None => eprintln!(
+                    "hint: run with --out <dir> to checkpoint progress so --resume can continue"
+                ),
+            }
+            std::process::exit(130);
+        }
+
         let text = report::render_experiment(&result);
         println!("{text}");
         if cli.chart {
@@ -196,6 +295,16 @@ fn main() {
                 }
             }
         }
+        if !result.failures.is_empty() {
+            failures += result.failures.len();
+            println!(
+                "Run failures ({} hole(s) in the grid):",
+                result.failures.len()
+            );
+            for f in &result.failures {
+                println!("  [HOLE] {f}");
+            }
+        }
         println!("Shape checks vs. the paper:");
         let outcomes = checks::evaluate(&result);
         for c in &outcomes {
@@ -208,10 +317,8 @@ fn main() {
         println!("  ({:.1}s wall clock)\n", elapsed.as_secs_f64());
 
         if let Some(dir) = &cli.out {
-            let write = |name: String, contents: &str| -> std::io::Result<()> {
-                let mut f = std::fs::File::create(dir.join(name))?;
-                f.write_all(contents.as_bytes())
-            };
+            let write =
+                |name: String, contents: &str| write_atomic(&dir.join(name), contents.as_bytes());
             if let Err(e) = write(format!("{}.json", spec.id), &json::to_json(&result))
                 .and_then(|()| write(format!("{}.txt", spec.id), &text))
             {
@@ -223,7 +330,7 @@ fn main() {
     }
     if let Some(path) = &cli.md_out {
         let doc = md::report_to_markdown(&collected);
-        if let Err(e) = std::fs::write(path, doc) {
+        if let Err(e) = write_atomic(path, doc.as_bytes()) {
             eprintln!("error: writing {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -248,6 +355,8 @@ mod tests {
         let cli = parse(&[]).expect("parses");
         assert_eq!(cli.targets, vec!["list"]);
         assert!(!cli.opts.audit);
+        assert!(!cli.resume);
+        assert!(!cli.opts.retry_quick);
         assert!(resolve_specs(&cli.targets).expect("resolves").is_none());
     }
 
@@ -263,6 +372,10 @@ mod tests {
             "3",
             "--threads",
             "2",
+            "--retry-quick",
+            "--out",
+            "results",
+            "--resume",
         ])
         .expect("parses");
         assert_eq!(cli.targets, vec!["exp3"]);
@@ -271,6 +384,9 @@ mod tests {
         assert_eq!(cli.opts.base_seed, 9);
         assert_eq!(cli.opts.replications, 3);
         assert_eq!(cli.opts.threads, 2);
+        assert!(cli.opts.retry_quick);
+        assert!(cli.resume);
+        assert_eq!(cli.out.as_deref(), Some(std::path::Path::new("results")));
     }
 
     #[test]
@@ -284,6 +400,12 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed"]).is_err(), "missing value");
         assert!(parse(&["--reps", "0"]).is_err(), "reps must be positive");
+    }
+
+    #[test]
+    fn resume_requires_out() {
+        assert!(parse(&["exp3", "--resume"]).is_err());
+        assert!(parse(&["exp3", "--resume", "--out", "r"]).is_ok());
     }
 
     #[test]

@@ -22,18 +22,26 @@
 //!                           per-replication throughput and the Student-t
 //!                           interval across replication means
 //!   --batches <n> --batch-secs <n> --warmup <n>
+//!   --max-events <n>        run-budget event ceiling (0 = unlimited;
+//!                           default 2000000000); an exhausted budget is a
+//!                           structured error, not a hang
+//!   --out <path>            also write the report to <path> (atomic
+//!                           temp-then-rename write)
 //!   --check-serializable    record the history and run the checker
 //!   --audit                 attach the online invariant auditor; any
 //!                           violation is printed with its event context
 //!                           and fails the command
 //! ```
 
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
 use ccsim_core::{
     check_conflict_serializable, run, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
-    Params, Report, ResourceSpec, SimConfig,
+    Params, Report, ResourceSpec, RunBudget, RunError, SimConfig,
 };
 use ccsim_des::{derive_seed, SimDuration};
-use ccsim_experiments::aggregate_reports;
+use ccsim_experiments::{aggregate_reports, write_atomic};
 use ccsim_stats::Replications;
 
 fn algo_by_name(name: &str) -> Option<CcAlgorithm> {
@@ -48,16 +56,19 @@ struct Cli {
     check_serializable: bool,
     audit: bool,
     reps: u32,
+    out: Option<PathBuf>,
 }
 
 fn parse() -> Result<Cli, String> {
     let mut algo = CcAlgorithm::Blocking;
     let mut params = Params::paper_baseline();
     let mut metrics = MetricsConfig::paper();
+    let mut budget = RunBudget::default();
     let mut seed = 0xCC85_u64;
     let mut reps = 1_u32;
     let mut check_serializable = false;
     let mut audit = false;
+    let mut out = None;
     let mut cpus: Option<u32> = None;
     let mut disks: Option<u32> = None;
     let mut infinite = false;
@@ -106,6 +117,11 @@ fn parse() -> Result<Cli, String> {
                 metrics.batch_time =
                     SimDuration::from_secs(parse_num(&next_val(&mut args, "--batch-secs")?)?);
             }
+            "--max-events" => {
+                let cap: u64 = parse_num(&next_val(&mut args, "--max-events")?)?;
+                budget.max_events = (cap > 0).then_some(cap);
+            }
+            "--out" => out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check-serializable" => check_serializable = true,
             "--audit" => audit = true,
             "--quick" => metrics = MetricsConfig::quick(),
@@ -123,6 +139,7 @@ fn parse() -> Result<Cli, String> {
     let cfg = SimConfig::new(algo)
         .with_params(params)
         .with_metrics(metrics)
+        .with_budget(budget)
         .with_seed(seed);
     cfg.validate().map_err(|e| e.to_string())?;
     if check_serializable && reps > 1 {
@@ -139,6 +156,7 @@ fn parse() -> Result<Cli, String> {
         check_serializable,
         audit,
         reps,
+        out,
     })
 }
 
@@ -149,22 +167,32 @@ where
     v.parse().map_err(|e| format!("bad value {v:?}: {e}"))
 }
 
-fn print_report(cfg: &SimConfig, r: &Report) {
+fn render_report(cfg: &SimConfig, r: &Report) -> String {
+    let mut s = String::with_capacity(1024);
     let p = &cfg.params;
-    println!("configuration");
-    println!("  algorithm        {}", cfg.algorithm.label());
-    println!(
+    let _ = writeln!(s, "configuration");
+    let _ = writeln!(s, "  algorithm        {}", cfg.algorithm.label());
+    let _ = writeln!(
+        s,
         "  database         {} pages, readset U[{}, {}], write_prob {}",
         p.db_size, p.min_size, p.max_size, p.write_prob
     );
     match p.resources {
-        ResourceSpec::Infinite => println!("  resources        infinite"),
+        ResourceSpec::Infinite => {
+            let _ = writeln!(s, "  resources        infinite");
+        }
         ResourceSpec::Physical {
             num_cpus,
             num_disks,
-        } => println!("  resources        {num_cpus} CPU(s), {num_disks} disk(s)"),
+        } => {
+            let _ = writeln!(
+                s,
+                "  resources        {num_cpus} CPU(s), {num_disks} disk(s)"
+            );
+        }
     }
-    println!(
+    let _ = writeln!(
+        s,
         "  population       {} terminals, mpl {}, think {:.1}s ext / {:.1}s int",
         p.num_terms,
         p.mpl,
@@ -175,20 +203,23 @@ fn print_report(cfg: &SimConfig, r: &Report) {
         Confidence::Ninety => "90%",
         Confidence::NinetyFive => "95%",
     };
-    println!(
+    let _ = writeln!(
+        s,
         "  measurement      {} batches x {:.0}s after {} warmup, {} CIs",
         cfg.metrics.batches,
         cfg.metrics.batch_time.as_secs_f64(),
         cfg.metrics.warmup_batches,
         conf
     );
-    println!();
-    println!("results");
-    println!(
+    let _ = writeln!(s);
+    let _ = writeln!(s, "results");
+    let _ = writeln!(
+        s,
         "  throughput       {:.3} ± {:.3} tps",
         r.throughput.mean, r.throughput.half_width
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  response time    mean {:.2}s  sd {:.2}s  p50 {:.2}s  p95 {:.2}s  p99 {:.2}s  max {:.2}s",
         r.response_time_mean,
         r.response_time_std,
@@ -197,28 +228,61 @@ fn print_report(cfg: &SimConfig, r: &Report) {
         r.response_time_p99,
         r.response_time_max
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  conflicts        {:.3} blocks/commit, {:.3} restarts/commit ({} deadlocks)",
         r.block_ratio, r.restart_ratio, r.deadlocks
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  disk utilization {:.1}% total / {:.1}% useful",
         100.0 * r.disk_util_total.mean,
         100.0 * r.disk_util_useful.mean
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  cpu utilization  {:.1}% total / {:.1}% useful",
         100.0 * r.cpu_util_total.mean,
         100.0 * r.cpu_util_useful.mean
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  population       avg {:.1} active of mpl {}; {} commits observed",
         r.avg_active, p.mpl, r.commits
     );
-    println!(
+    let _ = writeln!(
+        s,
         "  diagnostics      batch lag-1 autocorrelation {:.3}",
         r.throughput_lag1
     );
+    s
+}
+
+/// Report a failed run and exit: exit code 2 for configuration errors
+/// (caller mistake), 1 for budget exhaustion (the run itself failed).
+fn exit_run_error(e: &RunError) -> ! {
+    eprintln!("error: {e}");
+    match e {
+        RunError::InvalidConfig(_) => std::process::exit(2),
+        RunError::BudgetExhausted { .. } => {
+            eprintln!(
+                "hint: raise the ceiling with --max-events <n> (0 = unlimited) \
+                 or shorten the run (--quick, --batches)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn emit(cli: &Cli, text: &str) {
+    print!("{text}");
+    if let Some(path) = &cli.out {
+        if let Err(e) = write_atomic(path, text.as_bytes()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 fn main() {
@@ -230,30 +294,42 @@ fn main() {
         }
     };
     if cli.audit {
-        let (report, audit) =
-            ccsim_audit::run_with_audit(cli.cfg.clone()).expect("configuration was validated");
-        print_report(&cli.cfg, &report);
+        let (report, audit) = match ccsim_audit::run_with_audit(cli.cfg.clone()) {
+            Ok(ra) => ra,
+            Err(e) => exit_run_error(&e),
+        };
+        let mut text = render_report(&cli.cfg, &report);
         if audit.is_clean() {
-            println!(
+            let _ = writeln!(
+                text,
                 "  invariant audit  clean ({} events checked)",
                 audit.events_seen
             );
+            emit(&cli, &text);
         } else {
-            println!();
-            println!("{}", audit.render());
+            let _ = writeln!(text);
+            let _ = writeln!(text, "{}", audit.render());
+            emit(&cli, &text);
             std::process::exit(1);
         }
     } else if cli.check_serializable {
-        let (report, history) =
-            run_with_history(cli.cfg.clone()).expect("configuration was validated");
-        print_report(&cli.cfg, &report);
+        let (report, history) = match run_with_history(cli.cfg.clone()) {
+            Ok(rh) => rh,
+            Err(e) => exit_run_error(&e),
+        };
+        let mut text = render_report(&cli.cfg, &report);
         match check_conflict_serializable(&history) {
-            Ok(order) => println!(
-                "  serializability  OK ({} committed transactions, witness order found)",
-                order.len()
-            ),
+            Ok(order) => {
+                let _ = writeln!(
+                    text,
+                    "  serializability  OK ({} committed transactions, witness order found)",
+                    order.len()
+                );
+                emit(&cli, &text);
+            }
             Err(cycle) => {
-                println!("  serializability  VIOLATED: {cycle}");
+                let _ = writeln!(text, "  serializability  VIOLATED: {cycle}");
+                emit(&cli, &text);
                 std::process::exit(1);
             }
         }
@@ -268,28 +344,41 @@ fn main() {
                     .clone()
                     .with_seed(derive_seed(cli.cfg.seed, &[2, u64::from(r)]))
                     .with_workload_seed(derive_seed(cli.cfg.seed, &[1, u64::from(r)]));
-                run(cfg).expect("configuration was validated")
+                match run(cfg) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("replication {r} failed:");
+                        exit_run_error(&e);
+                    }
+                }
             })
             .collect();
-        let agg = aggregate_reports(&replicates, cli.cfg.metrics.confidence);
-        print_report(&cli.cfg, &agg);
-        println!();
-        println!("replications");
+        let agg = aggregate_reports(&replicates, cli.cfg.metrics.confidence)
+            .expect("at least one replication ran");
+        let mut text = render_report(&cli.cfg, &agg);
+        let _ = writeln!(text);
+        let _ = writeln!(text, "replications");
         let mut est = Replications::new(cli.cfg.metrics.confidence);
         for (i, r) in replicates.iter().enumerate() {
-            println!(
+            let _ = writeln!(
+                text,
                 "  rep {:<3} throughput {:.3} ± {:.3} tps (batch means)",
                 i, r.throughput.mean, r.throughput.half_width
             );
             est.push(r.throughput.mean);
         }
         let e = est.estimate();
-        println!(
+        let _ = writeln!(
+            text,
             "  across {} replications: {:.3} ± {:.3} tps (Student-t over replication means)",
             cli.reps, e.mean, e.half_width
         );
+        emit(&cli, &text);
     } else {
-        let report = run(cli.cfg.clone()).expect("configuration was validated");
-        print_report(&cli.cfg, &report);
+        let report = match run(cli.cfg.clone()) {
+            Ok(r) => r,
+            Err(e) => exit_run_error(&e),
+        };
+        emit(&cli, &render_report(&cli.cfg, &report));
     }
 }

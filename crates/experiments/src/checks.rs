@@ -459,6 +459,8 @@ mod tests {
                 .map(|&(s, mpl, v)| DataPoint::single(s.to_string(), mpl, fake_report(v)))
                 .collect(),
             audit_failures: Vec::new(),
+            failures: Vec::new(),
+            interrupted: false,
         }
     }
 
@@ -519,7 +521,8 @@ mod tests {
             report: crate::replicate::aggregate_reports(
                 &replicates,
                 ccsim_stats::Confidence::Ninety,
-            ),
+            )
+            .expect("test replicates are non-empty"),
             replicates,
         }
     }

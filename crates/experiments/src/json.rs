@@ -1,15 +1,18 @@
-//! A minimal JSON writer for archiving experiment results.
+//! A minimal JSON writer (and parser) for archiving experiment results.
 //!
 //! The approved dependency list has `serde` but no `serde_json`, and our
 //! output is a fixed shape, so a ~hundred-line emitter keeps the tree small
-//! and honest. Only emission is needed — nothing reads JSON back.
+//! and honest. The checkpoint manifest (`crate::manifest`) additionally
+//! needs to read its own lines back, so a small recursive-descent parser
+//! lives here too. Numbers are kept as raw lexemes so `u64` seeds and
+//! bit-exact `f64` round trips both survive.
 
 use std::fmt::Write as _;
 
 use crate::spec::{DataPoint, ExperimentResult};
 
 /// Escape a string per RFC 8259.
-fn escape(s: &str, out: &mut String) {
+pub(crate) fn escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -124,8 +127,295 @@ pub fn to_json(result: &ExperimentResult) -> String {
         }
         point_json(p, &mut out);
     }
-    out.push_str("]}");
+    out.push(']');
+    // Failure holes and interruption are emitted only when present, so a
+    // clean sweep's JSON is byte-identical to what older archives hold.
+    if !result.failures.is_empty() {
+        out.push_str(",\"failures\":[");
+        for (i, f) in result.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"series\":");
+            escape(&f.series, &mut out);
+            let _ = write!(out, ",\"mpl\":{},\"rep\":{},\"kind\":", f.mpl, f.rep);
+            escape(f.kind.token(), &mut out);
+            out.push_str(",\"detail\":");
+            escape(&f.detail, &mut out);
+            out.push_str(",\"retry\":");
+            escape(f.retry.token(), &mut out);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    if result.interrupted {
+        out.push_str(",\"interrupted\":true");
+    }
+    out.push('}');
     out
+}
+
+/// A parsed JSON value. Numbers keep their raw lexeme so callers choose
+/// the integer or float interpretation without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its unparsed lexeme.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            // `f64::from_str` accepts our non-finite lexemes (NaN, inf,
+            // -inf) as well as ordinary JSON numbers.
+            Value::Num(raw) => raw.parse().ok(),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Accepts the output of this module plus the
+/// non-finite number lexemes `NaN` / `inf` / `-inf` that the manifest
+/// writes for lossless float round trips.
+pub(crate) fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        // Non-finite lexemes written by the manifest for lossless floats.
+        for lit in ["-inf", "inf", "NaN"] {
+            if self.eat_literal(lit) {
+                return Ok(Value::Num(lit.to_string()));
+            }
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a value at offset {start}"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        // Validate the lexeme parses as a float at all.
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+        Ok(Value::Num(raw))
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +482,8 @@ mod tests {
                 },
             )],
             audit_failures: Vec::new(),
+            failures: Vec::new(),
+            interrupted: false,
         }
     }
 
@@ -265,5 +557,98 @@ mod tests {
         s.push(',');
         number(f64::INFINITY, &mut s);
         assert_eq!(s, "null,null");
+    }
+
+    #[test]
+    fn failures_and_interruption_emit_only_when_present() {
+        use crate::spec::{FailureKind, PointFailure, RetryOutcome};
+        let clean = to_json(&tiny_result());
+        assert!(!clean.contains("\"failures\""));
+        assert!(!clean.contains("\"interrupted\""));
+        let mut r = tiny_result();
+        r.failures.push(PointFailure {
+            series: "optimistic".into(),
+            mpl: 25,
+            rep: 1,
+            kind: FailureKind::Panic,
+            detail: "chaos: injected panic".into(),
+            retry: RetryOutcome::Failed,
+        });
+        r.interrupted = true;
+        let j = to_json(&r);
+        assert!(j.contains(
+            "\"failures\":[{\"series\":\"optimistic\",\"mpl\":25,\"rep\":1,\
+             \"kind\":\"panic\",\"detail\":\"chaos: injected panic\",\
+             \"retry\":\"failed\"}]"
+        ));
+        assert!(j.ends_with(",\"interrupted\":true}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // And the parser reads its own output back.
+        let v = parse(&j).expect("parses");
+        let failures = v.get("failures").and_then(Value::as_arr).expect("array");
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].get("kind").and_then(Value::as_str),
+            Some("panic")
+        );
+        assert_eq!(v.get("interrupted").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn parser_round_trips_documents() {
+        let j = to_json(&tiny_result());
+        let v = parse(&j).expect("parses");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("t"));
+        assert_eq!(
+            v.get("title").and_then(Value::as_str),
+            Some("tiny \"quoted\"")
+        );
+        let points = v.get("points").and_then(Value::as_arr).expect("points");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("mpl").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            points[0].get("throughput").and_then(Value::as_f64),
+            Some(1.5)
+        );
+        assert_eq!(points[0].get("commits").and_then(Value::as_u64), Some(10));
+    }
+
+    #[test]
+    fn parser_preserves_exact_lexemes() {
+        // u64 beyond f64's 2^53 mantissa survives as an integer...
+        let v = parse("{\"seed\":18446744073709551615}").expect("parses");
+        assert_eq!(
+            v.get("seed").and_then(Value::as_u64),
+            Some(u64::MAX),
+            "seed lexeme must not round-trip through f64"
+        );
+        // ...floats round-trip bit-exactly through shortest formatting...
+        let x = 0.1f64 + 0.2f64;
+        let v = parse(&format!("[{x}]")).expect("parses");
+        assert_eq!(v.as_arr().unwrap()[0].as_f64(), Some(x));
+        // ...and the manifest's non-finite lexemes are accepted.
+        let v = parse("[NaN,inf,-inf,null]").expect("parses");
+        let items = v.as_arr().unwrap();
+        assert!(items[0].as_f64().unwrap().is_nan());
+        assert_eq!(items[1].as_f64(), Some(f64::INFINITY));
+        assert_eq!(items[2].as_f64(), Some(f64::NEG_INFINITY));
+        assert!(items[3].as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("bogus").is_err());
+    }
+
+    #[test]
+    fn parser_unescapes_strings() {
+        let v = parse("\"a\\nb\\tc\\u0041\\\\\"").expect("parses");
+        assert_eq!(v.as_str(), Some("a\nb\tc\u{41}\\"));
     }
 }

@@ -19,14 +19,25 @@
 #![warn(clippy::all)]
 
 pub mod catalog;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod checks;
 pub mod json;
+pub mod manifest;
 pub mod md;
 mod replicate;
 pub mod report;
 mod runner;
 mod spec;
 
-pub use replicate::aggregate_reports;
-pub use runner::{run_experiment, Fidelity, RunOptions};
-pub use spec::{DataPoint, ExperimentResult, ExperimentSpec, FigureKind, FigureView, Series};
+#[cfg(feature = "chaos")]
+pub use chaos::{ChaosKind, ChaosPoint};
+pub use manifest::{write_atomic, Manifest, ManifestEntry, ManifestError};
+pub use replicate::{aggregate_reports, NoReplications};
+pub use runner::{
+    run_experiment, run_experiment_supervised, Fidelity, RunOptions, SweepControl, SweepError,
+};
+pub use spec::{
+    DataPoint, ExperimentResult, ExperimentSpec, FailureKind, FigureKind, FigureView, PointFailure,
+    RetryOutcome, Series,
+};

@@ -77,8 +77,21 @@ pub fn experiment_to_markdown(result: &ExperimentResult, checks: &[CheckOutcome]
             "_{reps} independent replications per point; ± is the Student-t interval across replication means (common random numbers pair the series)._\n"
         );
     }
+    if result.interrupted {
+        let _ = writeln!(
+            out,
+            "_Sweep interrupted: tables cover only the completed runs._\n"
+        );
+    }
     for view in &result.spec.views {
         md_view(result, view, &mut out);
+    }
+    if !result.failures.is_empty() {
+        let _ = writeln!(out, "Run failures (missing cells above are holes):\n");
+        for f in &result.failures {
+            let _ = writeln!(out, "- ⚠️ {f}");
+        }
+        let _ = writeln!(out);
     }
     if !checks.is_empty() {
         let _ = writeln!(out, "Shape checks:\n");
@@ -126,6 +139,7 @@ mod tests {
                 ..RunOptions::default()
             },
         )
+        .expect("sweep completes")
     }
 
     #[test]
@@ -161,5 +175,23 @@ mod tests {
         result.points.retain(|p| p.mpl != 25);
         let md = experiment_to_markdown(&result, &[]);
         assert!(md.contains('—'));
+    }
+
+    #[test]
+    fn failures_render_as_hole_list() {
+        let mut result = small_result();
+        result.points.retain(|p| p.mpl != 25);
+        result.failures.push(crate::spec::PointFailure {
+            series: "optimistic".to_string(),
+            mpl: 25,
+            rep: 1,
+            kind: crate::spec::FailureKind::Budget,
+            detail: "budget exhausted".to_string(),
+            retry: crate::spec::RetryOutcome::Failed,
+        });
+        let md = experiment_to_markdown(&result, &[]);
+        assert!(md.contains("Run failures"));
+        assert!(md.contains("⚠️ optimistic@25 rep 1 [budget]"));
+        assert!(md.contains("(quick retry failed too)"));
     }
 }

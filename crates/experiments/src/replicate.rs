@@ -10,6 +10,20 @@
 use ccsim_core::{ClassReport, Estimate, Report};
 use ccsim_stats::{Confidence, Replications};
 
+/// Error returned by [`aggregate_reports`] when given no replications — a
+/// grid point with zero surviving runs has no aggregate (the supervisor
+/// records it as a hole instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoReplications;
+
+impl std::fmt::Display for NoReplications {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot aggregate zero replications")
+    }
+}
+
+impl std::error::Error for NoReplications {}
+
 fn rep_estimate<I: IntoIterator<Item = f64>>(values: I, confidence: Confidence) -> Estimate {
     let mut reps = Replications::new(confidence);
     for v in values {
@@ -70,16 +84,20 @@ fn aggregate_classes(reports: &[Report]) -> Vec<ClassReport> {
 /// summed, and `throughput_per_batch` is the concatenation of every
 /// replication's batch series (in replication order).
 ///
-/// # Panics
-/// Panics if `replicates` is empty — a measured point always has at least
-/// one run behind it.
-#[must_use]
-pub fn aggregate_reports(replicates: &[Report], confidence: Confidence) -> Report {
-    assert!(!replicates.is_empty(), "aggregating zero replications");
-    if replicates.len() == 1 {
-        return replicates[0].clone();
+/// # Errors
+/// Returns [`NoReplications`] if `replicates` is empty — a measured point
+/// needs at least one run behind it.
+pub fn aggregate_reports(
+    replicates: &[Report],
+    confidence: Confidence,
+) -> Result<Report, NoReplications> {
+    if replicates.is_empty() {
+        return Err(NoReplications);
     }
-    Report {
+    if replicates.len() == 1 {
+        return Ok(replicates[0].clone());
+    }
+    Ok(Report {
         throughput: rep_estimate(replicates.iter().map(|r| r.throughput.mean), confidence),
         throughput_per_batch: replicates
             .iter()
@@ -113,7 +131,7 @@ pub fn aggregate_reports(replicates: &[Report], confidence: Confidence) -> Repor
         blocks: sum_of(replicates, |r| r.blocks),
         restarts: sum_of(replicates, |r| r.restarts),
         deadlocks: sum_of(replicates, |r| r.deadlocks),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -170,14 +188,14 @@ mod tests {
     #[test]
     fn single_replication_is_identity() {
         let r = report(10.0, 100);
-        let agg = aggregate_reports(std::slice::from_ref(&r), Confidence::Ninety);
+        let agg = aggregate_reports(std::slice::from_ref(&r), Confidence::Ninety).unwrap();
         assert_eq!(agg, r);
     }
 
     #[test]
     fn multi_replication_summary() {
         let reps = [report(10.0, 100), report(12.0, 110), report(11.0, 90)];
-        let agg = aggregate_reports(&reps, Confidence::Ninety);
+        let agg = aggregate_reports(&reps, Confidence::Ninety).unwrap();
         assert!((agg.throughput.mean - 11.0).abs() < 1e-12);
         // Cross-replication CI: s^2 = 1, se = 1/sqrt(3), t90(2) = 2.919986.
         assert!((agg.throughput.half_width - 2.919986 / 3.0f64.sqrt()).abs() < 1e-5);
@@ -194,8 +212,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero replications")]
-    fn empty_input_panics() {
-        let _ = aggregate_reports(&[], Confidence::Ninety);
+    fn empty_input_is_an_error_not_a_panic() {
+        assert_eq!(
+            aggregate_reports(&[], Confidence::Ninety),
+            Err(NoReplications)
+        );
+        assert!(NoReplications.to_string().contains("zero replications"));
     }
 }

@@ -143,8 +143,25 @@ pub fn render_experiment(result: &ExperimentResult) -> String {
             "{reps} replications per point; ± is the Student-t interval across replication means.\n"
         );
     }
+    if result.interrupted {
+        let _ = writeln!(
+            out,
+            "NOTE: sweep was interrupted; tables cover only the completed runs.\n"
+        );
+    }
     for view in &result.spec.views {
         out.push_str(&render_view(result, view));
+        out.push('\n');
+    }
+    if !result.failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "Run failures ({}) — missing cells above are holes:",
+            result.failures.len()
+        );
+        for f in &result.failures {
+            let _ = writeln!(out, "  [HOLE] {f}");
+        }
         out.push('\n');
     }
     out
@@ -210,6 +227,7 @@ mod tests {
                 ..RunOptions::default()
             },
         )
+        .expect("sweep completes")
     }
 
     #[test]
@@ -256,6 +274,27 @@ mod tests {
             .retain(|p| p.mpl != 25 || p.series != "blocking");
         let text = render_view(&result, &result.spec.views[0].clone());
         assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn failures_and_interruption_render_explicitly() {
+        let mut result = small_result();
+        result
+            .points
+            .retain(|p| p.mpl != 25 || p.series != "blocking");
+        result.failures.push(crate::spec::PointFailure {
+            series: "blocking".to_string(),
+            mpl: 25,
+            rep: 0,
+            kind: crate::spec::FailureKind::Panic,
+            detail: "chaos: injected panic".to_string(),
+            retry: crate::spec::RetryOutcome::NotAttempted,
+        });
+        result.interrupted = true;
+        let text = render_experiment(&result);
+        assert!(text.contains("Run failures (1)"));
+        assert!(text.contains("[HOLE] blocking@25 rep 0 [panic]"));
+        assert!(text.contains("sweep was interrupted"));
     }
 
     #[test]

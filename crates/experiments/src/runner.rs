@@ -1,8 +1,11 @@
-//! Runs an experiment's `(series × mpl × replication)` grid, in parallel
-//! across OS threads. Each run is an independent simulation, so parallelism
-//! is embarrassing; results are deterministic because every run derives its
-//! seeds from the experiment's base seed and its grid coordinates, not from
-//! scheduling order.
+//! The resilient sweep supervisor: runs an experiment's `(series × mpl ×
+//! replication)` grid in parallel across OS threads, isolating each run so
+//! one bad grid point cannot take down the sweep.
+//!
+//! Each run is an independent simulation, so parallelism is embarrassing;
+//! results are deterministic because every run derives its seeds from the
+//! experiment's base seed and its grid coordinates, not from scheduling
+//! order.
 //!
 //! Seeding implements **common random numbers**: a run's *workload* seed is
 //! derived from `(mpl, replication)` only — never the series — so at a
@@ -12,13 +15,33 @@
 //! internal randomness independent. Paired comparisons across series then
 //! cancel the shared workload noise (see
 //! [`ExperimentResult::paired_throughput_t`]).
+//!
+//! # Resilience
+//!
+//! Every run executes under `catch_unwind` with the engine's
+//! [`ccsim_core::RunBudget`] active, so a panicking, misconfigured, or
+//! livelocked run becomes a typed [`PointFailure`] hole in the result
+//! instead of aborting the sweep (optionally retried once at quick
+//! fidelity, see [`RunOptions::retry_quick`]). With a
+//! [`SweepControl::checkpoint`] path, completed runs are journaled to a
+//! manifest (atomic rewrite on every update); a later run with
+//! [`SweepControl::resume`] skips journaled runs and — because seeds are
+//! coordinate-derived — produces byte-identical final output.
 
-use ccsim_core::{run as run_sim, MetricsConfig, Report};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ccsim_core::{run as run_sim, MetricsConfig, Report, RunBudget, RunError};
 use ccsim_des::derive_seed;
 use crossbeam::channel;
 
+#[cfg(feature = "chaos")]
+use crate::chaos::{ChaosKind, ChaosPoint};
+use crate::manifest::{Manifest, ManifestEntry, ManifestError};
 use crate::replicate::aggregate_reports;
-use crate::spec::{DataPoint, ExperimentResult, ExperimentSpec};
+use crate::spec::{
+    DataPoint, ExperimentResult, ExperimentSpec, FailureKind, PointFailure, RetryOutcome,
+};
 
 /// Fidelity of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +63,15 @@ impl Fidelity {
             Fidelity::Quick => MetricsConfig::quick(),
         }
     }
+
+    /// Stable lowercase token (used in the checkpoint manifest header).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Fidelity::Paper => "paper",
+            Fidelity::Quick => "quick",
+        }
+    }
 }
 
 /// Options for [`run_experiment`].
@@ -59,6 +91,12 @@ pub struct RunOptions {
     /// Violations do not abort the sweep; they are collected as summary
     /// lines in [`ExperimentResult::audit_failures`].
     pub audit: bool,
+    /// Retry a failed run once at [`Fidelity::Quick`] to fill the hole
+    /// with a degraded measurement. The original failure stays recorded
+    /// with [`RetryOutcome::Succeeded`]; retried reports are never
+    /// checkpointed, so a resumed sweep re-attempts the point at full
+    /// fidelity.
+    pub retry_quick: bool,
 }
 
 impl Default for RunOptions {
@@ -69,7 +107,68 @@ impl Default for RunOptions {
             threads: 0,
             replications: 1,
             audit: false,
+            retry_quick: false,
         }
+    }
+}
+
+/// Supervisor controls orthogonal to [`RunOptions`]: checkpointing,
+/// resumption, and stop requests. `SweepControl::default()` runs a plain
+/// uncheckpointed sweep.
+#[derive(Debug, Default)]
+pub struct SweepControl<'a> {
+    /// Journal completed runs to this manifest path (see
+    /// [`crate::manifest`]).
+    pub checkpoint: Option<&'a std::path::Path>,
+    /// Skip runs already journaled in the checkpoint manifest (which must
+    /// match this sweep's spec and options).
+    pub resume: bool,
+    /// Cooperative stop flag (e.g. set by a SIGINT handler). Checked
+    /// between run completions; in-flight runs finish and are journaled,
+    /// queued runs are abandoned, and the result is marked
+    /// [`ExperimentResult::interrupted`].
+    pub interrupt: Option<&'a AtomicBool>,
+    /// Stop (as if interrupted) after this many newly completed clean
+    /// runs — the deterministic "kill after K points" hook used by
+    /// resume tests.
+    pub stop_after: Option<u64>,
+    /// Deterministic fault injection (feature `chaos`): the targeted grid
+    /// coordinate's first attempt fails.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<ChaosPoint>,
+}
+
+/// A sweep-level failure: the supervisor itself (not an individual run)
+/// could not proceed.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The worker pool failed outside the per-run isolation guard.
+    Pool(String),
+    /// The checkpoint manifest could not be opened, validated, or written.
+    Manifest(ManifestError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Pool(m) => write!(f, "worker pool failure: {m}"),
+            SweepError::Manifest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Pool(_) => None,
+            SweepError::Manifest(e) => Some(e),
+        }
+    }
+}
+
+impl From<ManifestError> for SweepError {
+    fn from(e: ManifestError) -> Self {
+        SweepError::Manifest(e)
     }
 }
 
@@ -96,12 +195,158 @@ fn control_seed(base: u64, series_ix: usize, mpl: u32, rep: u32) -> u64 {
     )
 }
 
+/// Chaos plan resolved from [`SweepControl`]; a no-op without the feature.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosPlan {
+    #[cfg(feature = "chaos")]
+    point: Option<ChaosPoint>,
+}
+
+impl ChaosPlan {
+    fn panic_at(self, series_ix: usize, mpl: u32, rep: u32) -> bool {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = self.point {
+            return p.kind == ChaosKind::Panic && p.targets(series_ix, mpl, rep);
+        }
+        let _ = (series_ix, mpl, rep);
+        false
+    }
+
+    fn budget_cap_at(self, series_ix: usize, mpl: u32, rep: u32) -> Option<u64> {
+        #[cfg(feature = "chaos")]
+        if let Some(p) = self.point {
+            if p.kind == ChaosKind::BudgetExhaust && p.targets(series_ix, mpl, rep) {
+                return Some(ChaosPoint::TINY_EVENT_BUDGET);
+            }
+        }
+        let _ = (series_ix, mpl, rep);
+        None
+    }
+}
+
+/// What a worker reports back for one grid coordinate. A clean run has
+/// `success` only; an unretried (or retry-failed) failure has `failure`
+/// only; a retry that succeeded carries both — the degraded report fills
+/// the hole while the original failure stays on record.
+struct PointMsg {
+    series_ix: usize,
+    mpl: u32,
+    rep: u32,
+    success: Option<(Report, Vec<String>)>,
+    failure: Option<(FailureKind, String, RetryOutcome)>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Execute one run under panic isolation. `Err` carries the typed failure
+/// for the hole record.
+fn run_point(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    metrics: MetricsConfig,
+    series_ix: usize,
+    mpl: u32,
+    rep: u32,
+    chaos: ChaosPlan,
+) -> Result<(Report, Vec<String>), (FailureKind, String)> {
+    let series = &spec.series[series_ix];
+    let mut cfg = spec
+        .config(
+            series,
+            mpl,
+            metrics,
+            control_seed(opts.base_seed, series_ix, mpl, rep),
+        )
+        .with_workload_seed(workload_seed(opts.base_seed, mpl, rep));
+    if let Some(cap) = chaos.budget_cap_at(series_ix, mpl, rep) {
+        cfg = cfg.with_budget(RunBudget::unlimited().with_max_events(cap));
+    }
+    let inject_panic = chaos.panic_at(series_ix, mpl, rep);
+    let audit = opts.audit;
+    let label = series.label.clone();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        assert!(
+            !inject_panic,
+            "chaos: injected panic at {label}@{mpl} rep {rep}"
+        );
+        if audit {
+            ccsim_audit::run_with_audit(cfg).map(|(report, audit)| {
+                let failures = audit
+                    .summaries()
+                    .into_iter()
+                    .map(|v| format!("{label}@{mpl} rep {rep}: {v}"))
+                    .collect();
+                (report, failures)
+            })
+        } else {
+            run_sim(cfg).map(|r| (r, Vec::new()))
+        }
+    }));
+    match outcome {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e @ RunError::BudgetExhausted { .. })) => Err((FailureKind::Budget, e.to_string())),
+        Ok(Err(e @ RunError::InvalidConfig(_))) => Err((FailureKind::Config, e.to_string())),
+        Err(payload) => Err((FailureKind::Panic, panic_message(payload.as_ref()))),
+    }
+}
+
 /// Run every replication of every point of `spec` and collect the results
-/// (ordered by series, then mpl, regardless of completion order).
-#[must_use]
-pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentResult {
+/// (ordered by series, then mpl, regardless of completion order). Failed
+/// runs become [`PointFailure`] holes; only a supervisor-level fault
+/// (worker pool, checkpoint manifest) aborts the sweep.
+///
+/// # Errors
+/// Returns [`SweepError`] on supervisor-level faults.
+pub fn run_experiment(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+) -> Result<ExperimentResult, SweepError> {
+    run_experiment_supervised(spec, opts, &SweepControl::default())
+}
+
+/// [`run_experiment`] with explicit supervisor controls: checkpointing,
+/// resume, cooperative interruption, and (with feature `chaos`) fault
+/// injection.
+///
+/// # Errors
+/// Returns [`SweepError`] on supervisor-level faults — a manifest that
+/// cannot be opened/validated/written, or a worker-pool failure outside
+/// the per-run isolation guard.
+pub fn run_experiment_supervised(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    ctl: &SweepControl<'_>,
+) -> Result<ExperimentResult, SweepError> {
     let metrics = opts.fidelity.metrics();
     let reps = opts.replications.max(1);
+
+    let mut manifest = match ctl.checkpoint {
+        Some(path) => Some(Manifest::open(path, spec, opts, ctl.resume)?),
+        None => None,
+    };
+    let done: HashSet<(usize, u32, u32)> = manifest
+        .as_ref()
+        .map(Manifest::completed)
+        .unwrap_or_default();
+    // Journaled runs enter the collection exactly as if they had just run.
+    let mut collected: Vec<(usize, u32, u32, Report, Vec<String>)> = manifest
+        .as_ref()
+        .map(|m| {
+            m.entries()
+                .iter()
+                .map(|e| (e.series_ix, e.mpl, e.rep, e.report.clone(), e.audit.clone()))
+                .collect()
+        })
+        .unwrap_or_default();
+
     let jobs: Vec<(usize, u32, u32)> = spec
         .series
         .iter()
@@ -111,6 +356,7 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
                 .iter()
                 .flat_map(move |&mpl| (0..reps).map(move |rep| (si, mpl, rep)))
         })
+        .filter(|coord| !done.contains(coord))
         .collect();
 
     let threads = if opts.threads == 0 {
@@ -120,52 +366,143 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
     }
     .min(jobs.len().max(1));
 
+    let chaos = ChaosPlan {
+        #[cfg(feature = "chaos")]
+        point: ctl.chaos,
+    };
+
     let (job_tx, job_rx) = channel::unbounded::<(usize, u32, u32)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, u32, u32, Report, Vec<String>)>();
-    for job in &jobs {
-        job_tx.send(*job).expect("queueing jobs");
+    let (res_tx, res_rx) = channel::unbounded::<PointMsg>();
+    let mut interrupted = false;
+    // An interrupt raised before the sweep starts abandons the whole queue
+    // (checked here, before workers exist, so no run can slip through).
+    if ctl.interrupt.is_some_and(|f| f.load(Ordering::Relaxed)) {
+        interrupted = true;
+    } else {
+        for job in &jobs {
+            job_tx.send(*job).expect("queueing jobs");
+        }
     }
     drop(job_tx);
 
-    crossbeam::scope(|s| {
+    let cancel = AtomicBool::new(false);
+    let mut failures_raw: Vec<(usize, u32, u32, FailureKind, String, RetryOutcome)> = Vec::new();
+    let mut manifest_err: Option<ManifestError> = None;
+    let mut newly_completed: u64 = 0;
+
+    let pool = crossbeam::scope(|s| {
         for _ in 0..threads {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
+            let cancel = &cancel;
             let spec_ref = &*spec;
             s.spawn(move |_| {
-                while let Ok((si, mpl, rep)) = job_rx.recv() {
-                    let series = &spec_ref.series[si];
-                    let cfg = spec_ref
-                        .config(
-                            series,
-                            mpl,
-                            metrics,
-                            control_seed(opts.base_seed, si, mpl, rep),
-                        )
-                        .with_workload_seed(workload_seed(opts.base_seed, mpl, rep));
-                    let (report, failures) = if opts.audit {
-                        let (report, audit) =
-                            ccsim_audit::run_with_audit(cfg).expect("catalog configs validate");
-                        let failures = audit
-                            .summaries()
-                            .into_iter()
-                            .map(|v| format!("{}@{} rep {rep}: {v}", series.label, mpl))
-                            .collect();
-                        (report, failures)
-                    } else {
-                        (run_sim(cfg).expect("catalog configs validate"), Vec::new())
+                while !cancel.load(Ordering::Relaxed) {
+                    let Ok((si, mpl, rep)) = job_rx.recv() else {
+                        break;
                     };
-                    res_tx
-                        .send((si, mpl, rep, report, failures))
-                        .expect("collecting results");
+                    let msg = match run_point(spec_ref, opts, metrics, si, mpl, rep, chaos) {
+                        Ok(success) => PointMsg {
+                            series_ix: si,
+                            mpl,
+                            rep,
+                            success: Some(success),
+                            failure: None,
+                        },
+                        Err((kind, detail)) if opts.retry_quick => {
+                            // One-shot retry at quick fidelity, chaos off
+                            // (injected faults only hit first attempts).
+                            match run_point(
+                                spec_ref,
+                                opts,
+                                Fidelity::Quick.metrics(),
+                                si,
+                                mpl,
+                                rep,
+                                ChaosPlan::default(),
+                            ) {
+                                Ok(success) => PointMsg {
+                                    series_ix: si,
+                                    mpl,
+                                    rep,
+                                    success: Some(success),
+                                    failure: Some((kind, detail, RetryOutcome::Succeeded)),
+                                },
+                                Err(_) => PointMsg {
+                                    series_ix: si,
+                                    mpl,
+                                    rep,
+                                    success: None,
+                                    failure: Some((kind, detail, RetryOutcome::Failed)),
+                                },
+                            }
+                        }
+                        Err((kind, detail)) => PointMsg {
+                            series_ix: si,
+                            mpl,
+                            rep,
+                            success: None,
+                            failure: Some((kind, detail, RetryOutcome::NotAttempted)),
+                        },
+                    };
+                    if res_tx.send(msg).is_err() {
+                        break;
+                    }
                 }
             });
         }
         drop(res_tx);
-    })
-    .expect("worker panicked");
 
-    let mut collected: Vec<(usize, u32, u32, Report, Vec<String>)> = res_rx.iter().collect();
+        // Supervisor drain loop (runs on the calling thread): journal
+        // completions, record failures, honor stop requests. A stop lets
+        // in-flight runs finish (and journals them) but abandons the
+        // queue.
+        let stop = |interrupted: &mut bool| {
+            *interrupted = true;
+            cancel.store(true, Ordering::Relaxed);
+            while job_rx.try_recv().is_some() {}
+        };
+        while let Ok(msg) = res_rx.recv() {
+            let clean = msg.failure.is_none();
+            if let Some((report, audit)) = msg.success {
+                if clean {
+                    if let Some(m) = manifest.as_mut() {
+                        if let Err(e) = m.record(ManifestEntry {
+                            series_ix: msg.series_ix,
+                            mpl: msg.mpl,
+                            rep: msg.rep,
+                            audit: audit.clone(),
+                            report: report.clone(),
+                        }) {
+                            if manifest_err.is_none() {
+                                manifest_err = Some(ManifestError::Io(e));
+                                stop(&mut interrupted);
+                            }
+                        }
+                    }
+                    newly_completed += 1;
+                }
+                collected.push((msg.series_ix, msg.mpl, msg.rep, report, audit));
+            }
+            if let Some((kind, detail, retry)) = msg.failure {
+                failures_raw.push((msg.series_ix, msg.mpl, msg.rep, kind, detail, retry));
+            }
+            let stop_hit = ctl.stop_after.is_some_and(|k| newly_completed >= k);
+            let intr_hit = ctl.interrupt.is_some_and(|f| f.load(Ordering::Relaxed));
+            if (stop_hit || intr_hit) && !cancel.load(Ordering::Relaxed) {
+                stop(&mut interrupted);
+            }
+        }
+    });
+    if pool.is_err() {
+        return Err(SweepError::Pool(
+            "a worker thread died outside the per-run isolation guard".to_string(),
+        ));
+    }
+    if let Some(e) = manifest_err {
+        return Err(SweepError::Manifest(e));
+    }
+
     collected.sort_by_key(|(si, mpl, rep, _, _)| (*si, *mpl, *rep));
     let audit_failures: Vec<String> = collected
         .iter()
@@ -179,16 +516,31 @@ pub fn run_experiment(spec: &ExperimentSpec, opts: &RunOptions) -> ExperimentRes
             DataPoint {
                 series: spec.series[si].label.clone(),
                 mpl,
-                report: aggregate_reports(&replicates, metrics.confidence),
+                report: aggregate_reports(&replicates, metrics.confidence)
+                    .expect("chunks are non-empty by construction"),
                 replicates,
             }
         })
         .collect();
-    ExperimentResult {
+    failures_raw.sort_by_key(|a| (a.0, a.1, a.2));
+    let failures = failures_raw
+        .into_iter()
+        .map(|(si, mpl, rep, kind, detail, retry)| PointFailure {
+            series: spec.series[si].label.clone(),
+            mpl,
+            rep,
+            kind,
+            detail,
+            retry,
+        })
+        .collect();
+    Ok(ExperimentResult {
         spec: spec.clone(),
         points,
         audit_failures,
-    }
+        failures,
+        interrupted,
+    })
 }
 
 #[cfg(test)]
@@ -203,6 +555,7 @@ mod tests {
             threads: 0,
             replications: 1,
             audit: false,
+            retry_quick: false,
         }
     }
 
@@ -215,8 +568,9 @@ mod tests {
     #[test]
     fn runs_full_grid_in_order() {
         let spec = tiny_spec();
-        let result = run_experiment(&spec, &tiny_opts());
+        let result = run_experiment(&spec, &tiny_opts()).expect("sweep completes");
         assert_eq!(result.points.len(), spec.num_runs());
+        assert!(result.is_clean());
         let labels: Vec<&str> = result.points.iter().map(|p| p.series.as_str()).collect();
         assert_eq!(
             labels,
@@ -241,14 +595,15 @@ mod tests {
     #[test]
     fn parallel_equals_serial() {
         let spec = tiny_spec();
-        let par = run_experiment(&spec, &tiny_opts());
+        let par = run_experiment(&spec, &tiny_opts()).expect("sweep completes");
         let ser = run_experiment(
             &spec,
             &RunOptions {
                 threads: 1,
                 ..tiny_opts()
             },
-        );
+        )
+        .expect("sweep completes");
         for (a, b) in par.points.iter().zip(ser.points.iter()) {
             assert_eq!(a.series, b.series);
             assert_eq!(a.mpl, b.mpl);
@@ -266,7 +621,8 @@ mod tests {
                 replications: 2,
                 ..tiny_opts()
             },
-        );
+        )
+        .expect("sweep completes");
         assert_eq!(result.points.len(), 3);
         assert_eq!(result.replications(), 2);
         for p in &result.points {
@@ -289,14 +645,15 @@ mod tests {
     fn audited_sweep_is_clean_and_identical_to_unaudited() {
         let mut spec = tiny_spec();
         spec.mpls = vec![5];
-        let plain = run_experiment(&spec, &tiny_opts());
+        let plain = run_experiment(&spec, &tiny_opts()).expect("sweep completes");
         let audited = run_experiment(
             &spec,
             &RunOptions {
                 audit: true,
                 ..tiny_opts()
             },
-        );
+        )
+        .expect("sweep completes");
         assert!(
             audited.audit_failures.is_empty(),
             "audit violations: {:?}",
@@ -329,7 +686,7 @@ mod tests {
     #[test]
     fn result_accessors() {
         let spec = tiny_spec();
-        let result = run_experiment(&spec, &tiny_opts());
+        let result = run_experiment(&spec, &tiny_opts()).expect("sweep completes");
         let pts = result.series_points("blocking");
         assert_eq!(pts.len(), 2);
         assert!(pts[0].mpl < pts[1].mpl);
@@ -337,5 +694,58 @@ mod tests {
         assert!(peak > 0.0);
         assert!(result.throughput_at("blocking", 5).is_some());
         assert!(result.throughput_at("blocking", 999).is_none());
+    }
+
+    #[test]
+    fn invalid_config_becomes_a_typed_hole_not_a_crash() {
+        let mut spec = tiny_spec();
+        spec.mpls = vec![0, 5]; // mpl 0 fails validation in every series
+        let result = run_experiment(&spec, &tiny_opts()).expect("sweep completes");
+        assert!(!result.is_clean());
+        assert_eq!(result.failures.len(), 3, "one config failure per series");
+        for f in &result.failures {
+            assert_eq!(f.kind, FailureKind::Config);
+            assert_eq!(f.mpl, 0);
+            assert_eq!(f.retry, RetryOutcome::NotAttempted);
+        }
+        // The valid mpl still ran everywhere.
+        assert_eq!(result.points.len(), 3);
+        assert!(result.points.iter().all(|p| p.mpl == 5));
+        assert_eq!(result.holes().len(), 3);
+    }
+
+    #[test]
+    fn stop_after_marks_result_interrupted() {
+        let spec = tiny_spec();
+        let ctl = SweepControl {
+            stop_after: Some(2),
+            ..SweepControl::default()
+        };
+        let result = run_experiment_supervised(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                ..tiny_opts()
+            },
+            &ctl,
+        )
+        .expect("sweep stops cleanly");
+        assert!(result.interrupted);
+        assert!(result.points.len() < spec.num_runs());
+        assert!(!result.points.is_empty());
+    }
+
+    #[test]
+    fn preset_interrupt_flag_stops_before_any_run() {
+        let spec = tiny_spec();
+        let flag = AtomicBool::new(true);
+        let ctl = SweepControl {
+            interrupt: Some(&flag),
+            ..SweepControl::default()
+        };
+        let result =
+            run_experiment_supervised(&spec, &tiny_opts(), &ctl).expect("sweep stops cleanly");
+        assert!(result.interrupted);
+        assert!(result.points.is_empty());
     }
 }

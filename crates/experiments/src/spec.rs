@@ -144,6 +144,104 @@ impl DataPoint {
     }
 }
 
+/// Why a grid point's run failed (see [`PointFailure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked; the supervisor caught the unwind.
+    Panic,
+    /// The run exceeded its [`ccsim_core::RunBudget`].
+    Budget,
+    /// The materialized configuration failed validation.
+    Config,
+}
+
+impl FailureKind {
+    /// Stable lowercase token used in JSON and the manifest.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Budget => "budget",
+            FailureKind::Config => "config",
+        }
+    }
+
+    /// Parse the token written by [`FailureKind::token`].
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(FailureKind::Panic),
+            "budget" => Some(FailureKind::Budget),
+            "config" => Some(FailureKind::Config),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Whether the supervisor's one-shot quick-fidelity retry ran, and how it
+/// went (see [`crate::RunOptions::retry_quick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Retry was not enabled (or not applicable).
+    NotAttempted,
+    /// The retry produced a degraded (quick-fidelity) report that fills
+    /// the hole; the original failure is still recorded.
+    Succeeded,
+    /// The retry failed too; the hole stands.
+    Failed,
+}
+
+impl RetryOutcome {
+    /// Stable lowercase token used in JSON.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            RetryOutcome::NotAttempted => "not-attempted",
+            RetryOutcome::Succeeded => "succeeded",
+            RetryOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One failed run: a typed hole in the sweep grid. The sweep keeps going;
+/// the failure is recorded here instead of aborting the experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointFailure {
+    /// Legend label of the affected series.
+    pub series: String,
+    /// Multiprogramming level of the affected point.
+    pub mpl: u32,
+    /// Replication index of the failed run.
+    pub rep: u32,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, budget counters, ...).
+    pub detail: String,
+    /// Outcome of the optional one-shot quick retry.
+    pub retry: RetryOutcome,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@{} rep {} [{}] {}",
+            self.series, self.mpl, self.rep, self.kind, self.detail
+        )?;
+        match self.retry {
+            RetryOutcome::NotAttempted => Ok(()),
+            RetryOutcome::Succeeded => write!(f, " (quick retry filled the hole)"),
+            RetryOutcome::Failed => write!(f, " (quick retry failed too)"),
+        }
+    }
+}
+
 /// All measured points of one experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -155,6 +253,13 @@ pub struct ExperimentResult {
     /// (empty when auditing was off or every run was clean). See
     /// [`crate::RunOptions::audit`].
     pub audit_failures: Vec<String>,
+    /// Failed runs — the typed holes in the grid. A `(series, mpl)` point
+    /// whose every replication failed has no [`DataPoint`] at all; one
+    /// whose retry succeeded has a (degraded) point *and* an entry here.
+    pub failures: Vec<PointFailure>,
+    /// True when the sweep was stopped early (ctrl-C or a supervisor stop
+    /// request) — remaining points were never attempted.
+    pub interrupted: bool,
 }
 
 impl ExperimentResult {
@@ -206,6 +311,33 @@ impl ExperimentResult {
             .map(|p| p.replicates.iter().map(|r| r.throughput.mean).collect())
     }
 
+    /// True when every attempted run succeeded and the sweep ran to the
+    /// end of its grid.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && !self.interrupted
+    }
+
+    /// `(series, mpl)` coordinates that have no data point at all — every
+    /// replication failed (holes the renderers show as "—").
+    #[must_use]
+    pub fn holes(&self) -> Vec<(String, u32)> {
+        let mut holes: Vec<(String, u32)> = self
+            .failures
+            .iter()
+            .filter(|f| {
+                !self
+                    .points
+                    .iter()
+                    .any(|p| p.series == f.series && p.mpl == f.mpl)
+            })
+            .map(|f| (f.series.clone(), f.mpl))
+            .collect();
+        holes.sort();
+        holes.dedup();
+        holes
+    }
+
     /// Paired Student-t comparison of two series at one mpl, pairing
     /// per-replication throughputs. Because the runner gives the same
     /// replication index the same workload stream in every series (common
@@ -254,6 +386,46 @@ mod tests {
     #[test]
     fn num_runs_is_grid_size() {
         assert_eq!(demo_spec().num_runs(), 6);
+    }
+
+    #[test]
+    fn failure_kinds_round_trip_their_tokens() {
+        for k in [FailureKind::Panic, FailureKind::Budget, FailureKind::Config] {
+            assert_eq!(FailureKind::from_token(k.token()), Some(k));
+        }
+        assert_eq!(FailureKind::from_token("bogus"), None);
+    }
+
+    #[test]
+    fn holes_are_points_with_no_data() {
+        let result = ExperimentResult {
+            spec: demo_spec(),
+            points: vec![],
+            audit_failures: vec![],
+            failures: vec![
+                PointFailure {
+                    series: "blocking".into(),
+                    mpl: 10,
+                    rep: 0,
+                    kind: FailureKind::Panic,
+                    detail: "boom".into(),
+                    retry: RetryOutcome::NotAttempted,
+                },
+                PointFailure {
+                    series: "blocking".into(),
+                    mpl: 10,
+                    rep: 1,
+                    kind: FailureKind::Budget,
+                    detail: "over".into(),
+                    retry: RetryOutcome::Failed,
+                },
+            ],
+            interrupted: false,
+        };
+        assert!(!result.is_clean());
+        assert_eq!(result.holes(), vec![("blocking".to_string(), 10)]);
+        let shown = result.failures[0].to_string();
+        assert!(shown.contains("blocking@10 rep 0 [panic] boom"), "{shown}");
     }
 
     #[test]

@@ -54,7 +54,8 @@ fn injected_lock_leak_is_caught_with_context() {
     let mut sim = Simulator::new(contended(CcAlgorithm::Blocking, 5, 15, 7)).unwrap();
     let handle = attach(&mut sim);
     sim.inject_lock_leak();
-    sim.run_to_completion();
+    sim.run_to_completion()
+        .expect("run completes within budget");
     let audit = handle.report();
     assert!(
         !audit.is_clean(),
@@ -90,9 +91,10 @@ fn audited_sweep_replays_identically_across_thread_counts() {
         threads,
         replications: 1,
         audit: true,
+        retry_quick: false,
     };
-    let one = run_experiment(&spec, &opts(1));
-    let four = run_experiment(&spec, &opts(4));
+    let one = run_experiment(&spec, &opts(1)).expect("sweep completes");
+    let four = run_experiment(&spec, &opts(4)).expect("sweep completes");
     assert!(one.audit_failures.is_empty(), "{:?}", one.audit_failures);
     assert!(four.audit_failures.is_empty(), "{:?}", four.audit_failures);
     assert_eq!(json::to_json(&one), json::to_json(&four));

@@ -40,9 +40,10 @@ fn experiment_results_and_json_replay_exactly() {
         threads: 1,
         replications: 1,
         audit: false,
+        retry_quick: false,
     };
-    let a = run_experiment(&spec, &opts);
-    let b = run_experiment(&spec, &opts);
+    let a = run_experiment(&spec, &opts).expect("sweep completes");
+    let b = run_experiment(&spec, &opts).expect("sweep completes");
     assert_eq!(json::to_json(&a), json::to_json(&b));
 }
 

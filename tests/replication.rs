@@ -28,6 +28,7 @@ fn tiny_opts(threads: usize, replications: u32) -> RunOptions {
         threads,
         replications,
         audit: false,
+        retry_quick: false,
     }
 }
 
@@ -35,8 +36,8 @@ fn tiny_opts(threads: usize, replications: u32) -> RunOptions {
 fn replicated_sweep_is_identical_across_thread_counts() {
     let mut spec = catalog::exp3();
     spec.mpls = vec![10];
-    let serial = run_experiment(&spec, &tiny_opts(1, 3));
-    let parallel = run_experiment(&spec, &tiny_opts(0, 3));
+    let serial = run_experiment(&spec, &tiny_opts(1, 3)).expect("sweep completes");
+    let parallel = run_experiment(&spec, &tiny_opts(0, 3)).expect("sweep completes");
     for (a, b) in serial.points.iter().zip(parallel.points.iter()) {
         assert_eq!(a.series, b.series);
         assert_eq!(
@@ -53,7 +54,7 @@ fn replicated_sweep_is_identical_across_thread_counts() {
 fn replications_explore_distinct_sample_paths() {
     let mut spec = catalog::exp3();
     spec.mpls = vec![10];
-    let result = run_experiment(&spec, &tiny_opts(0, 3));
+    let result = run_experiment(&spec, &tiny_opts(0, 3)).expect("sweep completes");
     for p in &result.points {
         assert_eq!(p.replicates.len(), 3);
         for i in 0..p.replicates.len() {
@@ -74,7 +75,7 @@ fn crn_replication_means_are_paired_across_algorithms() {
     // per-replication throughput vectors support a paired comparison.
     let mut spec = catalog::exp3();
     spec.mpls = vec![10];
-    let result = run_experiment(&spec, &tiny_opts(0, 3));
+    let result = run_experiment(&spec, &tiny_opts(0, 3)).expect("sweep completes");
     let b = result.rep_throughputs("blocking", 10).unwrap();
     let ir = result.rep_throughputs("immediate-restart", 10).unwrap();
     assert_eq!(b.len(), 3);
