@@ -1,0 +1,271 @@
+//! `throughput` — wall-clock engine throughput on the tracked reference
+//! point (experiment 1's low-conflict setting, 10 000-page database,
+//! mpl 50, 1 CPU / 2 disks).
+//!
+//! For each of the paper's three algorithms the binary runs `--reps`
+//! independent repetitions of the same deterministic configuration,
+//! takes the median events/sec, and reports:
+//!
+//! - `events_per_sec` — calendar events handled per wall-clock second,
+//! - `commits_per_sec` — committed transactions per wall-clock second,
+//! - peak calendar / lock-table occupancy (exact high-water marks).
+//!
+//! ```text
+//! throughput [--reps 3] [--batches 600] [--mpl 50] [--db 10000]
+//!            [--seed <u64>] [--floor-frac 0.30] [--out BENCH_4.json]
+//!            [--check BENCH_4.json]
+//! ```
+//!
+//! `--out` archives the measurements as JSON, including a conservative
+//! `floor_events_per_sec` per algorithm (`floor-frac` x the measured
+//! median — low enough to absorb CI-machine noise, high enough to catch
+//! an order-of-magnitude regression). `--check <path>` re-measures and
+//! exits nonzero if any algorithm falls below the archived floor; CI's
+//! perf-smoke job runs exactly that.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ccsim_core::{run_with_perf, CcAlgorithm, MetricsConfig, Params, PerfStats, Report, SimConfig};
+use ccsim_experiments::json;
+use ccsim_experiments::write_atomic;
+
+struct Cli {
+    reps: u32,
+    batches: u32,
+    mpl: u32,
+    db: u64,
+    seed: u64,
+    floor_frac: f64,
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+/// One algorithm's median-of-reps measurement.
+struct Measurement {
+    algo: CcAlgorithm,
+    events_per_sec: f64,
+    commits_per_sec: f64,
+    events: u64,
+    commits: u64,
+    peak_calendar: usize,
+    peak_lock_table: usize,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        reps: 3,
+        batches: 600,
+        mpl: 50,
+        db: 10_000,
+        seed: 0xCC85,
+        floor_frac: 0.30,
+        out: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => cli.reps = parse_num(&next_val(&mut args, "--reps")?)?,
+            "--batches" => cli.batches = parse_num(&next_val(&mut args, "--batches")?)?,
+            "--mpl" => cli.mpl = parse_num(&next_val(&mut args, "--mpl")?)?,
+            "--db" => cli.db = parse_num(&next_val(&mut args, "--db")?)?,
+            "--seed" => cli.seed = parse_num(&next_val(&mut args, "--seed")?)?,
+            "--floor-frac" => {
+                cli.floor_frac = parse_num(&next_val(&mut args, "--floor-frac")?)?;
+            }
+            "--out" => cli.out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
+            "--check" => cli.check = Some(PathBuf::from(next_val(&mut args, "--check")?)),
+            other => return Err(format!("unknown flag {other} (see --help in the source)")),
+        }
+    }
+    if cli.reps == 0 {
+        return Err("--reps must be at least 1".to_string());
+    }
+    if !(0.0..1.0).contains(&cli.floor_frac) {
+        return Err("--floor-frac must be in [0, 1)".to_string());
+    }
+    Ok(cli)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse().map_err(|e| format!("bad value {v:?}: {e}"))
+}
+
+fn config(cli: &Cli, algo: CcAlgorithm) -> SimConfig {
+    let mut params = Params::paper_baseline();
+    params.db_size = cli.db;
+    params.mpl = cli.mpl;
+    let mut metrics = MetricsConfig::paper();
+    metrics.batches = cli.batches;
+    SimConfig::new(algo)
+        .with_params(params)
+        .with_metrics(metrics)
+        .with_seed(cli.seed)
+}
+
+fn measure(cli: &Cli, algo: CcAlgorithm) -> Result<Measurement, String> {
+    // Every rep runs the identical configuration (same seeds, same event
+    // sequence), so the spread across reps is pure wall-clock noise; the
+    // median discards warm-up and scheduler hiccups.
+    let mut runs: Vec<(Report, PerfStats)> = Vec::with_capacity(cli.reps as usize);
+    for _ in 0..cli.reps {
+        let (report, perf) =
+            run_with_perf(config(cli, algo)).map_err(|e| format!("{}: {e}", algo.label()))?;
+        runs.push((report, perf));
+    }
+    runs.sort_by(|a, b| {
+        a.1.events_per_sec()
+            .partial_cmp(&b.1.events_per_sec())
+            .expect("events/sec is finite")
+    });
+    let (report, perf) = &runs[runs.len() / 2];
+    let secs = perf.wall.as_secs_f64();
+    Ok(Measurement {
+        algo,
+        events_per_sec: perf.events_per_sec(),
+        commits_per_sec: if secs > 0.0 {
+            report.commits as f64 / secs
+        } else {
+            0.0
+        },
+        events: perf.events,
+        commits: report.commits,
+        peak_calendar: perf.peak_calendar,
+        peak_lock_table: perf.peak_lock_table,
+    })
+}
+
+fn to_json(cli: &Cli, results: &[Measurement]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"bench\":\"throughput\",\"reference_point\":");
+    out.push_str("{\"experiment\":\"exp1-low-conflict\",");
+    let _ = write!(
+        out,
+        "\"db_size\":{},\"mpl\":{},\"resources\":\"1cpu-2disk\",\"batches\":{},\"seed\":{}}},",
+        cli.db, cli.mpl, cli.batches, cli.seed
+    );
+    let _ = write!(out, "\"reps\":{},", cli.reps);
+    out.push_str("\"algorithms\":[");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algo\":\"{}\",\"events_per_sec\":{:.0},\"commits_per_sec\":{:.1},\
+             \"events\":{},\"commits\":{},\"peak_calendar\":{},\"peak_lock_table\":{},\
+             \"floor_events_per_sec\":{:.0}}}",
+            m.algo.label(),
+            m.events_per_sec,
+            m.commits_per_sec,
+            m.events,
+            m.commits,
+            m.peak_calendar,
+            m.peak_lock_table,
+            m.events_per_sec * cli.floor_frac,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Compare fresh measurements against the floors archived in `path`.
+/// Returns the list of failures (empty = all algorithms at or above floor).
+fn check_floors(path: &PathBuf, results: &[Measurement]) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let algos = doc
+        .get("algorithms")
+        .and_then(json::Value::as_arr)
+        .ok_or_else(|| format!("{}: missing \"algorithms\" array", path.display()))?;
+    let mut failures = Vec::new();
+    for m in results {
+        let archived = algos
+            .iter()
+            .find(|v| v.get("algo").and_then(json::Value::as_str) == Some(m.algo.label()));
+        let Some(archived) = archived else {
+            failures.push(format!("{}: no archived floor", m.algo.label()));
+            continue;
+        };
+        let floor = archived
+            .get("floor_events_per_sec")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{}: bad floor for {}", path.display(), m.algo.label()))?;
+        if m.events_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} events/sec is below the archived floor {:.0}",
+                m.algo.label(),
+                m.events_per_sec,
+                floor
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut results = Vec::new();
+    for algo in CcAlgorithm::PAPER_TRIO {
+        match measure(&cli, algo) {
+            Ok(m) => {
+                println!(
+                    "{:<18} {:>12.0} events/sec  {:>9.1} commits/sec  \
+                     (median of {}; {} events, peak cal {}, peak locks {})",
+                    m.algo.label(),
+                    m.events_per_sec,
+                    m.commits_per_sec,
+                    cli.reps,
+                    m.events,
+                    m.peak_calendar,
+                    m.peak_lock_table,
+                );
+                results.push(m);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = &cli.out {
+        let text = to_json(&cli, &results);
+        if let Err(e) = write_atomic(path, text.as_bytes()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &cli.check {
+        match check_floors(path, &results) {
+            Ok(failures) if failures.is_empty() => {
+                println!("perf floors OK ({})", path.display());
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("FAIL {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

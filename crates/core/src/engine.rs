@@ -33,7 +33,7 @@ use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
 use crate::sink::{CenterFlow, EventSink, FlowStats};
 use crate::trace::{Trace, TraceEvent};
-use crate::txn::{Step, Txn, TxnState};
+use crate::txn::{Step, Txn, TxnBufs, TxnState};
 
 /// RNG stream ids (stable; see `ccsim_des::RngStreams`).
 mod streams {
@@ -141,6 +141,47 @@ pub struct Simulator {
     /// keeps grant/abort cascades at bounded stack depth.
     work: VecDeque<(usize, u32)>,
     done: bool,
+    /// Cached `trace.is_some() || !sinks.is_empty()` so [`Simulator::emit`]
+    /// is a single predictable branch when nothing observes the run.
+    observed: bool,
+    /// Scratch buffer for lock-release grant cascades, reused across events.
+    grant_buf: Vec<Grant>,
+    /// Scratch buffer for blocker queries (wait-die / wound-wait), reused
+    /// across events.
+    blocker_buf: Vec<TxnId>,
+    /// Events handled so far (the run's total once the loop finishes).
+    events: u64,
+    /// Wall-clock time spent in the event loop.
+    run_wall: std::time::Duration,
+}
+
+/// Engine-level performance counters for a completed (or budget-stopped)
+/// run: the raw material for events/sec reporting. Deliberately separate
+/// from [`Report`] so enabling perf readout cannot perturb experiment
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfStats {
+    /// Calendar events handled.
+    pub events: u64,
+    /// Wall-clock time spent in the event loop.
+    pub wall: std::time::Duration,
+    /// Peak number of pending calendar events (exact high-water mark).
+    pub peak_calendar: usize,
+    /// Peak number of locks held in the lock table at once.
+    pub peak_lock_table: usize,
+}
+
+impl PerfStats {
+    /// Events handled per wall-clock second (0 if no time elapsed).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Simulator {
@@ -172,6 +213,10 @@ impl Simulator {
         };
         let generator = Generator::new(params, workload_streams.stream(streams::WORKLOAD));
         let metrics = Metrics::new(cfg.metrics, ncpu, ndisk, generator.num_classes());
+        let trace = (cfg.trace_capacity > 0).then(|| Trace::with_capacity(cfg.trace_capacity));
+        let observed = trace.is_some();
+        let db_size = params.db_size as usize;
+        let num_terms = params.num_terms as usize;
         Ok(Simulator {
             generator,
             think_rng: workload_streams.stream(streams::EXT_THINK),
@@ -179,8 +224,8 @@ impl Simulator {
             disk_rng: workload_streams.stream(streams::DISKS),
             ext_think: Exponential::new(params.ext_think_time),
             int_think: Exponential::new(params.int_think_time),
-            lockmgr: LockManager::new(),
-            validator: Validator::new(),
+            lockmgr: LockManager::with_capacity(db_size, num_terms),
+            validator: Validator::with_capacity(db_size),
             tso: TsoManager::new(),
             cpus,
             disks,
@@ -192,7 +237,7 @@ impl Simulator {
             cal: Calendar::new(),
             resp_avg: RunningAvg::new(params.expected_service_time()),
             history: cfg.record_history.then(History::new),
-            trace: (cfg.trace_capacity > 0).then(|| Trace::with_capacity(cfg.trace_capacity)),
+            trace,
             sinks: Vec::new(),
             now: SimTime::ZERO,
             #[cfg(feature = "test-hooks")]
@@ -201,6 +246,11 @@ impl Simulator {
             work: VecDeque::new(),
             metrics,
             done: false,
+            observed,
+            grant_buf: Vec::new(),
+            blocker_buf: Vec::new(),
+            events: 0,
+            run_wall: std::time::Duration::ZERO,
             cfg,
         })
     }
@@ -210,6 +260,7 @@ impl Simulator {
     /// receive the final report plus flow statistics when the run ends.
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sinks.push(sink);
+        self.observed = true;
     }
 
     /// The configuration this simulator was built from.
@@ -257,13 +308,16 @@ impl Simulator {
     fn run_loop(&mut self) -> Result<(), RunError> {
         let budget = self.cfg.budget;
         let started = std::time::Instant::now();
-        let mut events: u64 = 0;
         self.prime();
-        while !self.done {
+        let result = loop {
+            if self.done {
+                break Ok(());
+            }
             let Some((now, ev)) = self.cal.pop() else {
-                break;
+                break Ok(());
             };
-            events += 1;
+            self.events += 1;
+            let events = self.events;
             let exceeded = if budget.max_events.is_some_and(|cap| events > cap) {
                 Some(BudgetKind::Events)
             } else if budget
@@ -281,7 +335,7 @@ impl Simulator {
                 None
             };
             if let Some(exceeded) = exceeded {
-                return Err(RunError::BudgetExhausted {
+                break Err(RunError::BudgetExhausted {
                     exceeded,
                     events,
                     sim_time: now,
@@ -290,8 +344,20 @@ impl Simulator {
             }
             self.now = now;
             self.handle(now, ev);
+        };
+        self.run_wall = started.elapsed();
+        result
+    }
+
+    /// Performance counters accumulated by the event loop so far.
+    #[must_use]
+    pub fn perf_stats(&self) -> PerfStats {
+        PerfStats {
+            events: self.events,
+            wall: self.run_wall,
+            peak_calendar: self.cal.peak_len(),
+            peak_lock_table: self.lockmgr.peak_locks_in_table(),
         }
-        Ok(())
     }
 
     /// Close out a finished run: compute the report and flow statistics and
@@ -399,18 +465,31 @@ impl Simulator {
     fn on_arrive(&mut self, term: usize, now: SimTime) {
         let id = TxnId(self.next_serial * self.txns.len() as u64 + term as u64);
         self.next_serial += 1;
-        let (class, spec) = self.generator.next_spec_with_class();
-        let thinks = !self.cfg.params.int_think_time.is_zero();
         // Epochs stay monotone per terminal across transactions, so an
         // event addressed to the previous transaction can never match.
         let epoch = self.txns[term].as_ref().map_or(0, |t| t.epoch + 1);
-        let mut txn = Txn::new(
+        // Recycle the retired transaction's buffers into the new one so the
+        // steady-state arrival path allocates nothing.
+        let (spec_reads, spec_writes, bufs) = match self.txns[term].take() {
+            Some(old) => {
+                let (old_spec, bufs) = old.into_parts();
+                let (reads, writes) = old_spec.into_parts();
+                (reads, writes, bufs)
+            }
+            None => (Vec::new(), Vec::new(), TxnBufs::default()),
+        };
+        let (class, spec) = self
+            .generator
+            .next_spec_with_class_reusing(spec_reads, spec_writes);
+        let thinks = !self.cfg.params.int_think_time.is_zero();
+        let mut txn = Txn::new_reusing(
             id,
             spec,
             self.cfg.algorithm.program_shape(),
             thinks,
             now,
             epoch,
+            bufs,
         );
         txn.class = class;
         self.emit(now, TraceEvent::Arrive(id));
@@ -474,7 +553,7 @@ impl Simulator {
                 debug_assert_eq!(txn.state, TxnState::Thinking);
                 txn.state = TxnState::Running;
                 txn.advance();
-                self.enqueue_dispatch(term);
+                self.work.push_back((term, epoch));
             }
             DelayKind::Restart => {
                 debug_assert_eq!(txn.state, TxnState::RestartDelay);
@@ -503,13 +582,13 @@ impl Simulator {
                 debug_assert!(!txn.cc_charged);
                 txn.cc_charged = true;
                 txn.usage.add_cpu(params.cc_cpu);
-                self.enqueue_dispatch(term);
+                self.work.push_back((term, epoch));
             }
             Step::ReadIo(_) | Step::UpdateIo(_) => {
                 debug_assert_eq!(kind, ServiceKind::Io);
                 txn.usage.add_io(params.obj_io);
                 txn.advance();
-                self.enqueue_dispatch(term);
+                self.work.push_back((term, epoch));
             }
             Step::ReadCpu(i) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
@@ -523,13 +602,13 @@ impl Simulator {
                     txn.read_times.push(now);
                 }
                 txn.advance();
-                self.enqueue_dispatch(term);
+                self.work.push_back((term, epoch));
             }
             Step::WriteCpu(_) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
                 txn.usage.add_cpu(params.obj_cpu);
                 txn.advance();
-                self.enqueue_dispatch(term);
+                self.work.push_back((term, epoch));
             }
             Step::IntThink | Step::Commit => {
                 unreachable!("no service completes at step {:?}", txn.step())
@@ -564,6 +643,7 @@ impl Simulator {
         loop {
             let txn = self.txns[term].as_ref().expect("dispatched txn exists");
             debug_assert_eq!(txn.state, TxnState::Running);
+            let epoch = txn.epoch;
             match txn.step() {
                 Step::PreclaimLock(k) => {
                     let (obj, write) = txn.lock_plan[k];
@@ -585,10 +665,7 @@ impl Simulator {
                     }
                 }
                 Step::LockWrite(j) => {
-                    let obj = self.txns[term]
-                        .as_ref()
-                        .expect("terminal has no active transaction")
-                        .write_objs[j];
+                    let obj = txn.write_objs[j];
                     match self.cc_request(term, obj, LockMode::Write, now) {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
@@ -596,17 +673,17 @@ impl Simulator {
                 }
                 Step::ReadIo(i) => {
                     let obj = txn.spec.read_at(i);
-                    self.submit_io(term, obj, now);
+                    self.submit_io(term, obj, epoch, now);
                     return;
                 }
                 Step::UpdateIo(j) => {
                     let obj = txn.write_objs[j];
-                    self.submit_io(term, obj, now);
+                    self.submit_io(term, obj, epoch, now);
                     return;
                 }
                 Step::ReadCpu(_) | Step::WriteCpu(_) => {
                     let dur = self.cfg.params.obj_cpu;
-                    self.submit_cpu(term, dur, Priority::Normal, now);
+                    self.submit_cpu(term, dur, Priority::Normal, epoch, now);
                     return;
                 }
                 Step::IntThink => {
@@ -654,7 +731,8 @@ impl Simulator {
         if txn.cc_charged {
             return false;
         }
-        self.submit_cpu(term, cc_cpu, Priority::High, now);
+        let epoch = txn.epoch;
+        self.submit_cpu(term, cc_cpu, Priority::High, epoch, now);
         true
     }
 
@@ -741,8 +819,11 @@ impl Simulator {
             .expect("terminal has no active transaction");
         let tid = txn.id;
         let my_ts = (txn.arrival, tid);
-        let blockers = self.lockmgr.blockers(tid, obj, mode);
+        let mut blockers = std::mem::take(&mut self.blocker_buf);
+        self.lockmgr.blockers_into(tid, obj, mode, &mut blockers);
         let older_exists = blockers.iter().any(|&b| self.timestamp_of(b) < my_ts);
+        blockers.clear();
+        self.blocker_buf = blockers;
         if older_exists {
             // Die: restart keeping the original timestamp (arrival survives
             // restarts), which guarantees eventual progress.
@@ -781,9 +862,11 @@ impl Simulator {
         // Wound younger blockers one at a time, re-reading the blocker set
         // after each abort: releasing a victim's locks can cascade (grants,
         // further wounds) and retire other would-be victims.
+        let mut blockers = std::mem::take(&mut self.blocker_buf);
         loop {
-            let blockers = self.lockmgr.blockers(tid, obj, mode);
-            let victim = blockers.into_iter().find(|&b| {
+            blockers.clear();
+            self.lockmgr.blockers_into(tid, obj, mode, &mut blockers);
+            let victim = blockers.iter().copied().find(|&b| {
                 let b_term = self.term_of(b);
                 self.txns[b_term].as_ref().is_some_and(|bt| {
                     bt.id == b
@@ -800,6 +883,8 @@ impl Simulator {
                 None => break,
             }
         }
+        blockers.clear();
+        self.blocker_buf = blockers;
         // A wound cascade can come full circle: releasing a victim's locks
         // dispatches waiters, one of which may be older than *us* and wound
         // us in turn. If that happened, our attempt is over.
@@ -921,12 +1006,12 @@ impl Simulator {
         }
         {
             // Kung–Robinson critical section: stamp writes at validation.
-            let writes: Vec<ObjId> = self.txns[term]
+            // Borrowing the writeset directly (disjoint fields) avoids a
+            // per-commit Vec clone on the optimistic hot path.
+            let txn = self.txns[term]
                 .as_ref()
-                .expect("terminal has no active transaction")
-                .write_objs
-                .clone();
-            self.validator.commit(now, writes);
+                .expect("terminal has no active transaction");
+            self.validator.commit(now, txn.write_objs.iter().copied());
             let txn = self.txns[term]
                 .as_mut()
                 .expect("terminal has no active transaction");
@@ -998,14 +1083,14 @@ impl Simulator {
         self.metrics.on_active_change(now, self.active);
 
         // Release locks (and any queued request); this may unblock others.
-        let grants = if self.cfg.algorithm.uses_locks() {
+        // The grant buffer is taken from (and later returned to) the
+        // simulator so release cascades never allocate in steady state.
+        let mut grants = std::mem::take(&mut self.grant_buf);
+        if self.cfg.algorithm.uses_locks() {
             let held = self.lockmgr.locks_held(tid) as u32;
-            let grants = self.lockmgr.release_all(tid);
+            self.lockmgr.release_all_into(tid, &mut grants);
             self.emit(now, TraceEvent::LocksReleased(tid, held));
-            grants
-        } else {
-            Vec::new()
-        };
+        }
         // Basic T/O: drop prewrites and cancel a parked read; wake readers.
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
             let ts = (
@@ -1035,7 +1120,9 @@ impl Simulator {
                 .schedule(now + delay, Event::Delay(term, epoch, DelayKind::Restart));
         }
 
-        self.process_grants(grants, now);
+        self.process_grants(&grants, now);
+        grants.clear();
+        self.grant_buf = grants;
         self.process_tso_wakeups(tso_woken, now);
         self.try_admit(now);
     }
@@ -1105,7 +1192,9 @@ impl Simulator {
                     .copied()
                     .zip(txn.read_times.iter().copied())
                     .collect(),
-                writes: txn.write_objs.clone(),
+                // The attempt is over; move the writeset instead of cloning
+                // (a fresh attempt always rebuilds it).
+                writes: std::mem::take(&mut txn.write_objs),
                 commit_at: txn.publish_at.unwrap_or(now),
             });
         }
@@ -1124,14 +1213,12 @@ impl Simulator {
 
         // Strict 2PL: locks released after the deferred updates, i.e. here.
         let leak = self.take_lock_leak();
-        let grants = if self.cfg.algorithm.uses_locks() && !leak {
+        let mut grants = std::mem::take(&mut self.grant_buf);
+        if self.cfg.algorithm.uses_locks() && !leak {
             let held = self.lockmgr.locks_held(tid) as u32;
-            let grants = self.lockmgr.release_all(tid);
+            self.lockmgr.release_all_into(tid, &mut grants);
             self.emit(now, TraceEvent::LocksReleased(tid, held));
-            grants
-        } else {
-            Vec::new()
-        };
+        }
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
             let ts = (
                 self.txns[term]
@@ -1158,14 +1245,16 @@ impl Simulator {
         let think = self.ext_think.sample(&mut self.think_rng);
         self.cal.schedule(now + think, Event::Arrive(term));
 
-        self.process_grants(grants, now);
+        self.process_grants(&grants, now);
+        grants.clear();
+        self.grant_buf = grants;
         self.process_tso_wakeups(tso_woken, now);
         self.try_admit(now);
     }
 
     /// Resume transactions whose queued lock requests were just granted.
-    fn process_grants(&mut self, grants: Vec<Grant>, now: SimTime) {
-        for g in grants {
+    fn process_grants(&mut self, grants: &[Grant], now: SimTime) {
+        for &g in grants {
             let term = self.term_of(g.txn);
             let Some(txn) = self.txns[term].as_mut() else {
                 continue;
@@ -1189,11 +1278,14 @@ impl Simulator {
     // Resource access
     // ------------------------------------------------------------------
 
-    fn submit_cpu(&mut self, term: usize, dur: SimDuration, prio: Priority, now: SimTime) {
-        let epoch = self.txns[term]
-            .as_ref()
-            .expect("terminal has no active transaction")
-            .epoch;
+    fn submit_cpu(
+        &mut self,
+        term: usize,
+        dur: SimDuration,
+        prio: Priority,
+        epoch: u32,
+        now: SimTime,
+    ) {
         match &mut self.cpus {
             None => {
                 self.inf_cpu_busy_us += dur.as_micros();
@@ -1215,13 +1307,9 @@ impl Simulator {
         }
     }
 
-    fn submit_io(&mut self, term: usize, obj: ObjId, now: SimTime) {
+    fn submit_io(&mut self, term: usize, obj: ObjId, epoch: u32, now: SimTime) {
         let _ = obj;
         let dur = self.cfg.params.obj_io;
-        let epoch = self.txns[term]
-            .as_ref()
-            .expect("terminal has no active transaction")
-            .epoch;
         match &mut self.disks {
             None => {
                 self.inf_io_busy_us += dur.as_micros();
@@ -1260,7 +1348,20 @@ impl Simulator {
     // Helpers
     // ------------------------------------------------------------------
 
+    /// Publish `event` to the trace ring and any sinks. When neither is
+    /// attached (`observed` is false — the common experiment-sweep case)
+    /// this is one predicted-not-taken branch; whether anything observes
+    /// the run must never influence the simulation itself.
+    #[inline]
     fn emit(&mut self, now: SimTime, event: TraceEvent) {
+        if !self.observed {
+            return;
+        }
+        self.emit_observed(now, event);
+    }
+
+    #[cold]
+    fn emit_observed(&mut self, now: SimTime, event: TraceEvent) {
         if let Some(trace) = self.trace.as_mut() {
             trace.push(now, event);
         }
@@ -1331,6 +1432,20 @@ pub fn run_with_history(mut cfg: SimConfig) -> Result<(Report, History), RunErro
     let report = sim.finish();
     let history = sim.history.take().expect("history recording was enabled");
     Ok((report, history))
+}
+
+/// Like [`run`], but also return the engine's [`PerfStats`] (events
+/// handled, wall-clock time, peak calendar / lock-table occupancy). The
+/// counters are passive: the report is identical to what [`run`] returns.
+///
+/// # Errors
+/// Returns [`RunError`] if the configuration is invalid or the run exceeds
+/// its budget.
+pub fn run_with_perf(cfg: SimConfig) -> Result<(Report, PerfStats), RunError> {
+    let mut sim = Simulator::new(cfg)?;
+    sim.run_loop()?;
+    let report = sim.finish();
+    Ok((report, sim.perf_stats()))
 }
 
 #[cfg(test)]

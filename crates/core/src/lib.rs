@@ -37,11 +37,11 @@ mod txn;
 pub use algorithm::{CcAlgorithm, VictimPolicy};
 pub use budget::{BudgetKind, RunBudget, RunError};
 pub use config::{MetricsConfig, SimConfig};
-pub use engine::{run, run_with_history, run_with_trace, Simulator};
+pub use engine::{run, run_with_history, run_with_perf, run_with_trace, PerfStats, Simulator};
 pub use metrics::{ClassReport, Metrics, Report};
 pub use sink::{CenterFlow, EventSink, FlowStats};
 pub use trace::{Trace, TraceEvent};
-pub use txn::{AttemptUsage, Program, ProgramShape, Step, Txn, TxnState};
+pub use txn::{AttemptUsage, Program, ProgramShape, Step, Txn, TxnBufs, TxnState};
 
 // Re-export the vocabulary types callers need to configure runs.
 pub use ccsim_history::{check_conflict_serializable, CommittedTxn, History};

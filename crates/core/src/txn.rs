@@ -215,6 +215,18 @@ impl AttemptUsage {
     }
 }
 
+/// Recyclable backing buffers of a retired [`Txn`], recovered with
+/// [`Txn::into_parts`] and reused by [`Txn::new_reusing`].
+#[derive(Debug, Default)]
+pub struct TxnBufs {
+    /// Backing store for [`Txn::write_objs`].
+    pub write_objs: Vec<ObjId>,
+    /// Backing store for [`Txn::lock_plan`].
+    pub lock_plan: Vec<(ObjId, bool)>,
+    /// Backing store for [`Txn::read_times`].
+    pub read_times: Vec<SimTime>,
+}
+
 /// The runtime record of one terminal's current transaction.
 #[derive(Debug)]
 pub struct Txn {
@@ -233,6 +245,9 @@ pub struct Txn {
     pub program: Program,
     /// Program counter into [`Program::step_at`].
     pub pc: usize,
+    /// The decoded step at `pc`, kept in sync by [`Txn::advance`] and
+    /// [`Txn::begin_attempt`] so the hot path decodes each step once.
+    cur: Step,
     /// Lifecycle state.
     pub state: TxnState,
     /// When this transaction first entered the ready queue (response time
@@ -277,19 +292,40 @@ impl Txn {
         arrival: SimTime,
         epoch: u32,
     ) -> Self {
-        let write_objs: Vec<ObjId> = spec.write_objs().collect();
-        let lock_plan = if shape == ProgramShape::Static2pl {
-            let mut plan: Vec<(ObjId, bool)> = spec
-                .reads()
-                .iter()
-                .enumerate()
-                .map(|(i, &obj)| (obj, spec.writes_at(i)))
-                .collect();
-            plan.sort_unstable_by_key(|&(obj, _)| obj);
-            plan
-        } else {
-            Vec::new()
-        };
+        Txn::new_reusing(id, spec, shape, thinks, arrival, epoch, TxnBufs::default())
+    }
+
+    /// As [`Txn::new`], rebuilding the record inside recycled buffers
+    /// (cleared first) so the engine's per-transaction turnover is
+    /// allocation-free in the steady state.
+    #[must_use]
+    pub fn new_reusing(
+        id: TxnId,
+        spec: TxnSpec,
+        shape: ProgramShape,
+        thinks: bool,
+        arrival: SimTime,
+        epoch: u32,
+        bufs: TxnBufs,
+    ) -> Self {
+        let TxnBufs {
+            mut write_objs,
+            mut lock_plan,
+            mut read_times,
+        } = bufs;
+        write_objs.clear();
+        write_objs.extend(spec.write_objs());
+        lock_plan.clear();
+        if shape == ProgramShape::Static2pl {
+            lock_plan.extend(
+                spec.reads()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &obj)| (obj, spec.writes_at(i))),
+            );
+            lock_plan.sort_unstable_by_key(|&(obj, _)| obj);
+        }
+        read_times.clear();
         let program = Program::new(shape, thinks, &spec);
         Txn {
             id,
@@ -298,6 +334,7 @@ impl Txn {
             lock_plan,
             program,
             pc: 0,
+            cur: program.step_at(0),
             state: TxnState::Ready,
             arrival,
             attempt_start: arrival,
@@ -306,27 +343,43 @@ impl Txn {
             blocks: 0,
             restarts: 0,
             cc_charged: false,
-            read_times: Vec::new(),
+            read_times,
             publish_at: None,
             class: 0,
         }
     }
 
+    /// Tear a retired transaction down into its spec and recyclable
+    /// buffers (see [`Txn::new_reusing`]).
+    #[must_use]
+    pub fn into_parts(self) -> (TxnSpec, TxnBufs) {
+        (
+            self.spec,
+            TxnBufs {
+                write_objs: self.write_objs,
+                lock_plan: self.lock_plan,
+                read_times: self.read_times,
+            },
+        )
+    }
+
     /// The step the transaction is currently at.
     #[must_use]
     pub fn step(&self) -> Step {
-        self.program.step_at(self.pc)
+        self.cur
     }
 
     /// Advance to the next step.
     pub fn advance(&mut self) {
         self.pc += 1;
+        self.cur = self.program.step_at(self.pc);
         self.cc_charged = false;
     }
 
     /// Rewind for a fresh attempt after a restart.
     pub fn begin_attempt(&mut self, now: SimTime) {
         self.pc = 0;
+        self.cur = self.program.step_at(0);
         self.cc_charged = false;
         self.attempt_start = now;
         self.usage.reset();

@@ -86,28 +86,40 @@ impl UniformInclusive {
 /// # Panics
 /// Panics if `k > n`.
 pub fn sample_distinct(n: u64, k: usize, rng: &mut Xoshiro256StarStar) -> Vec<u64> {
+    let mut chosen: Vec<u64> = Vec::with_capacity(k);
+    sample_distinct_into(n, k, rng, &mut chosen);
+    chosen
+}
+
+/// As [`sample_distinct`], but writing into `out` (cleared first) so a
+/// caller that draws a sample per transaction can recycle one buffer
+/// instead of allocating each time. Consumes identical randomness.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct_into(n: u64, k: usize, rng: &mut Xoshiro256StarStar, out: &mut Vec<u64>) {
     assert!(
         (k as u64) <= n,
         "sample_distinct: cannot draw {k} distinct values from a universe of {n}"
     );
-    let mut chosen: Vec<u64> = Vec::with_capacity(k);
+    out.clear();
+    out.reserve(k);
     // Floyd: for j = n-k .. n-1, pick t in [0, j]; if t already chosen, take j.
     let start = n - k as u64;
     for j in start..n {
         let t = rng.next_below(j + 1);
-        if chosen.contains(&t) {
-            chosen.push(j);
+        if out.contains(&t) {
+            out.push(j);
         } else {
-            chosen.push(t);
+            out.push(t);
         }
     }
     // Floyd's output is biased toward sorted insertion order; shuffle so the
     // access order is uniform too (Fisher-Yates).
-    for i in (1..chosen.len()).rev() {
+    for i in (1..out.len()).rev() {
         let j = rng.next_below(i as u64 + 1) as usize;
-        chosen.swap(i, j);
+        out.swap(i, j);
     }
-    chosen
 }
 
 #[cfg(test)]

@@ -37,6 +37,8 @@ mod rng;
 mod time;
 
 pub use calendar::{Calendar, EventId};
-pub use dist::{sample_distinct, sample_exponential, Exponential, UniformInclusive};
+pub use dist::{
+    sample_distinct, sample_distinct_into, sample_exponential, Exponential, UniformInclusive,
+};
 pub use rng::{derive_point_seed, derive_seed, RngStreams, SplitMix64, Xoshiro256StarStar};
 pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

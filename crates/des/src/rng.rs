@@ -89,15 +89,19 @@ impl Xoshiro256StarStar {
         if bound.is_power_of_two() {
             return self.next_u64() & (bound - 1);
         }
-        let threshold = bound.wrapping_neg() % bound;
-        loop {
-            let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
-            let low = m as u64;
-            if low >= threshold {
-                return (m >> 64) as u64;
+        // Lazy threshold: the rejection test only matters when the low
+        // 64 bits fall below `bound` (probability bound / 2^64), so the
+        // u64 division computing the threshold is deferred to that
+        // vanishingly rare branch. The draw sequence is identical to the
+        // eager form because `low >= bound` implies `low >= threshold`.
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
             }
         }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.

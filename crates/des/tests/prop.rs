@@ -69,6 +69,73 @@ proptest! {
         prop_assert_eq!(popped, expected);
     }
 
+    /// Model-based fuzz of interleaved schedule / cancel / pop against a
+    /// reference priority queue (a plain sorted scan). Exercises the slot
+    /// free list, lazy tombstone discard, and heap repair paths that the
+    /// schedule-everything-then-pop tests above never interleave.
+    #[test]
+    fn calendar_interleaved_model(
+        ops in proptest::collection::vec((0u8..8, 0u64..10_000, 0usize..64), 1..400),
+    ) {
+        let mut cal = Calendar::new();
+        // Live events in insertion order: (time, payload, id). FIFO at equal
+        // times means the reference pop is "min time, earliest insertion".
+        let mut model: Vec<(SimTime, usize, ccsim_des::EventId)> = Vec::new();
+        let mut next_payload = 0usize;
+        for (kind, t, sel) in ops {
+            match kind {
+                // Schedule at or after the clock (the past is immutable).
+                0..=3 => {
+                    let at = cal.now() + SimDuration::from_micros(t);
+                    let id = cal.schedule(at, next_payload);
+                    model.push((at, next_payload, id));
+                    next_payload += 1;
+                }
+                // Pop must agree with the reference scan exactly.
+                4 | 5 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, (at, _, _))| (*at, *i))
+                        .map(|(i, _)| i);
+                    match expect {
+                        None => prop_assert_eq!(cal.pop(), None),
+                        Some(i) => {
+                            let (at, payload, _) = model.remove(i);
+                            let got = cal.pop();
+                            prop_assert_eq!(got, Some((at, payload)));
+                        }
+                    }
+                }
+                // Cancel a random live event; a second cancel of the same
+                // id must report stale.
+                6 => {
+                    if !model.is_empty() {
+                        let (_, _, id) = model.remove(sel % model.len());
+                        prop_assert!(cal.cancel(id));
+                        prop_assert!(!cal.cancel(id));
+                    }
+                }
+                // Occupancy bookkeeping survives the churn.
+                _ => prop_assert_eq!(cal.len(), model.len()),
+            }
+        }
+        prop_assert_eq!(cal.len(), model.len());
+        // Drain: the full remaining order must match the reference.
+        while !model.is_empty() {
+            let i = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (at, _, _))| (*at, *i))
+                .map(|(i, _)| i)
+                .expect("model not empty");
+            let (at, payload, _) = model.remove(i);
+            prop_assert_eq!(cal.pop(), Some((at, payload)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+        prop_assert!(cal.is_empty());
+    }
+
     /// `sample_distinct` yields exactly `k` distinct in-range values.
     #[test]
     fn sample_distinct_invariants(seed in any::<u64>(), n in 1u64..5_000, k_frac in 0.0f64..1.0) {

@@ -28,6 +28,8 @@
 //!   --out <path>            also write the report to <path> (atomic
 //!                           temp-then-rename write)
 //!   --check-serializable    record the history and run the checker
+//!   --perf                  also print engine throughput (events/sec) and
+//!                           peak calendar / lock-table occupancy
 //!   --audit                 attach the online invariant auditor; any
 //!                           violation is printed with its event context
 //!                           and fails the command
@@ -37,8 +39,8 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ccsim_core::{
-    check_conflict_serializable, run, run_with_history, CcAlgorithm, Confidence, MetricsConfig,
-    Params, Report, ResourceSpec, RunBudget, RunError, SimConfig,
+    check_conflict_serializable, run, run_with_history, run_with_perf, CcAlgorithm, Confidence,
+    MetricsConfig, Params, Report, ResourceSpec, RunBudget, RunError, SimConfig,
 };
 use ccsim_des::{derive_seed, SimDuration};
 use ccsim_experiments::{aggregate_reports, write_atomic};
@@ -55,6 +57,7 @@ struct Cli {
     cfg: SimConfig,
     check_serializable: bool,
     audit: bool,
+    perf: bool,
     reps: u32,
     out: Option<PathBuf>,
 }
@@ -68,6 +71,7 @@ fn parse() -> Result<Cli, String> {
     let mut reps = 1_u32;
     let mut check_serializable = false;
     let mut audit = false;
+    let mut perf = false;
     let mut out = None;
     let mut cpus: Option<u32> = None;
     let mut disks: Option<u32> = None;
@@ -123,6 +127,7 @@ fn parse() -> Result<Cli, String> {
             }
             "--out" => out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check-serializable" => check_serializable = true,
+            "--perf" => perf = true,
             "--audit" => audit = true,
             "--quick" => metrics = MetricsConfig::quick(),
             other => return Err(format!("unknown flag {other} (see --help in the source)")),
@@ -151,10 +156,16 @@ fn parse() -> Result<Cli, String> {
     if audit && reps > 1 {
         return Err("--audit works on a single run; use --reps 1".to_string());
     }
+    if perf && (audit || check_serializable || reps > 1) {
+        return Err(
+            "--perf measures the bare engine; drop --audit/--check-serializable/--reps".to_string(),
+        );
+    }
     Ok(Cli {
         cfg,
         check_serializable,
         audit,
+        perf,
         reps,
         out,
     })
@@ -372,6 +383,25 @@ fn main() {
             text,
             "  across {} replications: {:.3} ± {:.3} tps (Student-t over replication means)",
             cli.reps, e.mean, e.half_width
+        );
+        emit(&cli, &text);
+    } else if cli.perf {
+        let (report, perf) = match run_with_perf(cli.cfg.clone()) {
+            Ok(rp) => rp,
+            Err(e) => exit_run_error(&e),
+        };
+        let mut text = render_report(&cli.cfg, &report);
+        let _ = writeln!(
+            text,
+            "  engine perf      {} events in {:.3}s wall = {:.0} events/sec",
+            perf.events,
+            perf.wall.as_secs_f64(),
+            perf.events_per_sec()
+        );
+        let _ = writeln!(
+            text,
+            "  peak occupancy   {} calendar events, {} locks in table",
+            perf.peak_calendar, perf.peak_lock_table
         );
         emit(&cli, &text);
     } else {

@@ -158,7 +158,7 @@ pub fn to_json(result: &ExperimentResult) -> String {
 /// A parsed JSON value. Numbers keep their raw lexeme so callers choose
 /// the integer or float interpretation without precision loss.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -174,35 +174,40 @@ pub(crate) enum Value {
 }
 
 impl Value {
-    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+    /// Field lookup on an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The number as a `u64`, if it parses losslessly.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The number as an `f64` (`null` maps to NaN).
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             // `f64::from_str` accepts our non-finite lexemes (NaN, inf,
             // -inf) as well as ordinary JSON numbers.
@@ -224,7 +229,7 @@ impl Value {
 /// Parse one JSON document. Accepts the output of this module plus the
 /// non-finite number lexemes `NaN` / `inf` / `-inf` that the manifest
 /// writes for lossless float round trips.
-pub(crate) fn parse(input: &str) -> Result<Value, String> {
+pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,

@@ -5,10 +5,25 @@
 //! cycle through a given start node. Because every transaction has at most
 //! one outstanding lock request, the graph's out-degree is small and the
 //! search is cheap.
+//!
+//! The successor callback appends into a caller-provided buffer backed by a
+//! single shared arena, so the whole search performs a handful of `Vec`
+//! allocations total instead of one per visited node.
 
 use ccsim_workload::TxnId;
 
+/// One DFS stack frame: the slice of the successor arena belonging to this
+/// node, plus the absolute cursor of the next successor to try.
+struct Frame {
+    begin: usize,
+    cursor: usize,
+    end: usize,
+}
+
 /// Find a cycle through `start`, if one exists, following `successors`.
+///
+/// `successors(t, out)` must append `t`'s successors to `out` (and touch
+/// nothing already in it).
 ///
 /// Returns the cycle as a list of transactions `[start, ..., t_k]` such that
 /// each waits for the next and `t_k` waits for `start`. Only cycles through
@@ -17,33 +32,48 @@ use ccsim_workload::TxnId;
 /// transaction.
 pub fn find_cycle_through<F>(start: TxnId, mut successors: F) -> Option<Vec<TxnId>>
 where
-    F: FnMut(TxnId) -> Vec<TxnId>,
+    F: FnMut(TxnId, &mut Vec<TxnId>),
 {
     // Iterative DFS keeping the current path for cycle reconstruction.
+    // Successor lists live stacked in one arena; a frame's slice is
+    // truncated away when the frame pops.
     let mut path: Vec<TxnId> = vec![start];
-    let mut iters: Vec<std::vec::IntoIter<TxnId>> = vec![successors(start).into_iter()];
     let mut visited: Vec<TxnId> = vec![start];
+    let mut arena: Vec<TxnId> = Vec::new();
+    successors(start, &mut arena);
+    let mut frames: Vec<Frame> = vec![Frame {
+        begin: 0,
+        cursor: 0,
+        end: arena.len(),
+    }];
 
-    while let Some(iter) = iters.last_mut() {
-        match iter.next() {
-            Some(next) => {
-                if next == start {
-                    return Some(path.clone());
-                }
-                if visited.contains(&next) {
-                    continue;
-                }
-                visited.push(next);
-                path.push(next);
-                iters.push(successors(next).into_iter());
-            }
-            None => {
-                path.pop();
-                iters.pop();
-            }
+    loop {
+        let frame = frames.last_mut()?;
+        if frame.cursor >= frame.end {
+            let begin = frame.begin;
+            frames.pop();
+            arena.truncate(begin);
+            path.pop();
+            continue;
         }
+        let next = arena[frame.cursor];
+        frame.cursor += 1;
+        if next == start {
+            return Some(path);
+        }
+        if visited.contains(&next) {
+            continue;
+        }
+        visited.push(next);
+        path.push(next);
+        let begin = arena.len();
+        successors(next, &mut arena);
+        frames.push(Frame {
+            begin,
+            cursor: begin,
+            end: arena.len(),
+        });
     }
-    None
 }
 
 #[cfg(test)]
@@ -63,8 +93,12 @@ mod tests {
         g
     }
 
-    fn successors(g: &HashMap<TxnId, Vec<TxnId>>) -> impl FnMut(TxnId) -> Vec<TxnId> + '_ {
-        move |t| g.get(&t).cloned().unwrap_or_default()
+    fn successors(g: &HashMap<TxnId, Vec<TxnId>>) -> impl FnMut(TxnId, &mut Vec<TxnId>) + '_ {
+        move |t, out: &mut Vec<TxnId>| {
+            if let Some(succ) = g.get(&t) {
+                out.extend_from_slice(succ);
+            }
+        }
     }
 
     #[test]
@@ -120,5 +154,22 @@ mod tests {
         let edges: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i + 1)).collect();
         let g = graph(&edges);
         assert!(find_cycle_through(txn(0), successors(&g)).is_none());
+    }
+
+    #[test]
+    fn arena_frames_unwind_correctly() {
+        // A deep dead-end branch explored before the cycling branch must
+        // not leave stale successors behind when its frames unwind.
+        let g = graph(&[
+            (1, 10),
+            (10, 11),
+            (11, 12),
+            (12, 13),
+            (1, 2),
+            (2, 3),
+            (3, 1),
+        ]);
+        let c = find_cycle_through(txn(1), successors(&g)).unwrap();
+        assert_eq!(c, vec![txn(1), txn(2), txn(3)]);
     }
 }

@@ -12,8 +12,21 @@
 //! A request is granted immediately only if it is compatible with all
 //! current holders *and* no request is queued ahead of it — readers do not
 //! jump over queued writers, so writers cannot starve.
+//!
+//! # Storage layout
+//!
+//! The paper's database is a fixed array of `db_size` objects, so the lock
+//! table is a dense `Vec<Entry>` indexed directly by [`ObjId`] — no hashing
+//! on the hot path, and entries are emptied in place rather than removed,
+//! so their `holders`/`queue` allocations are reused for the lifetime of
+//! the run. Per-transaction state (held objects, outstanding request) lives
+//! in a slot array indexed by `TxnId % nslots`; the engine derives
+//! transaction ids as `serial * num_terms + terminal`, so sizing the slot
+//! array to the terminal count makes the mapping collision-free. Standalone
+//! users get a default slot count that doubles transparently whenever two
+//! live transactions would collide.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ccsim_workload::{ObjId, TxnId};
 
@@ -92,31 +105,156 @@ impl Entry {
             .iter()
             .all(|&(t, m)| t == txn || m.compatible_with(mode))
     }
+}
 
-    fn is_unused(&self) -> bool {
-        self.holders.is_empty() && self.queue.is_empty()
+/// Per-transaction state, addressed by `TxnId % slots.len()`.
+///
+/// A slot is *vacant* (reusable by any transaction hashing to it) once its
+/// occupant neither holds locks nor waits; `tid` then only records the last
+/// occupant and carries no meaning.
+#[derive(Debug)]
+struct TxnSlot {
+    tid: TxnId,
+    /// Objects on which the occupant holds a lock, in acquisition order.
+    held: Vec<ObjId>,
+    /// The occupant's single outstanding blocked request, if any.
+    waiting: Option<ObjId>,
+}
+
+impl TxnSlot {
+    fn new() -> Self {
+        TxnSlot {
+            tid: TxnId(0),
+            held: Vec::new(),
+            waiting: None,
+        }
+    }
+
+    fn is_vacant(&self) -> bool {
+        self.held.is_empty() && self.waiting.is_none()
     }
 }
 
-/// The lock manager: lock table plus per-transaction indexes.
-#[derive(Debug, Default)]
+/// Default transaction-slot count for standalone construction via
+/// [`LockManager::new`]; grows on demand.
+const DEFAULT_TXN_SLOTS: usize = 64;
+
+/// The lock manager: dense lock table plus per-transaction slot array.
+#[derive(Debug)]
 pub struct LockManager {
-    table: HashMap<ObjId, Entry>,
-    /// Objects on which each transaction holds a lock.
-    held: HashMap<TxnId, Vec<ObjId>>,
-    /// The single outstanding blocked request of each waiting transaction.
-    waiting: HashMap<TxnId, ObjId>,
+    /// Lock state per object, indexed by `ObjId`. Entries are emptied in
+    /// place, never removed, so `holders`/`queue` capacity is reused.
+    table: Vec<Entry>,
+    /// Per-transaction state, indexed by `TxnId % txns.len()`.
+    txns: Vec<TxnSlot>,
+    /// Total `(txn, obj)` holder pairs in the table (current occupancy).
+    held_count: usize,
+    /// High-water mark of `held_count` over the manager's lifetime.
+    peak_held: usize,
     /// Counters for observability.
     grants: u64,
     blocks: u64,
     denials: u64,
 }
 
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new()
+    }
+}
+
 impl LockManager {
-    /// An empty lock table.
+    /// An empty lock table with default capacity. The object table and the
+    /// transaction slot array both grow on demand.
     #[must_use]
     pub fn new() -> Self {
-        LockManager::default()
+        LockManager::with_capacity(0, DEFAULT_TXN_SLOTS)
+    }
+
+    /// An empty lock table presized for `db_size` objects and `txn_slots`
+    /// concurrently live transactions. When transaction ids are assigned as
+    /// `serial * txn_slots + index` (the engine's terminal numbering), the
+    /// slot mapping is collision-free and never reallocates.
+    #[must_use]
+    pub fn with_capacity(db_size: usize, txn_slots: usize) -> Self {
+        let mut table = Vec::new();
+        table.resize_with(db_size, Entry::default);
+        let nslots = txn_slots.max(1);
+        let mut txns = Vec::with_capacity(nslots);
+        txns.resize_with(nslots, TxnSlot::new);
+        LockManager {
+            table,
+            txns,
+            held_count: 0,
+            peak_held: 0,
+            grants: 0,
+            blocks: 0,
+            denials: 0,
+        }
+    }
+
+    /// Grow the object table to cover `obj` and return its index.
+    fn ensure_obj(&mut self, obj: ObjId) -> usize {
+        let i = usize::try_from(obj.0).expect("object id exceeds address space");
+        if i >= self.table.len() {
+            assert!(
+                i < 1 << 32,
+                "object id {obj} too large for dense lock table"
+            );
+            self.table.resize_with(i + 1, Entry::default);
+        }
+        i
+    }
+
+    /// The slot currently occupied by `tid`, if it is live.
+    fn slot_of(&self, tid: TxnId) -> Option<usize> {
+        let i = (tid.0 % self.txns.len() as u64) as usize;
+        let s = &self.txns[i];
+        (s.tid == tid && !s.is_vacant()).then_some(i)
+    }
+
+    /// Claim a slot for `tid`, growing the slot array if another live
+    /// transaction occupies it.
+    fn claim_slot(&mut self, tid: TxnId) -> usize {
+        loop {
+            let i = (tid.0 % self.txns.len() as u64) as usize;
+            let s = &mut self.txns[i];
+            if s.tid == tid || s.is_vacant() {
+                s.tid = tid;
+                return i;
+            }
+            self.grow_slots();
+        }
+    }
+
+    /// Double the slot-array modulus until every live transaction maps to a
+    /// distinct slot, then re-place them.
+    fn grow_slots(&mut self) {
+        let old_len = self.txns.len();
+        let live: Vec<TxnSlot> = std::mem::take(&mut self.txns)
+            .into_iter()
+            .filter(|s| !s.is_vacant())
+            .collect();
+        let mut n = old_len.max(live.len()).max(1);
+        loop {
+            n *= 2;
+            assert!(
+                n <= 1 << 32,
+                "cannot find a collision-free transaction slot modulus"
+            );
+            let mut residues: Vec<u64> = live.iter().map(|s| s.tid.0 % n as u64).collect();
+            residues.sort_unstable();
+            if residues.windows(2).all(|w| w[0] != w[1]) {
+                break;
+            }
+        }
+        let mut txns = Vec::with_capacity(n);
+        txns.resize_with(n, TxnSlot::new);
+        for s in live {
+            let i = (s.tid.0 % n as u64) as usize;
+            txns[i] = s;
+        }
+        self.txns = txns;
     }
 
     /// Request `mode` on `obj` for `txn`, queueing on conflict (the
@@ -146,11 +284,11 @@ impl LockManager {
         may_queue: bool,
     ) -> RequestOutcome {
         assert!(
-            !self.waiting.contains_key(&txn),
+            self.waiting_on(txn).is_none(),
             "{txn} already has an outstanding lock request"
         );
-        let entry = self.table.entry(obj).or_default();
-        match entry.holder_mode(txn) {
+        let oi = self.ensure_obj(obj);
+        match self.table[oi].holder_mode(txn) {
             Some(LockMode::Write) => {
                 // Write covers both modes; re-request is a no-op.
                 self.grants += 1;
@@ -162,11 +300,13 @@ impl LockManager {
             }
             Some(LockMode::Read) => {
                 // Upgrade read -> write.
-                if entry.is_sole_holder(txn) {
-                    entry.holders[0].1 = LockMode::Write;
+                if self.table[oi].is_sole_holder(txn) {
+                    self.table[oi].holders[0].1 = LockMode::Write;
                     self.grants += 1;
                     RequestOutcome::Granted
                 } else if may_queue {
+                    let si = self.claim_slot(txn);
+                    let entry = &mut self.table[oi];
                     let pos = entry.queue.iter().take_while(|w| w.is_upgrade).count();
                     entry.queue.insert(
                         pos,
@@ -176,7 +316,7 @@ impl LockManager {
                             is_upgrade: true,
                         },
                     );
-                    self.waiting.insert(txn, obj);
+                    self.txns[si].waiting = Some(obj);
                     self.blocks += 1;
                     RequestOutcome::Queued
                 } else {
@@ -185,18 +325,24 @@ impl LockManager {
                 }
             }
             None => {
-                if entry.queue.is_empty() && entry.compatible_for(txn, mode) {
-                    entry.holders.push((txn, mode));
-                    self.held.entry(txn).or_default().push(obj);
+                if self.table[oi].queue.is_empty() && self.table[oi].compatible_for(txn, mode) {
+                    let si = self.claim_slot(txn);
+                    self.table[oi].holders.push((txn, mode));
+                    self.held_count += 1;
+                    if self.held_count > self.peak_held {
+                        self.peak_held = self.held_count;
+                    }
+                    self.txns[si].held.push(obj);
                     self.grants += 1;
                     RequestOutcome::Granted
                 } else if may_queue {
-                    entry.queue.push_back(Waiter {
+                    let si = self.claim_slot(txn);
+                    self.table[oi].queue.push_back(Waiter {
                         txn,
                         mode,
                         is_upgrade: false,
                     });
-                    self.waiting.insert(txn, obj);
+                    self.txns[si].waiting = Some(obj);
                     self.blocks += 1;
                     RequestOutcome::Queued
                 } else {
@@ -212,48 +358,61 @@ impl LockManager {
     /// Used both at commit (after deferred updates) and at abort.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<Grant> {
         let mut grants = Vec::new();
-        // Cancel an outstanding queued request.
-        if let Some(obj) = self.waiting.remove(&txn) {
-            if let Some(entry) = self.table.get_mut(&obj) {
-                entry.queue.retain(|w| w.txn != txn);
-                // Removing a waiter can unblock those behind it (e.g. a
-                // queued upgrade vanishing lets queued readers through).
-                let from = grants.len();
-                Self::drain_queue(entry, &mut grants);
-                Self::patch_grants(obj, &mut grants, from);
-                if entry.is_unused() {
-                    self.table.remove(&obj);
-                }
-            }
-        }
-        // Release held locks.
-        for obj in self.held.remove(&txn).unwrap_or_default() {
-            let Some(entry) = self.table.get_mut(&obj) else {
-                continue;
-            };
-            entry.holders.retain(|(t, _)| *t != txn);
-            let from = grants.len();
-            Self::drain_queue(entry, &mut grants);
-            Self::patch_grants(obj, &mut grants, from);
-            if entry.is_unused() {
-                self.table.remove(&obj);
-            }
-        }
-        // Index the new grants (an upgrade grant's object is already in the
-        // holder's held list).
-        for g in &grants {
-            self.waiting.remove(&g.txn);
-            let held = self.held.entry(g.txn).or_default();
-            if !held.contains(&g.obj) {
-                held.push(g.obj);
-            }
-            self.grants += 1;
-        }
+        self.release_all_into(txn, &mut grants);
         grants
     }
 
+    /// Allocation-free form of [`LockManager::release_all`]: consequent
+    /// grants are appended to `grants` (existing contents are untouched),
+    /// letting the caller reuse one buffer across calls.
+    pub fn release_all_into(&mut self, txn: TxnId, grants: &mut Vec<Grant>) {
+        let start = grants.len();
+        let Some(si) = self.slot_of(txn) else {
+            return; // unknown or already-finished transaction: no-op
+        };
+        // Cancel an outstanding queued request.
+        if let Some(obj) = self.txns[si].waiting.take() {
+            let entry = &mut self.table[obj.0 as usize];
+            entry.queue.retain(|w| w.txn != txn);
+            // Removing a waiter can unblock those behind it (e.g. a
+            // queued upgrade vanishing lets queued readers through).
+            let from = grants.len();
+            Self::drain_queue(entry, grants, &mut self.held_count);
+            Self::patch_grants(obj, grants, from);
+        }
+        // Release held locks, in acquisition order. The held list is moved
+        // out and handed back so its allocation survives with the slot.
+        let mut held = std::mem::take(&mut self.txns[si].held);
+        for obj in held.drain(..) {
+            let entry = &mut self.table[obj.0 as usize];
+            let before = entry.holders.len();
+            entry.holders.retain(|(t, _)| *t != txn);
+            self.held_count -= before - entry.holders.len();
+            let from = grants.len();
+            Self::drain_queue(entry, grants, &mut self.held_count);
+            Self::patch_grants(obj, grants, from);
+        }
+        self.txns[si].held = held;
+        // Index the new grants (an upgrade grant's object is already in the
+        // holder's held list).
+        for &g in &grants[start..] {
+            let gsi = self.claim_slot(g.txn);
+            let slot = &mut self.txns[gsi];
+            slot.waiting = None;
+            if !slot.held.contains(&g.obj) {
+                slot.held.push(g.obj);
+            }
+            self.grants += 1;
+        }
+        // Draining can promote several queued readers in place of one
+        // writer, so occupancy may exceed the pre-release peak.
+        if self.held_count > self.peak_held {
+            self.peak_held = self.held_count;
+        }
+    }
+
     /// Grant queued requests that have become compatible, FCFS.
-    fn drain_queue(entry: &mut Entry, grants: &mut Vec<Grant>) {
+    fn drain_queue(entry: &mut Entry, grants: &mut Vec<Grant>, held_count: &mut usize) {
         while let Some(head) = entry.queue.front() {
             if head.is_upgrade {
                 if entry.is_sole_holder(head.txn) {
@@ -271,6 +430,7 @@ impl LockManager {
             } else if entry.compatible_for(head.txn, head.mode) {
                 let w = entry.queue.pop_front().expect("front exists");
                 entry.holders.push((w.txn, w.mode));
+                *held_count += 1;
                 grants.push(Grant {
                     txn: w.txn,
                     obj: ObjId(0), // patched below
@@ -291,24 +451,21 @@ impl LockManager {
     /// means those will be granted first, so they are genuine waits.
     #[must_use]
     pub fn find_deadlock(&self, txn: TxnId) -> Option<Vec<TxnId>> {
-        if !self.waiting.contains_key(&txn) {
-            return None;
-        }
-        find_cycle_through(txn, |t| self.waits_for(t))
+        self.waiting_on(txn)?;
+        find_cycle_through(txn, |t, out| self.waits_for_into(t, out))
     }
 
-    fn waits_for(&self, txn: TxnId) -> Vec<TxnId> {
-        let Some(&obj) = self.waiting.get(&txn) else {
-            return Vec::new();
+    fn waits_for_into(&self, txn: TxnId, out: &mut Vec<TxnId>) {
+        let Some(obj) = self.waiting_on(txn) else {
+            return;
         };
-        let Some(entry) = self.table.get(&obj) else {
-            return Vec::new();
+        let Some(entry) = self.table.get(obj.0 as usize) else {
+            return;
         };
         let Some(me_pos) = entry.queue.iter().position(|w| w.txn == txn) else {
-            return Vec::new();
+            return;
         };
         let my_mode = entry.queue[me_pos].mode;
-        let mut out: Vec<TxnId> = Vec::new();
         for &(holder, hmode) in &entry.holders {
             if holder != txn && !(hmode.compatible_with(my_mode)) {
                 out.push(holder);
@@ -321,7 +478,6 @@ impl LockManager {
                 out.push(ahead.txn);
             }
         }
-        out
     }
 
     /// The transactions a request for `mode` on `obj` by `txn` would have
@@ -332,13 +488,20 @@ impl LockManager {
     /// requesting.
     #[must_use]
     pub fn blockers(&self, txn: TxnId, obj: ObjId, mode: LockMode) -> Vec<TxnId> {
-        let Some(entry) = self.table.get(&obj) else {
-            return Vec::new();
-        };
         let mut out = Vec::new();
+        self.blockers_into(txn, obj, mode, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`LockManager::blockers`]: blockers are
+    /// appended to `out` (existing contents are untouched).
+    pub fn blockers_into(&self, txn: TxnId, obj: ObjId, mode: LockMode, out: &mut Vec<TxnId>) {
+        let Some(entry) = self.table.get(obj.0 as usize) else {
+            return;
+        };
         match entry.holder_mode(txn) {
-            Some(LockMode::Write) => return out,
-            Some(LockMode::Read) if mode == LockMode::Read => return out,
+            Some(LockMode::Write) => {}
+            Some(LockMode::Read) if mode == LockMode::Read => {}
             Some(LockMode::Read) => {
                 // Upgrade: waits for every other holder.
                 for &(t, _) in &entry.holders {
@@ -355,6 +518,7 @@ impl LockManager {
                 }
             }
             None => {
+                let before = out.len();
                 for &(t, m) in &entry.holders {
                     if t != txn && !m.compatible_with(mode) {
                         out.push(t);
@@ -370,45 +534,64 @@ impl LockManager {
                 // Even a compatible request must queue behind any waiter
                 // (no overtaking); if the queue is non-empty the request
                 // waits for at least the queue head.
-                if out.is_empty() && !entry.queue.is_empty() {
+                if out.len() == before && !entry.queue.is_empty() {
                     out.push(entry.queue[0].txn);
                 }
             }
         }
-        out
     }
 
     /// The mode `txn` holds on `obj`, if any.
     #[must_use]
     pub fn holds(&self, txn: TxnId, obj: ObjId) -> Option<LockMode> {
-        self.table.get(&obj).and_then(|e| e.holder_mode(txn))
+        self.table
+            .get(obj.0 as usize)
+            .and_then(|e| e.holder_mode(txn))
     }
 
     /// The object `txn` is blocked on, if it is blocked.
     #[must_use]
     pub fn waiting_on(&self, txn: TxnId) -> Option<ObjId> {
-        self.waiting.get(&txn).copied()
+        let i = (txn.0 % self.txns.len() as u64) as usize;
+        let s = &self.txns[i];
+        if s.tid == txn {
+            s.waiting
+        } else {
+            None
+        }
     }
 
     /// Number of locks `txn` currently holds.
     #[must_use]
     pub fn locks_held(&self, txn: TxnId) -> usize {
-        self.held.get(&txn).map_or(0, Vec::len)
+        self.slot_of(txn).map_or(0, |i| self.txns[i].held.len())
+    }
+
+    /// Total locks currently held across all transactions (table
+    /// occupancy; one writer or each reader counts as one lock).
+    #[must_use]
+    pub fn locks_in_table(&self) -> usize {
+        self.held_count
+    }
+
+    /// The most locks ever held at once (peak table occupancy).
+    #[must_use]
+    pub fn peak_locks_in_table(&self) -> usize {
+        self.peak_held
     }
 
     /// All current holders of `obj` (test/diagnostic aid).
     #[must_use]
-    pub fn holders_of(&self, obj: ObjId) -> Vec<(TxnId, LockMode)> {
+    pub fn holders_of(&self, obj: ObjId) -> &[(TxnId, LockMode)] {
         self.table
-            .get(&obj)
-            .map(|e| e.holders.clone())
-            .unwrap_or_default()
+            .get(obj.0 as usize)
+            .map_or(&[], |e| e.holders.as_slice())
     }
 
     /// Queue length on `obj`.
     #[must_use]
     pub fn queue_len(&self, obj: ObjId) -> usize {
-        self.table.get(&obj).map_or(0, |e| e.queue.len())
+        self.table.get(obj.0 as usize).map_or(0, |e| e.queue.len())
     }
 
     /// Lifetime counters: `(grants, blocks, denials)`.
@@ -420,12 +603,14 @@ impl LockManager {
     /// Verify internal invariants. Intended for tests; panics on violation.
     ///
     /// # Panics
-    /// Panics if any cross-index disagrees with the lock table, if multiple
-    /// holders coexist with a writer, or if a grantable queue head was left
-    /// waiting.
+    /// Panics if any transaction slot disagrees with the lock table, if
+    /// multiple holders coexist with a writer, if a grantable queue head was
+    /// left waiting, or if the occupancy counter drifts.
     pub fn assert_consistent(&self) {
-        for (obj, entry) in &self.table {
-            assert!(!entry.is_unused(), "{obj} retained an empty entry");
+        let mut holder_pairs = 0usize;
+        for (i, entry) in self.table.iter().enumerate() {
+            let obj = ObjId(i as u64);
+            holder_pairs += entry.holders.len();
             let writers = entry
                 .holders
                 .iter()
@@ -439,14 +624,17 @@ impl LockManager {
                 );
             }
             for &(t, _) in &entry.holders {
+                let si = self.slot_of(t).unwrap_or_else(|| {
+                    panic!("{obj} holder {t} has no transaction slot");
+                });
                 assert!(
-                    self.held.get(&t).is_some_and(|v| v.contains(obj)),
+                    self.txns[si].held.contains(&obj),
                     "{obj} holder {t} missing from held index"
                 );
             }
             for w in &entry.queue {
                 assert_eq!(
-                    self.waiting.get(&w.txn),
+                    self.waiting_on(w.txn),
                     Some(obj),
                     "queued {} missing from waiting index",
                     w.txn
@@ -475,23 +663,31 @@ impl LockManager {
                 }
             }
         }
-        for (txn, objs) in &self.held {
-            for obj in objs {
+        assert_eq!(
+            holder_pairs, self.held_count,
+            "lock occupancy counter drifted"
+        );
+        for slot in &self.txns {
+            if slot.is_vacant() {
+                continue;
+            }
+            let txn = slot.tid;
+            for obj in &slot.held {
                 assert!(
                     self.table
-                        .get(obj)
-                        .is_some_and(|e| e.holder_mode(*txn).is_some()),
+                        .get(obj.0 as usize)
+                        .is_some_and(|e| e.holder_mode(txn).is_some()),
                     "held index lists {txn} on {obj} but table disagrees"
                 );
             }
-        }
-        for (txn, obj) in &self.waiting {
-            assert!(
-                self.table
-                    .get(obj)
-                    .is_some_and(|e| e.queue.iter().any(|w| w.txn == *txn)),
-                "waiting index lists {txn} on {obj} but queue disagrees"
-            );
+            if let Some(obj) = slot.waiting {
+                assert!(
+                    self.table
+                        .get(obj.0 as usize)
+                        .is_some_and(|e| e.queue.iter().any(|w| w.txn == txn)),
+                    "waiting index lists {txn} on {obj} but queue disagrees"
+                );
+            }
         }
     }
 }
@@ -865,11 +1061,70 @@ mod tests {
     }
 
     #[test]
-    fn empty_entries_are_garbage_collected() {
+    fn release_empties_entries_in_place() {
         let mut lm = LockManager::new();
         lm.request(t(1), o(1), LockMode::Write);
         lm.release_all(t(1));
-        assert!(lm.table.is_empty(), "entry should be removed");
-        assert!(lm.held.is_empty());
+        assert!(lm.holders_of(o(1)).is_empty(), "entry should be emptied");
+        assert_eq!(lm.locks_held(t(1)), 0);
+        assert_eq!(lm.locks_in_table(), 0);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_holders() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.locks_in_table(), 0);
+        lm.request(t(1), o(1), LockMode::Read);
+        lm.request(t(2), o(1), LockMode::Read);
+        lm.request(t(1), o(2), LockMode::Write);
+        assert_eq!(lm.locks_in_table(), 3);
+        // In-place upgrade does not change occupancy.
+        lm.release_all(t(2));
+        lm.request(t(1), o(1), LockMode::Write);
+        assert_eq!(lm.locks_in_table(), 2);
+        lm.release_all(t(1));
+        assert_eq!(lm.locks_in_table(), 0);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn colliding_txn_ids_grow_slot_array() {
+        // Two live transactions whose ids collide modulo the default slot
+        // count (64) must both be representable.
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), LockMode::Write);
+        lm.request(t(65), o(2), LockMode::Write);
+        assert_eq!(lm.holds(t(1), o(1)), Some(LockMode::Write));
+        assert_eq!(lm.holds(t(65), o(2)), Some(LockMode::Write));
+        assert_eq!(lm.locks_held(t(1)), 1);
+        assert_eq!(lm.locks_held(t(65)), 1);
+        lm.assert_consistent();
+        // And a queued collision too.
+        assert_eq!(
+            lm.request(t(129), o(1), LockMode::Read),
+            RequestOutcome::Queued
+        );
+        assert_eq!(lm.waiting_on(t(129)), Some(o(1)));
+        lm.assert_consistent();
+        let grants = lm.release_all(t(1));
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].txn, t(129));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn slot_reuse_after_release() {
+        // Sequential transactions mapping to the same slot (engine pattern:
+        // one live txn per terminal) reuse it without growth.
+        let mut lm = LockManager::with_capacity(16, 4);
+        for serial in 0..100u64 {
+            let id = t(serial * 4 + 2); // terminal 2
+            lm.request(id, o(serial % 16), LockMode::Write);
+            assert_eq!(lm.locks_held(id), 1);
+            lm.release_all(id);
+            assert_eq!(lm.locks_held(id), 0);
+        }
+        lm.assert_consistent();
     }
 }

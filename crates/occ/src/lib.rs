@@ -16,8 +16,6 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::collections::HashMap;
-
 use ccsim_des::SimTime;
 use ccsim_workload::ObjId;
 
@@ -31,9 +29,18 @@ pub struct Conflict {
 }
 
 /// Backward-validation state: the last committed write time of each object.
+///
+/// The paper's database is a fixed object array, so the stamp table is a
+/// dense `Vec<SimTime>` indexed by [`ObjId`] with `SimTime::ZERO` as the
+/// "never written" sentinel. The sentinel is sound because a conflict
+/// requires `committed_at > start` and no attempt starts before time zero —
+/// a (physically impossible) commit at exactly time zero would be
+/// unobservable either way.
 #[derive(Debug, Default)]
 pub struct Validator {
-    last_write: HashMap<ObjId, SimTime>,
+    last_write: Vec<SimTime>,
+    /// Number of non-sentinel stamps in `last_write`.
+    tracked: usize,
     validations: u64,
     failures: u64,
 }
@@ -43,6 +50,16 @@ impl Validator {
     #[must_use]
     pub fn new() -> Self {
         Validator::default()
+    }
+
+    /// An empty validator presized for `db_size` objects, so the stamp
+    /// table never reallocates during a run.
+    #[must_use]
+    pub fn with_capacity(db_size: usize) -> Self {
+        Validator {
+            last_write: vec![SimTime::ZERO; db_size],
+            ..Validator::default()
+        }
     }
 
     /// Validate a transaction attempt that started executing at `start` and
@@ -55,7 +72,7 @@ impl Validator {
     pub fn validate(&mut self, start: SimTime, readset: &[ObjId]) -> Result<(), Conflict> {
         self.validations += 1;
         for &obj in readset {
-            if let Some(&committed_at) = self.last_write.get(&obj) {
+            if let Some(&committed_at) = self.last_write.get(obj.0 as usize) {
                 if committed_at > start {
                     self.failures += 1;
                     return Err(Conflict { obj, committed_at });
@@ -70,7 +87,15 @@ impl Validator {
     /// (the critical section).
     pub fn commit(&mut self, now: SimTime, writeset: impl IntoIterator<Item = ObjId>) {
         for obj in writeset {
-            self.last_write.insert(obj, now);
+            let i = usize::try_from(obj.0).expect("object id exceeds address space");
+            if i >= self.last_write.len() {
+                self.last_write.resize(i + 1, SimTime::ZERO);
+            }
+            let slot = &mut self.last_write[i];
+            if *slot == SimTime::ZERO && now != SimTime::ZERO {
+                self.tracked += 1;
+            }
+            *slot = now;
         }
     }
 
@@ -94,7 +119,10 @@ impl Validator {
     /// committed a write to it.
     #[must_use]
     pub fn last_write(&self, obj: ObjId) -> Option<SimTime> {
-        self.last_write.get(&obj).copied()
+        self.last_write
+            .get(obj.0 as usize)
+            .copied()
+            .filter(|&t| t != SimTime::ZERO)
     }
 
     /// Drop write stamps at or before `horizon`. Any attempt that started at
@@ -102,15 +130,21 @@ impl Validator {
     /// attempt predates `horizon` the entries are dead weight. Returns how
     /// many stamps were pruned.
     pub fn prune_before(&mut self, horizon: SimTime) -> usize {
-        let before = self.last_write.len();
-        self.last_write.retain(|_, &mut t| t > horizon);
-        before - self.last_write.len()
+        let mut pruned = 0;
+        for t in &mut self.last_write {
+            if *t != SimTime::ZERO && *t <= horizon {
+                *t = SimTime::ZERO;
+                pruned += 1;
+            }
+        }
+        self.tracked -= pruned;
+        pruned
     }
 
     /// Number of objects with a recorded committed write.
     #[must_use]
     pub fn tracked_objects(&self) -> usize {
-        self.last_write.len()
+        self.tracked
     }
 
     /// Lifetime counters: `(validations, failures)`.

@@ -4,7 +4,7 @@
 //! `[min_size, max_size]`, objects uniform without replacement over the
 //! database, and each read written with probability `write_prob`.
 
-use ccsim_des::{sample_distinct, UniformInclusive, Xoshiro256StarStar};
+use ccsim_des::{sample_distinct, sample_distinct_into, UniformInclusive, Xoshiro256StarStar};
 
 use crate::classes::{class_table, TxnClass};
 use crate::params::{AccessPattern, Params};
@@ -20,6 +20,9 @@ pub struct Generator {
     cum_weights: Vec<f64>,
     access: AccessPattern,
     rng: Xoshiro256StarStar,
+    /// Reused by every uniform draw so steady-state generation is
+    /// allocation-free.
+    scratch: Vec<u64>,
 }
 
 impl Generator {
@@ -56,6 +59,7 @@ impl Generator {
             cum_weights,
             access: params.access,
             rng,
+            scratch: Vec::new(),
         }
     }
 
@@ -68,6 +72,18 @@ impl Generator {
     /// primary Table-1 class). Single-class workloads consume no extra
     /// randomness, so the paper's runs are unaffected by this extension.
     pub fn next_spec_with_class(&mut self) -> (usize, TxnSpec) {
+        self.next_spec_with_class_reusing(Vec::new(), Vec::new())
+    }
+
+    /// As [`Generator::next_spec_with_class`], rebuilding the spec inside
+    /// the passed buffers (cleared first) so a caller that retires one
+    /// transaction per draw can recycle its allocations. Consumes identical
+    /// randomness.
+    pub fn next_spec_with_class_reusing(
+        &mut self,
+        mut reads: Vec<ObjId>,
+        mut writes: Vec<bool>,
+    ) -> (usize, TxnSpec) {
         let class_ix = if self.classes.len() == 1 {
             0
         } else {
@@ -79,19 +95,19 @@ impl Generator {
         };
         let (class, size_dist) = self.classes[class_ix];
         let size = size_dist.sample(&mut self.rng) as usize;
-        let reads: Vec<ObjId> = match self.access {
-            AccessPattern::Uniform => sample_distinct(self.db_size, size, &mut self.rng)
-                .into_iter()
-                .map(ObjId)
-                .collect(),
+        reads.clear();
+        match self.access {
+            AccessPattern::Uniform => {
+                sample_distinct_into(self.db_size, size, &mut self.rng, &mut self.scratch);
+                reads.extend(self.scratch.iter().copied().map(ObjId));
+            }
             AccessPattern::Hotspot {
                 data_frac,
                 access_frac,
-            } => self.sample_hotspot(size, data_frac, access_frac),
-        };
-        let writes: Vec<bool> = (0..size)
-            .map(|_| self.rng.next_bool(class.write_prob))
-            .collect();
+            } => reads = self.sample_hotspot(size, data_frac, access_frac),
+        }
+        writes.clear();
+        writes.extend((0..size).map(|_| self.rng.next_bool(class.write_prob)));
         (class_ix, TxnSpec::new(reads, writes))
     }
 

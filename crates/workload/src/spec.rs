@@ -94,6 +94,13 @@ impl TxnSpec {
     pub fn is_read_only(&self) -> bool {
         self.num_writes() == 0
     }
+
+    /// Decompose the spec into its backing buffers so a retired
+    /// transaction's allocations can be recycled into the next spec.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<ObjId>, Vec<bool>) {
+        (self.reads, self.writes)
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! seeds must replay bit-for-bit through the whole stack, including the
 //! experiment harness and its JSON serialization.
 
-use ccsim_core::{run, CcAlgorithm, Confidence, MetricsConfig, Params, SimConfig};
+use ccsim_core::{run, run_with_trace, CcAlgorithm, Confidence, MetricsConfig, Params, SimConfig};
 use ccsim_des::SimDuration;
 use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RunOptions};
 
@@ -45,6 +45,32 @@ fn experiment_results_and_json_replay_exactly() {
     let a = run_experiment(&spec, &opts).expect("sweep completes");
     let b = run_experiment(&spec, &opts).expect("sweep completes");
     assert_eq!(json::to_json(&a), json::to_json(&b));
+}
+
+#[test]
+fn trace_ring_does_not_perturb_the_run() {
+    // The engine skips event emission entirely when nothing observes the
+    // run; that fast path must be a pure observer effect. Attaching the
+    // trace ring (exp3's resource-limited baseline, mpl 50) must leave the
+    // report byte-identical to the unobserved run.
+    for algo in CcAlgorithm::PAPER_TRIO {
+        let mk = || {
+            SimConfig::new(algo)
+                .with_params(Params::paper_baseline().with_mpl(50))
+                .with_metrics(quick())
+                .with_seed(0x7ACE)
+        };
+        let detached = run(mk()).unwrap();
+        let (attached, trace) = run_with_trace(mk(), 4096).unwrap();
+        assert!(
+            !trace.is_empty(),
+            "{algo}: trace ring attached but recorded nothing"
+        );
+        assert_eq!(
+            detached, attached,
+            "{algo}: attaching the trace ring changed the run"
+        );
+    }
 }
 
 #[test]
