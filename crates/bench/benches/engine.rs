@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use ccsim_core::{run, CcAlgorithm, Params, SimConfig};
-use ccsim_des::{Calendar, RngStreams, SimTime, Xoshiro256StarStar};
+use ccsim_des::{Calendar, RandomSource, RngStreams, SimTime, Xoshiro256StarStar};
 use ccsim_lockmgr::{LockManager, LockMode};
 use ccsim_occ::Validator;
 use ccsim_workload::{Generator, ObjId, TxnId};

@@ -12,8 +12,9 @@
 //!
 //! ```text
 //! throughput [--reps 3] [--batches 600] [--mpl 50] [--db 10000]
-//!            [--seed <u64>] [--floor-frac 0.30] [--out BENCH_4.json]
-//!            [--check BENCH_4.json]
+//!            [--seed <u64>] [--floor-frac 0.30] [--perf]
+//!            [--out BENCH_5.json] [--check BENCH_5.json]
+//!            [--baseline BENCH_4.json]
 //! ```
 //!
 //! `--out` archives the measurements as JSON, including a conservative
@@ -21,13 +22,19 @@
 //! median — low enough to absorb CI-machine noise, high enough to catch
 //! an order-of-magnitude regression). `--check <path>` re-measures and
 //! exits nonzero if any algorithm falls below the archived floor; CI's
-//! perf-smoke job runs exactly that.
+//! perf-smoke job runs exactly that. `--perf` adds per-algorithm
+//! calendar-op counters (schedules/pops/cancels, the near-lane vs
+//! overflow-heap split, and elided resource hops) to the report; the
+//! counters are always embedded in `--out` JSON. `--baseline <path>`
+//! embeds a comparison block into `--out`: this run's events/sec over
+//! the events/sec archived in a previous benchmark file.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ccsim_core::{run_with_perf, CcAlgorithm, MetricsConfig, Params, PerfStats, Report, SimConfig};
+use ccsim_des::CalendarStats;
 use ccsim_experiments::json;
 use ccsim_experiments::write_atomic;
 
@@ -38,8 +45,10 @@ struct Cli {
     db: u64,
     seed: u64,
     floor_frac: f64,
+    perf: bool,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
+    baseline: Option<PathBuf>,
 }
 
 /// One algorithm's median-of-reps measurement.
@@ -51,6 +60,11 @@ struct Measurement {
     commits: u64,
     peak_calendar: usize,
     peak_lock_table: usize,
+    /// Calendar-op counters from the median rep (identical across reps:
+    /// every rep replays the same deterministic event sequence).
+    calendar: CalendarStats,
+    elided_cpu_hops: u64,
+    elided_disk_hops: u64,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -61,8 +75,10 @@ fn parse_args() -> Result<Cli, String> {
         db: 10_000,
         seed: 0xCC85,
         floor_frac: 0.30,
+        perf: false,
         out: None,
         check: None,
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -78,8 +94,12 @@ fn parse_args() -> Result<Cli, String> {
             "--floor-frac" => {
                 cli.floor_frac = parse_num(&next_val(&mut args, "--floor-frac")?)?;
             }
+            "--perf" => cli.perf = true,
             "--out" => cli.out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check" => cli.check = Some(PathBuf::from(next_val(&mut args, "--check")?)),
+            "--baseline" => {
+                cli.baseline = Some(PathBuf::from(next_val(&mut args, "--baseline")?));
+            }
             other => return Err(format!("unknown flag {other} (see --help in the source)")),
         }
     }
@@ -88,6 +108,9 @@ fn parse_args() -> Result<Cli, String> {
     }
     if !(0.0..1.0).contains(&cli.floor_frac) {
         return Err("--floor-frac must be in [0, 1)".to_string());
+    }
+    if cli.baseline.is_some() && cli.out.is_none() {
+        return Err("--baseline requires --out (it is embedded in the archive)".to_string());
     }
     Ok(cli)
 }
@@ -140,10 +163,59 @@ fn measure(cli: &Cli, algo: CcAlgorithm) -> Result<Measurement, String> {
         commits: report.commits,
         peak_calendar: perf.peak_calendar,
         peak_lock_table: perf.peak_lock_table,
+        calendar: perf.calendar,
+        elided_cpu_hops: perf.elided_cpu_hops,
+        elided_disk_hops: perf.elided_disk_hops,
     })
 }
 
-fn to_json(cli: &Cli, results: &[Measurement]) -> String {
+/// Build the `"baseline"` comparison block for `--out` from a previous
+/// benchmark archive: per algorithm, the archived events/sec, this run's
+/// events/sec, and the speedup ratio.
+fn baseline_block(path: &PathBuf, results: &[Measurement]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let algos = doc
+        .get("algorithms")
+        .and_then(json::Value::as_arr)
+        .ok_or_else(|| format!("{}: missing \"algorithms\" array", path.display()))?;
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "\"baseline\":{{\"path\":\"{}\",\"metric\":\"events_per_sec, median of reps\",\
+         \"algorithms\":[",
+        path.display()
+    );
+    for (i, m) in results.iter().enumerate() {
+        let base = algos
+            .iter()
+            .find(|v| v.get("algo").and_then(json::Value::as_str) == Some(m.algo.label()))
+            .and_then(|v| v.get("events_per_sec"))
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| {
+                format!(
+                    "{}: no events_per_sec for {}",
+                    path.display(),
+                    m.algo.label()
+                )
+            })?;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algo\":\"{}\",\"baseline_events_per_sec\":{base:.0},\
+             \"new_events_per_sec\":{:.0},\"speedup\":{:.2}}}",
+            m.algo.label(),
+            m.events_per_sec,
+            m.events_per_sec / base,
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn to_json(cli: &Cli, results: &[Measurement], baseline: Option<&str>) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\"bench\":\"throughput\",\"reference_point\":");
     out.push_str("{\"experiment\":\"exp1-low-conflict\",");
@@ -162,7 +234,7 @@ fn to_json(cli: &Cli, results: &[Measurement]) -> String {
             out,
             "{{\"algo\":\"{}\",\"events_per_sec\":{:.0},\"commits_per_sec\":{:.1},\
              \"events\":{},\"commits\":{},\"peak_calendar\":{},\"peak_lock_table\":{},\
-             \"floor_events_per_sec\":{:.0}}}",
+             \"floor_events_per_sec\":{:.0},",
             m.algo.label(),
             m.events_per_sec,
             m.commits_per_sec,
@@ -172,8 +244,29 @@ fn to_json(cli: &Cli, results: &[Measurement]) -> String {
             m.peak_lock_table,
             m.events_per_sec * cli.floor_frac,
         );
+        let cs = &m.calendar;
+        let _ = write!(
+            out,
+            "\"calendar\":{{\"schedules\":{},\"pops\":{},\"cancels\":{},\
+             \"lane_schedules\":{},\"heap_schedules\":{},\"lane_pops\":{},\"heap_pops\":{}}},\
+             \"elided_cpu_hops\":{},\"elided_disk_hops\":{}}}",
+            cs.schedules,
+            cs.pops,
+            cs.cancels,
+            cs.lane_schedules,
+            cs.heap_schedules,
+            cs.lane_pops,
+            cs.heap_pops,
+            m.elided_cpu_hops,
+            m.elided_disk_hops,
+        );
     }
-    out.push_str("]}\n");
+    out.push(']');
+    if let Some(block) = baseline {
+        out.push(',');
+        out.push_str(block);
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -234,6 +327,24 @@ fn main() -> ExitCode {
                     m.peak_calendar,
                     m.peak_lock_table,
                 );
+                if cli.perf {
+                    let cs = &m.calendar;
+                    println!(
+                        "{:<18} calendar: {} schedules ({} lane / {} heap), \
+                         {} pops ({} lane / {} heap), {} cancels; \
+                         elided hops: {} cpu, {} disk",
+                        "",
+                        cs.schedules,
+                        cs.lane_schedules,
+                        cs.heap_schedules,
+                        cs.pops,
+                        cs.lane_pops,
+                        cs.heap_pops,
+                        cs.cancels,
+                        m.elided_cpu_hops,
+                        m.elided_disk_hops,
+                    );
+                }
                 results.push(m);
             }
             Err(e) => {
@@ -243,7 +354,17 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &cli.out {
-        let text = to_json(&cli, &results);
+        let baseline = match &cli.baseline {
+            Some(base) => match baseline_block(base, &results) {
+                Ok(block) => Some(block),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        };
+        let text = to_json(&cli, &results, baseline.as_deref());
         if let Err(e) = write_atomic(path, text.as_bytes()) {
             eprintln!("error: writing {}: {e}", path.display());
             return ExitCode::from(2);

@@ -103,6 +103,12 @@ pub struct SimConfig {
     pub record_history: bool,
     /// Retain the last N structured trace events (0 = tracing off).
     pub trace_capacity: usize,
+    /// Elide the calendar hop for resource requests that find an idle
+    /// server (the uncontended fast path). On by default: the elision is a
+    /// pure cost optimization — the event sequence, all accounting, and
+    /// every report are byte-identical either way. The switch exists so
+    /// determinism tests can prove exactly that by forcing it off.
+    pub elide_uncontended: bool,
     /// Batch means settings.
     pub metrics: MetricsConfig,
     /// Hard ceilings for the run (events, simulated time, wall clock). The
@@ -123,6 +129,7 @@ impl SimConfig {
             workload_seed: None,
             record_history: false,
             trace_capacity: 0,
+            elide_uncontended: true,
             metrics: MetricsConfig::paper(),
             budget: RunBudget::default(),
         }
@@ -160,6 +167,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Builder-style toggle for the uncontended fast path (see
+    /// [`SimConfig::elide_uncontended`]).
+    #[must_use]
+    pub fn with_elision(mut self, elide: bool) -> Self {
+        self.elide_uncontended = elide;
         self
     }
 

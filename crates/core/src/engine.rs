@@ -15,7 +15,8 @@
 use std::collections::VecDeque;
 
 use ccsim_des::{
-    sample_exponential, Calendar, Exponential, RngStreams, SimDuration, SimTime, Xoshiro256StarStar,
+    sample_exponential, Calendar, CalendarStats, ExpBlock, Exponential, RngStreams, SimDuration,
+    SimTime, UniformBlock, Xoshiro256StarStar,
 };
 use ccsim_history::{CommittedTxn, History};
 use ccsim_lockmgr::{Grant, LockManager, LockMode, RequestOutcome};
@@ -67,6 +68,27 @@ enum Event {
     CpuDone(usize),
     /// A disk finished its current request.
     DiskDone(usize),
+    /// A CPU completion whose request/dispatch hop was elided because the
+    /// server was idle at submit time; the payload rides in the event
+    /// instead of the pool (see `ServerPool::try_submit_direct`).
+    CpuDoneFast {
+        /// Server the request occupied.
+        server: u32,
+        /// Submitting terminal.
+        term: u32,
+        /// Attempt epoch (stale completions are dropped by comparison).
+        epoch: u32,
+    },
+    /// A disk completion whose request/dispatch hop was elided (the disk
+    /// was idle at submit time); payload rides in the event.
+    DiskDoneFast {
+        /// Disk the I/O occupied.
+        disk: u32,
+        /// Submitting terminal.
+        term: u32,
+        /// Attempt epoch.
+        epoch: u32,
+    },
     /// A service completed under infinite resources.
     InfDone(usize, u32, ServiceKind),
     /// An internal-think or restart delay elapsed.
@@ -111,8 +133,15 @@ pub struct Simulator {
     think_rng: Xoshiro256StarStar,
     delay_rng: Xoshiro256StarStar,
     disk_rng: Xoshiro256StarStar,
-    ext_think: Exponential,
+    /// External think times come from a dedicated stream with a single
+    /// fixed-mean consumer, so they are drawn through the batched sampler.
+    ext_think: ExpBlock,
+    /// Internal think times share `delay_rng` with the (varying-mean)
+    /// restart delays, so they stay on the scalar path: a per-distribution
+    /// batch buffer would reorder draws across the stream's consumers.
     int_think: Exponential,
+    /// Uniform disk choice, batched over the dedicated `disk_rng` stream.
+    disk_pick: UniformBlock,
     lockmgr: LockManager,
     validator: Validator,
     tso: TsoManager,
@@ -151,6 +180,10 @@ pub struct Simulator {
     blocker_buf: Vec<TxnId>,
     /// Events handled so far (the run's total once the loop finishes).
     events: u64,
+    /// CPU request/dispatch hops elided by the idle-server fast path.
+    elided_cpu: u64,
+    /// Disk request/dispatch hops elided by the idle-server fast path.
+    elided_disk: u64,
     /// Wall-clock time spent in the event loop.
     run_wall: std::time::Duration,
 }
@@ -169,6 +202,13 @@ pub struct PerfStats {
     pub peak_calendar: usize,
     /// Peak number of locks held in the lock table at once.
     pub peak_lock_table: usize,
+    /// Calendar operation counters: schedules, pops, cancels, and the
+    /// near-lane vs overflow-heap split.
+    pub calendar: CalendarStats,
+    /// CPU request/dispatch hops elided by the idle-server fast path.
+    pub elided_cpu_hops: u64,
+    /// Disk request/dispatch hops elided by the idle-server fast path.
+    pub elided_disk_hops: u64,
 }
 
 impl PerfStats {
@@ -222,8 +262,9 @@ impl Simulator {
             think_rng: workload_streams.stream(streams::EXT_THINK),
             delay_rng: streams.stream(streams::DELAYS),
             disk_rng: workload_streams.stream(streams::DISKS),
-            ext_think: Exponential::new(params.ext_think_time),
+            ext_think: ExpBlock::new(params.ext_think_time),
             int_think: Exponential::new(params.int_think_time),
+            disk_pick: UniformBlock::new(u64::from(ndisk.max(1))),
             lockmgr: LockManager::with_capacity(db_size, num_terms),
             validator: Validator::with_capacity(db_size),
             tso: TsoManager::new(),
@@ -250,6 +291,8 @@ impl Simulator {
             grant_buf: Vec::new(),
             blocker_buf: Vec::new(),
             events: 0,
+            elided_cpu: 0,
+            elided_disk: 0,
             run_wall: std::time::Duration::ZERO,
             cfg,
         })
@@ -357,6 +400,9 @@ impl Simulator {
             wall: self.run_wall,
             peak_calendar: self.cal.peak_len(),
             peak_lock_table: self.lockmgr.peak_locks_in_table(),
+            calendar: self.cal.stats(),
+            elided_cpu_hops: self.elided_cpu,
+            elided_disk_hops: self.elided_disk,
         }
     }
 
@@ -428,6 +474,34 @@ impl Simulator {
                     self.cal.schedule(s.completes_at, Event::DiskDone(s.disk));
                 }
                 self.service_done(payload, ServiceKind::Io, now);
+            }
+            Event::CpuDoneFast {
+                server,
+                term,
+                epoch,
+            } => {
+                // A request dequeued behind a direct service carries a
+                // payload and retires through the classic event.
+                if let Some(s) = self
+                    .cpus
+                    .as_mut()
+                    .expect("CpuDoneFast without CPU pool")
+                    .complete_direct(now, server as usize)
+                {
+                    self.cal.schedule(s.completes_at, Event::CpuDone(s.server));
+                }
+                self.service_done((term as usize, epoch), ServiceKind::Cpu, now);
+            }
+            Event::DiskDoneFast { disk, term, epoch } => {
+                if let Some(s) = self
+                    .disks
+                    .as_mut()
+                    .expect("DiskDoneFast without disk array")
+                    .complete_direct(now, disk as usize)
+                {
+                    self.cal.schedule(s.completes_at, Event::DiskDone(s.disk));
+                }
+                self.service_done((term as usize, epoch), ServiceKind::Io, now);
             }
             Event::InfDone(term, epoch, kind) => self.service_done((term, epoch), kind, now),
             Event::Delay(term, epoch, kind) => self.on_delay_done(term, epoch, kind, now),
@@ -1293,6 +1367,23 @@ impl Simulator {
                     .schedule(now + dur, Event::InfDone(term, epoch, ServiceKind::Cpu));
             }
             Some(pool) => {
+                // Uncontended fast path: an idle server means the request
+                // starts now with identical accounting, so the completion
+                // can carry the payload itself and the pool stores none.
+                if self.cfg.elide_uncontended {
+                    if let Some(s) = pool.try_submit_direct(now, dur) {
+                        self.elided_cpu += 1;
+                        self.cal.schedule(
+                            s.completes_at,
+                            Event::CpuDoneFast {
+                                server: s.server as u32,
+                                term: term as u32,
+                                epoch,
+                            },
+                        );
+                        return;
+                    }
+                }
                 if let Some(s) = pool.submit(
                     now,
                     Request {
@@ -1324,7 +1415,21 @@ impl Simulator {
                 // queue on one disk attracts every retry of every
                 // transaction that touches it — a self-sustaining convoy
                 // the paper's model cannot form.
-                let disk = self.disk_rng.next_below(array.num_disks() as u64) as usize;
+                let disk = self.disk_pick.sample(&mut self.disk_rng) as usize;
+                if self.cfg.elide_uncontended {
+                    if let Some(s) = array.try_submit_direct(now, disk, dur) {
+                        self.elided_disk += 1;
+                        self.cal.schedule(
+                            s.completes_at,
+                            Event::DiskDoneFast {
+                                disk: s.disk as u32,
+                                term: term as u32,
+                                epoch,
+                            },
+                        );
+                        return;
+                    }
+                }
                 if let Some(s) = array.submit(now, disk, (term, epoch), dur) {
                     self.cal.schedule(s.completes_at, Event::DiskDone(s.disk));
                 }

@@ -4,22 +4,64 @@
 //! scheduling (a monotone sequence number breaks ties), which makes
 //! simulations fully deterministic.
 //!
-//! Internally the calendar is an indexed **4-ary min-heap** over stable
-//! event *slots*:
+//! Internally the calendar is **two-tiered** (a calendar-queue / ladder
+//! hybrid): a bounded ring of *near-horizon* time buckets fronting an
+//! indexed **4-ary min-heap** overflow tier, both over stable event
+//! *slots*:
 //!
-//! * Heap nodes are small `(time, seq, slot)` records ordered by
-//!   `(time, seq)`. A 4-ary layout halves the tree depth of a binary heap
-//!   and keeps the four children of a node in at most two cache lines, so
-//!   the pop-side sift touches far less memory than `BinaryHeap` did.
-//! * Event payloads live in a slot arena addressed by the heap nodes. A
-//!   slot is recycled through a free list when its event is delivered or
+//! * Nodes are small `(time, seq, slot)` records ordered by `(time, seq)`.
+//!   The `seq` counter is global across both tiers, so FIFO tie-breaking
+//!   is preserved no matter which tier an event lands in.
+//! * Schedules within [`NEAR_BUCKETS`] buckets of the clock (each bucket
+//!   spans `2^BUCKET_SHIFT` µs — a ~262 ms horizon) append to a ring
+//!   bucket in O(1); everything farther out goes to the heap. In the
+//!   paper's model the dominant traffic — CPU/disk service completions in
+//!   the tens of milliseconds — lands in the lane, while second-scale
+//!   think-time arrivals and batch boundaries take the heap. `pop`
+//!   compares the lane's minimum against the heap's live root and takes
+//!   the global `(time, seq)` minimum, so delivery order is identical to
+//!   a single heap.
+//! * A 4-ary heap layout halves the tree depth of a binary heap and keeps
+//!   the four children of a node in at most two cache lines, so the
+//!   pop-side sift touches far less memory than `BinaryHeap` did.
+//! * Event payloads live in a slot arena addressed by the nodes. A slot
+//!   is recycled through a free list when its event is delivered or
 //!   cancelled, so the steady-state schedule/pop cycle allocates nothing.
-//! * [`Calendar::cancel`] is O(1): it empties the slot and bumps its
-//!   generation; the matching heap node becomes *stale* and is skipped
-//!   (and discarded) whenever it surfaces at the root. There is no
-//!   tombstone set to hash into on the hot pop path.
+//! * [`Calendar::cancel`] is O(1) in both tiers: it empties the slot and
+//!   bumps its generation; the matching node becomes *stale* and is
+//!   discarded when it surfaces (heap root or lane-bucket scan). There is
+//!   no tombstone set to hash into on the hot pop path.
 
 use crate::time::SimTime;
+
+/// Near-lane geometry: [`NEAR_BUCKETS`] ring slots of `2^BUCKET_SHIFT`
+/// microseconds each — 256 buckets of ~1.05 ms cover a ~268 ms horizon.
+const BUCKET_SHIFT: u32 = 10;
+/// Number of buckets in the near-horizon ring.
+const NEAR_BUCKETS: u64 = 256;
+
+/// Cumulative operation counters for one [`Calendar`], split by tier.
+///
+/// `lane_schedules + heap_schedules == schedules` and
+/// `lane_pops + heap_pops == pops`; the lane/heap split shows how much
+/// traffic the O(1) near-horizon lane absorbs vs the log-time heap.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Total events scheduled.
+    pub schedules: u64,
+    /// Total events delivered by [`Calendar::pop`].
+    pub pops: u64,
+    /// Successful cancellations (pending events withdrawn).
+    pub cancels: u64,
+    /// Schedules that landed in the near-horizon lane.
+    pub lane_schedules: u64,
+    /// Schedules beyond the horizon, pushed to the overflow heap.
+    pub heap_schedules: u64,
+    /// Pops served from the near-horizon lane.
+    pub lane_pops: u64,
+    /// Pops served from the overflow heap.
+    pub heap_pops: u64,
+}
 
 /// Handle to a scheduled event, usable with [`Calendar::cancel`].
 ///
@@ -60,12 +102,26 @@ impl Node {
 
 /// A payload slot. `seq` identifies the occupant; `event` is `None` once
 /// the occupant was cancelled (the slot is then already on the free list,
-/// waiting for its stale heap node to surface and be discarded).
+/// waiting for its stale node to surface and be discarded). `in_lane`
+/// records which tier holds the occupant's node so cancellation can keep
+/// the lane's live count exact.
 #[derive(Debug)]
 struct Slot<E> {
     generation: u32,
     seq: u64,
+    in_lane: bool,
     event: Option<E>,
+}
+
+/// One ring bucket of the near-horizon lane. `bucket` is the *absolute*
+/// bucket index currently mapped onto this ring slot (`u64::MAX` when
+/// unused); after a full ring rotation a slot is reclaimed by clearing any
+/// leftover nodes — provably all stale, since a bucket that far behind the
+/// clock lies entirely in the popped past.
+#[derive(Debug)]
+struct LaneBucket {
+    bucket: u64,
+    nodes: Vec<Node>,
 }
 
 /// A deterministic event calendar.
@@ -81,6 +137,16 @@ struct Slot<E> {
 /// ```
 pub struct Calendar<E> {
     heap: Vec<Node>,
+    /// Near-horizon ring, indexed by `absolute_bucket % NEAR_BUCKETS`.
+    lane: Vec<LaneBucket>,
+    /// Live events currently stored in the lane (exact, not counting
+    /// stale leftovers awaiting purge).
+    lane_live: usize,
+    /// Scan cursor: no live lane event sits in a bucket below this index.
+    /// Lowered on schedule into an earlier bucket, advanced as the
+    /// min-scan walks past drained buckets, keeping repeated scans
+    /// amortized O(1).
+    scan_from: u64,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     /// Live (scheduled, neither delivered nor cancelled) events.
@@ -89,6 +155,7 @@ pub struct Calendar<E> {
     peak_live: usize,
     next_seq: u64,
     now: SimTime,
+    stats: CalendarStats,
 }
 
 impl<E> Default for Calendar<E> {
@@ -103,12 +170,21 @@ impl<E> Calendar<E> {
     pub fn new() -> Self {
         Calendar {
             heap: Vec::new(),
+            lane: (0..NEAR_BUCKETS)
+                .map(|_| LaneBucket {
+                    bucket: u64::MAX,
+                    nodes: Vec::new(),
+                })
+                .collect(),
+            lane_live: 0,
+            scan_from: 0,
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
             peak_live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
+            stats: CalendarStats::default(),
         }
     }
 
@@ -137,6 +213,13 @@ impl<E> Calendar<E> {
         self.peak_live
     }
 
+    /// Cumulative operation counters (schedules, pops, cancels, and the
+    /// near-lane vs overflow-heap split).
+    #[must_use]
+    pub fn stats(&self) -> CalendarStats {
+        self.stats
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// # Panics
@@ -150,10 +233,14 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let bucket = at.as_micros() >> BUCKET_SHIFT;
+        let cur = self.now.as_micros() >> BUCKET_SHIFT;
+        let near = bucket < cur + NEAR_BUCKETS;
         let (slot, generation) = match self.free.pop() {
             Some(s) => {
                 let sl = &mut self.slots[s as usize];
                 sl.seq = seq;
+                sl.in_lane = near;
                 sl.event = Some(event);
                 (s, sl.generation)
             }
@@ -162,6 +249,7 @@ impl<E> Calendar<E> {
                 self.slots.push(Slot {
                     generation: 0,
                     seq,
+                    in_lane: near,
                     event: Some(event),
                 });
                 (s, 0)
@@ -171,14 +259,40 @@ impl<E> Calendar<E> {
         if self.live > self.peak_live {
             self.peak_live = self.live;
         }
-        self.heap.push(Node { at, seq, slot });
-        self.sift_up(self.heap.len() - 1);
+        self.stats.schedules += 1;
+        let node = Node { at, seq, slot };
+        if near {
+            self.stats.lane_schedules += 1;
+            self.lane_live += 1;
+            if bucket < self.scan_from {
+                self.scan_from = bucket;
+            }
+            let slots = &self.slots;
+            let ring = &mut self.lane[(bucket % NEAR_BUCKETS) as usize];
+            if ring.bucket != bucket {
+                // Ring-slot reuse after a full rotation: leftover nodes
+                // belong to a bucket ≥ NEAR_BUCKETS behind the clock, i.e.
+                // entirely in the popped past, so they can only be stale.
+                debug_assert!(ring.nodes.iter().all(|n| {
+                    let sl = &slots[n.slot as usize];
+                    sl.seq != n.seq || sl.event.is_none()
+                }));
+                ring.nodes.clear();
+                ring.bucket = bucket;
+            }
+            ring.nodes.push(node);
+        } else {
+            self.stats.heap_schedules += 1;
+            self.heap.push(node);
+            self.sift_up(self.heap.len() - 1);
+        }
         EventId::new(slot, generation)
     }
 
     /// Cancel a previously scheduled event in O(1). Returns `true` if the
     /// event was still pending (i.e. had not yet been delivered or
-    /// cancelled). The stale heap node is discarded lazily when it surfaces.
+    /// cancelled). The stale node is discarded lazily when it surfaces in
+    /// its tier.
     pub fn cancel(&mut self, id: EventId) -> bool {
         let Some(slot) = self.slots.get_mut(id.slot()) else {
             return false;
@@ -188,42 +302,115 @@ impl<E> Calendar<E> {
         }
         slot.event = None;
         slot.generation = slot.generation.wrapping_add(1);
+        if slot.in_lane {
+            self.lane_live -= 1;
+        }
         self.free.push(id.slot() as u32);
         self.live -= 1;
+        self.stats.cancels += 1;
         true
     }
 
-    /// Remove and return the earliest event together with its timestamp,
-    /// advancing the clock. Cancelled events are skipped silently.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let node = *self.heap.first()?;
-            self.remove_root();
-            let slot = &mut self.slots[node.slot as usize];
-            if slot.seq != node.seq {
-                continue; // stale: cancelled and the slot already recycled
-            }
-            let Some(event) = slot.event.take() else {
-                continue; // stale: cancelled, slot awaiting reuse
-            };
-            slot.generation = slot.generation.wrapping_add(1);
-            self.free.push(node.slot);
-            self.live -= 1;
-            debug_assert!(node.at >= self.now, "event calendar went backwards");
-            self.now = node.at;
-            return Some((node.at, event));
+    /// Locate the lane's live minimum: `(ring index, node index, key)`.
+    ///
+    /// Scans forward from the cursor, purging stale nodes in the buckets
+    /// it crosses and parking the cursor on the first bucket with a live
+    /// event. All live lane events sit in `[clock bucket, clock bucket +
+    /// NEAR_BUCKETS)` and none below the cursor, so the scan is bounded
+    /// and each empty bucket is crossed at most once per ring rotation.
+    fn lane_min(&mut self) -> Option<(usize, usize, (SimTime, u64))> {
+        if self.lane_live == 0 {
+            return None;
         }
+        let cur = self.now.as_micros() >> BUCKET_SHIFT;
+        let mut b = self.scan_from.max(cur);
+        while b < cur + NEAR_BUCKETS {
+            let ix = (b % NEAR_BUCKETS) as usize;
+            if self.lane[ix].bucket == b {
+                let slots = &self.slots;
+                let nodes = &mut self.lane[ix].nodes;
+                nodes.retain(|n| {
+                    let sl = &slots[n.slot as usize];
+                    sl.seq == n.seq && sl.event.is_some()
+                });
+                let best = nodes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, n)| n.key())
+                    .map(|(i, n)| (i, n.key()));
+                if let Some((node_ix, key)) = best {
+                    self.scan_from = b;
+                    return Some((ix, node_ix, key));
+                }
+            }
+            b += 1;
+        }
+        unreachable!(
+            "lane accounting broken: {} live events unreachable within the horizon",
+            self.lane_live
+        );
     }
 
-    /// Timestamp of the next live event, if any, without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
+    /// Key of the heap's live root, purging stale roots on the way.
+    fn heap_peek_key(&mut self) -> Option<(SimTime, u64)> {
         loop {
             let node = *self.heap.first()?;
             let slot = &self.slots[node.slot as usize];
             if slot.seq == node.seq && slot.event.is_some() {
-                return Some(node.at);
+                return Some(node.key());
             }
             self.remove_root();
+        }
+    }
+
+    /// Remove and return the earliest event together with its timestamp,
+    /// advancing the clock. Cancelled events are skipped silently.
+    ///
+    /// The winner is the global `(time, seq)` minimum across both tiers —
+    /// `seq` is assigned at schedule time regardless of tier, so same-time
+    /// events keep strict FIFO order even when one sits in the lane and
+    /// the other in the heap.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let lane = self.lane_min();
+        let heap = self.heap_peek_key();
+        let use_lane = match (lane, heap) {
+            (Some((_, _, lk)), Some(hk)) => lk < hk,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let node = if use_lane {
+            let (ring_ix, node_ix, _) = lane.expect("lane candidate vanished");
+            self.stats.lane_pops += 1;
+            self.lane_live -= 1;
+            self.lane[ring_ix].nodes.swap_remove(node_ix)
+        } else {
+            self.stats.heap_pops += 1;
+            let node = self.heap[0];
+            self.remove_root();
+            node
+        };
+        let slot = &mut self.slots[node.slot as usize];
+        debug_assert_eq!(slot.seq, node.seq, "popped a stale node");
+        let event = slot.event.take().expect("popped a cancelled node");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(node.slot);
+        self.live -= 1;
+        self.stats.pops += 1;
+        debug_assert!(node.at >= self.now, "event calendar went backwards");
+        self.now = node.at;
+        Some((node.at, event))
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let lane = self.lane_min().map(|(_, _, key)| key);
+        let heap = self.heap_peek_key();
+        match (lane, heap) {
+            (Some(l), Some(h)) => Some(l.min(h).0),
+            (Some(l), None) => Some(l.0),
+            (None, Some(h)) => Some(h.0),
+            (None, None) => None,
         }
     }
 
@@ -430,6 +617,80 @@ mod tests {
         cal.cancel(ids[3]);
         assert_eq!(cal.len(), 3);
         assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn cross_tier_same_time_ties_break_fifo() {
+        // An event scheduled beyond the horizon (heap tier) and one
+        // scheduled later — after the clock advanced — at the *same*
+        // instant (lane tier) must still deliver in schedule order: the
+        // seq counter is global across tiers.
+        let mut cal = Calendar::new();
+        let t = SimTime::from_millis(300); // beyond the ~268 ms horizon at clock 0
+        cal.schedule(t, "heap-first");
+        cal.schedule(SimTime::from_millis(100), "filler");
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("filler"));
+        // Clock at 100 ms: 300 ms is now inside the horizon.
+        cal.schedule(t, "lane-second");
+        assert_eq!(cal.stats().heap_schedules, 1);
+        assert_eq!(cal.stats().lane_schedules, 2);
+        assert_eq!(cal.pop(), Some((t, "heap-first")));
+        assert_eq!(cal.pop(), Some((t, "lane-second")));
+    }
+
+    #[test]
+    fn far_events_overflow_to_heap_and_still_deliver_in_order() {
+        let mut cal = Calendar::new();
+        // Interleave near (lane) and far (heap) schedules.
+        cal.schedule(SimTime::from_secs(2), 4u32);
+        cal.schedule(SimTime::from_millis(1), 1u32);
+        cal.schedule(SimTime::from_secs(1), 3u32);
+        cal.schedule(SimTime::from_millis(50), 2u32);
+        let stats = cal.stats();
+        assert_eq!(stats.lane_schedules, 2);
+        assert_eq!(stats.heap_schedules, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+        let stats = cal.stats();
+        assert_eq!(stats.pops, 4);
+        // The far events were still in the heap when they surfaced (the
+        // clock only reaches them when they are the minimum).
+        assert_eq!(stats.lane_pops, 2);
+        assert_eq!(stats.heap_pops, 2);
+    }
+
+    #[test]
+    fn horizon_rollover_reuses_ring_buckets() {
+        // March the clock through many full ring rotations with a short
+        // event chain; every bucket gets reused repeatedly and order must
+        // survive. 10 ms steps × 1000 = 10 s ≈ 37 rotations.
+        let mut cal = Calendar::new();
+        let mut t = SimTime::ZERO;
+        cal.schedule(t + SimDuration::from_millis(10), 0u32);
+        for i in 0..1000u32 {
+            let (at, e) = cal.pop().expect("chain event");
+            assert_eq!(e, i);
+            assert!(at > t);
+            t = at;
+            cal.schedule(t + SimDuration::from_millis(10), i + 1);
+        }
+        assert_eq!(cal.stats().lane_schedules, 1001);
+        assert_eq!(cal.stats().heap_schedules, 0);
+    }
+
+    #[test]
+    fn cancels_tracked_in_both_tiers() {
+        let mut cal = Calendar::new();
+        let near = cal.schedule(SimTime::from_millis(1), "near");
+        let far = cal.schedule(SimTime::from_secs(5), "far");
+        cal.schedule(SimTime::from_millis(2), "keep");
+        assert!(cal.cancel(near));
+        assert!(cal.cancel(far));
+        assert_eq!(cal.stats().cancels, 2);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop().map(|(_, e)| e), Some("keep"));
+        assert!(cal.pop().is_none());
+        assert!(cal.is_empty());
     }
 
     #[test]

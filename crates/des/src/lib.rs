@@ -36,9 +36,13 @@ mod dist;
 mod rng;
 mod time;
 
-pub use calendar::{Calendar, EventId};
+pub use calendar::{Calendar, CalendarStats, EventId};
 pub use dist::{
-    sample_distinct, sample_distinct_into, sample_exponential, Exponential, UniformInclusive,
+    sample_distinct, sample_distinct_into, sample_exponential, ExpBlock, Exponential, UniformBlock,
+    UniformInclusive,
 };
-pub use rng::{derive_point_seed, derive_seed, RngStreams, SplitMix64, Xoshiro256StarStar};
+pub use rng::{
+    derive_point_seed, derive_seed, BufferedRng, RandomSource, RngStreams, SplitMix64,
+    Xoshiro256StarStar,
+};
 pub use time::{SimDuration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};

@@ -71,9 +71,29 @@ impl Xoshiro256StarStar {
         self.s[3] = self.s[3].rotate_left(45);
         result
     }
+}
+
+/// A deterministic source of uniform 64-bit words, plus the derived draws
+/// every model component uses.
+///
+/// The derived methods (`next_f64`, `next_below`, ...) are provided here —
+/// in exactly one place — so a buffered source ([`BufferedRng`]) and the
+/// bare generator ([`Xoshiro256StarStar`]) produce bit-identical draws from
+/// the same word sequence by construction.
+pub trait RandomSource {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `out` with uniform words, in stream order (the batched-refill
+    /// primitive: one tight loop instead of a call per word).
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for w in out {
+            *w = self.next_u64();
+        }
+    }
 
     /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
+    fn next_f64(&mut self) -> f64 {
         // Take the top 53 bits; (1/2^53) spacing.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -83,7 +103,7 @@ impl Xoshiro256StarStar {
     ///
     /// # Panics
     /// Panics if `bound == 0`.
-    pub fn next_below(&mut self, bound: u64) -> u64 {
+    fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "next_below bound must be positive");
         // Fast path for powers of two.
         if bound.is_power_of_two() {
@@ -108,7 +128,7 @@ impl Xoshiro256StarStar {
     ///
     /// # Panics
     /// Panics if `lo > hi`.
-    pub fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+    fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "next_range_inclusive: lo > hi");
         let span = hi - lo;
         if span == u64::MAX {
@@ -118,7 +138,7 @@ impl Xoshiro256StarStar {
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
-    pub fn next_bool(&mut self, p: f64) -> bool {
+    fn next_bool(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
         }
@@ -126,6 +146,64 @@ impl Xoshiro256StarStar {
             return true;
         }
         self.next_f64() < p
+    }
+}
+
+impl RandomSource for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256StarStar::next_u64(self)
+    }
+}
+
+/// Words buffered per [`BufferedRng`] refill.
+const RNG_BLOCK: usize = 16;
+
+/// A [`Xoshiro256StarStar`] behind a refill buffer: raw words are produced
+/// [`RNG_BLOCK`] at a time in one tight loop and served from the buffer.
+///
+/// Buffering changes *when* words are generated, never their order, so
+/// every draw derived through [`RandomSource`] is bit-identical to the same
+/// call sequence against the bare generator — seeds, CRN pairing, and
+/// golden traces are untouched. Use it for a stream whose draws interleave
+/// several distributions (e.g. the workload generator), where a
+/// per-distribution batch buffer could not preserve the draw order.
+#[derive(Debug, Clone)]
+pub struct BufferedRng {
+    inner: Xoshiro256StarStar,
+    buf: [u64; RNG_BLOCK],
+    pos: usize,
+}
+
+impl BufferedRng {
+    /// Wrap `inner`; the first draw triggers the first refill.
+    #[must_use]
+    pub fn new(inner: Xoshiro256StarStar) -> Self {
+        BufferedRng {
+            inner,
+            buf: [0; RNG_BLOCK],
+            pos: RNG_BLOCK,
+        }
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        for w in &mut self.buf {
+            *w = self.inner.next_u64();
+        }
+        self.pos = 0;
+    }
+}
+
+impl RandomSource for BufferedRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == RNG_BLOCK {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
     }
 }
 

@@ -136,6 +136,71 @@ proptest! {
         prop_assert!(cal.is_empty());
     }
 
+    /// The interleaved model again, but with schedule offsets spanning a
+    /// full second — far past the ~262 ms near-horizon lane — so events
+    /// straddle the lane/heap boundary, cancels land in both tiers, and
+    /// draining pops advance the clock far enough to reuse ring buckets
+    /// (horizon rollover). The reference scan is tier-blind, so any
+    /// cross-tier ordering or staleness bug shows up as a divergence.
+    #[test]
+    fn calendar_interleaved_model_two_tier(
+        ops in proptest::collection::vec((0u8..8, 0u64..1_000_000, 0usize..64), 1..400),
+    ) {
+        let mut cal = Calendar::new();
+        let mut model: Vec<(SimTime, usize, ccsim_des::EventId)> = Vec::new();
+        let mut next_payload = 0usize;
+        for (kind, t, sel) in ops {
+            match kind {
+                0..=3 => {
+                    let at = cal.now() + SimDuration::from_micros(t);
+                    let id = cal.schedule(at, next_payload);
+                    model.push((at, next_payload, id));
+                    next_payload += 1;
+                }
+                4 | 5 => {
+                    let expect = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, (at, _, _))| (*at, *i))
+                        .map(|(i, _)| i);
+                    match expect {
+                        None => prop_assert_eq!(cal.pop(), None),
+                        Some(i) => {
+                            let (at, payload, _) = model.remove(i);
+                            prop_assert_eq!(cal.pop(), Some((at, payload)));
+                        }
+                    }
+                }
+                6 => {
+                    if !model.is_empty() {
+                        let (_, _, id) = model.remove(sel % model.len());
+                        prop_assert!(cal.cancel(id));
+                        prop_assert!(!cal.cancel(id));
+                    }
+                }
+                _ => prop_assert_eq!(cal.len(), model.len()),
+            }
+        }
+        while !model.is_empty() {
+            let i = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (at, _, _))| (*at, *i))
+                .map(|(i, _)| i)
+                .expect("model not empty");
+            let (at, payload, _) = model.remove(i);
+            prop_assert_eq!(cal.pop(), Some((at, payload)));
+        }
+        prop_assert_eq!(cal.pop(), None);
+        // Tier accounting must exactly partition the totals: every
+        // schedule went to exactly one tier, and every pop was served
+        // from exactly one.
+        let s = cal.stats();
+        prop_assert_eq!(s.lane_schedules + s.heap_schedules, s.schedules);
+        prop_assert_eq!(s.lane_pops + s.heap_pops, s.pops);
+        prop_assert_eq!(s.pops + s.cancels, s.schedules);
+    }
+
     /// `sample_distinct` yields exactly `k` distinct in-range values.
     #[test]
     fn sample_distinct_invariants(seed in any::<u64>(), n in 1u64..5_000, k_frac in 0.0f64..1.0) {

@@ -403,6 +403,22 @@ fn main() {
             "  peak occupancy   {} calendar events, {} locks in table",
             perf.peak_calendar, perf.peak_lock_table
         );
+        let cs = perf.calendar;
+        let _ = writeln!(
+            text,
+            "  calendar ops     {} schedules, {} pops, {} cancels",
+            cs.schedules, cs.pops, cs.cancels
+        );
+        let _ = writeln!(
+            text,
+            "  near-lane split  {} lane / {} heap schedules, {} lane / {} heap pops",
+            cs.lane_schedules, cs.heap_schedules, cs.lane_pops, cs.heap_pops
+        );
+        let _ = writeln!(
+            text,
+            "  elided hops      {} cpu, {} disk (uncontended fast path)",
+            perf.elided_cpu_hops, perf.elided_disk_hops
+        );
         emit(&cli, &text);
     } else {
         let report = match run(cli.cfg.clone()) {

@@ -88,6 +88,36 @@ impl<T> DiskArray<T> {
         )
     }
 
+    /// Start an I/O on `disk` immediately **iff** it is idle, without
+    /// storing a payload (the uncontended fast path; retire with
+    /// [`DiskArray::complete_direct`]). Returns `None` — submitting
+    /// nothing — when the disk is busy.
+    pub fn try_submit_direct(
+        &mut self,
+        now: SimTime,
+        disk: usize,
+        duration: SimDuration,
+    ) -> Option<DiskStarted> {
+        self.disks[disk]
+            .try_submit_direct(now, duration)
+            .map(|s| DiskStarted {
+                disk,
+                completes_at: s.completes_at,
+            })
+    }
+
+    /// Retire a payload-less direct I/O on `disk`; if a request was queued
+    /// there it starts and is returned (it carries a payload and retires
+    /// through [`DiskArray::complete`]).
+    pub fn complete_direct(&mut self, now: SimTime, disk: usize) -> Option<DiskStarted> {
+        self.disks[disk]
+            .complete_direct(now, 0)
+            .map(|s| DiskStarted {
+                disk,
+                completes_at: s.completes_at,
+            })
+    }
+
     /// Total requests waiting across all disk queues.
     #[must_use]
     pub fn queued(&self) -> usize {
@@ -181,6 +211,30 @@ mod tests {
         d.complete(a.completes_at, 0);
         assert_eq!(d.busy_micros(SimTime::from_millis(10)), 20_000);
         assert_eq!(d.served(), 1);
+    }
+
+    #[test]
+    fn direct_path_interleaves_with_classic() {
+        let mut d = DiskArray::new(2);
+        let t0 = SimTime::ZERO;
+        let io = SimDuration::from_millis(35);
+        let a = d.try_submit_direct(t0, 0, io).expect("idle disk starts");
+        assert_eq!(a.completes_at, SimTime::from_millis(35));
+        // Busy disk declines the direct path; a classic submit queues.
+        assert!(d.try_submit_direct(t0, 0, io).is_none());
+        assert!(d.submit(t0, 0, 'q', io).is_none());
+        assert_eq!(d.queued(), 1);
+        // Retiring the direct I/O starts the queued classic one.
+        let next = d
+            .complete_direct(a.completes_at, 0)
+            .expect("queued I/O starts");
+        assert_eq!(next.disk, 0);
+        assert_eq!(next.completes_at, SimTime::from_millis(70));
+        let (done, none) = d.complete(next.completes_at, 0);
+        assert_eq!(done, 'q');
+        assert!(none.is_none());
+        assert_eq!(d.served(), 2);
+        assert_eq!(d.total_wait_us(), 35_000);
     }
 
     #[test]

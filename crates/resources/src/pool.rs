@@ -48,9 +48,12 @@ pub struct Started {
     pub completes_at: SimTime,
 }
 
+/// `payload` is `None` for services started through the payload-less
+/// direct path ([`ServerPool::try_submit_direct`]), where the caller keeps
+/// its own context and retires with [`ServerPool::complete_direct`].
 #[derive(Debug)]
 struct InService<T> {
-    payload: T,
+    payload: Option<T>,
     started_at: SimTime,
     duration: SimDuration,
 }
@@ -162,13 +165,65 @@ impl<T> ServerPool<T> {
         }
     }
 
+    /// Start service immediately **iff** a server is idle, without storing
+    /// a payload (the caller keeps its own context and must retire with
+    /// [`ServerPool::complete_direct`]). Returns `None` — submitting
+    /// nothing — when all servers are busy.
+    ///
+    /// This is the uncontended fast path: an idle server implies an empty
+    /// queue (work only queues when every server is busy), so starting here
+    /// touches neither the queue nor its clock — the accounting is
+    /// identical to [`ServerPool::submit`] on a free server.
+    pub fn try_submit_direct(&mut self, now: SimTime, duration: SimDuration) -> Option<Started> {
+        let server = self.free.pop()?;
+        debug_assert_eq!(self.queue_len(), 0, "free server with a non-empty queue");
+        debug_assert!(self.servers[server].is_none());
+        self.servers[server] = Some(InService {
+            payload: None,
+            started_at: now,
+            duration,
+        });
+        Some(Started {
+            server,
+            completes_at: now + duration,
+        })
+    }
+
     /// Retire the request on `server` at time `now`. Returns the finished
     /// payload and, if queued work exists, the next request started on the
     /// same server (the caller must schedule its completion).
     ///
     /// # Panics
-    /// Panics if `server` is idle — completions must match starts.
+    /// Panics if `server` is idle — completions must match starts — or if
+    /// the service was started payload-less via
+    /// [`ServerPool::try_submit_direct`].
     pub fn complete(&mut self, now: SimTime, server: usize) -> (T, Option<Started>) {
+        let (payload, next) = self.finish(now, server);
+        (
+            payload.expect("complete() for a direct service; use complete_direct()"),
+            next,
+        )
+    }
+
+    /// Retire a payload-less direct service on `server` at time `now`.
+    /// If queued work exists, the next request starts on the freed server
+    /// and is returned (the caller must schedule its completion — that
+    /// request carries a payload and retires through
+    /// [`ServerPool::complete`]). Accounting is identical to
+    /// [`ServerPool::complete`].
+    ///
+    /// # Panics
+    /// Panics if `server` is idle.
+    pub fn complete_direct(&mut self, now: SimTime, server: usize) -> Option<Started> {
+        let (payload, next) = self.finish(now, server);
+        debug_assert!(
+            payload.is_none(),
+            "complete_direct() for a payload-carrying service; use complete()"
+        );
+        next
+    }
+
+    fn finish(&mut self, now: SimTime, server: usize) -> (Option<T>, Option<Started>) {
         let svc = self.servers[server]
             .take()
             .expect("completion for an idle server");
@@ -198,7 +253,7 @@ impl<T> ServerPool<T> {
         debug_assert!(self.servers[server].is_none());
         let completes_at = now + req.duration;
         self.servers[server] = Some(InService {
-            payload: req.payload,
+            payload: Some(req.payload),
             started_at: now,
             duration: req.duration,
         });
@@ -436,6 +491,70 @@ mod tests {
         assert_eq!(p.queue_integral_us(end), 0);
         assert_eq!(p.total_wait_us(), 0);
         assert_eq!(p.pending_wait_us(end), 0);
+    }
+
+    #[test]
+    fn direct_path_matches_classic_accounting() {
+        // Drive the same schedule through the classic submit/complete pair
+        // and through the direct fast path; every externally visible
+        // account must agree.
+        let run = |direct: bool| {
+            let mut p: ServerPool<u32> = ServerPool::new(1);
+            let t0 = SimTime::ZERO;
+            let s = if direct {
+                p.try_submit_direct(t0, SimDuration::from_millis(10))
+                    .expect("idle server starts")
+            } else {
+                p.submit(t0, req(1, 10)).expect("idle server starts")
+            };
+            assert_eq!(s.completes_at, SimTime::from_millis(10));
+            // A classic request queues behind it either way.
+            assert!(p.submit(t0, req(2, 10)).is_none());
+            let next = if direct {
+                p.complete_direct(SimTime::from_millis(10), s.server)
+            } else {
+                p.complete(SimTime::from_millis(10), s.server).1
+            };
+            let next = next.expect("queued work starts");
+            let (done, none) = p.complete(next.completes_at, next.server);
+            assert_eq!(done, 2);
+            assert!(none.is_none());
+            let end = SimTime::from_millis(20);
+            (
+                p.served(),
+                p.busy_micros(end),
+                p.queue_integral_us(end),
+                p.total_wait_us(),
+                p.pending_wait_us(end),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn direct_submit_declines_when_busy() {
+        let mut p: ServerPool<u32> = ServerPool::new(1);
+        let t0 = SimTime::ZERO;
+        let s = p.submit(t0, req(1, 10)).unwrap();
+        assert!(p
+            .try_submit_direct(t0, SimDuration::from_millis(5))
+            .is_none());
+        let (done, _) = p.complete(SimTime::from_millis(10), s.server);
+        assert_eq!(done, 1);
+        // Freed again: the direct path starts.
+        assert!(p
+            .try_submit_direct(SimTime::from_millis(10), SimDuration::from_millis(5))
+            .is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "use complete_direct")]
+    fn classic_complete_of_direct_service_panics() {
+        let mut p: ServerPool<u32> = ServerPool::new(1);
+        let s = p
+            .try_submit_direct(SimTime::ZERO, SimDuration::from_millis(1))
+            .unwrap();
+        let _ = p.complete(SimTime::from_millis(1), s.server);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! `[min_size, max_size]`, objects uniform without replacement over the
 //! database, and each read written with probability `write_prob`.
 
-use ccsim_des::{sample_distinct, sample_distinct_into, UniformInclusive, Xoshiro256StarStar};
+use ccsim_des::{
+    sample_distinct, sample_distinct_into, BufferedRng, RandomSource, UniformInclusive,
+    Xoshiro256StarStar,
+};
 
 use crate::classes::{class_table, TxnClass};
 use crate::params::{AccessPattern, Params};
@@ -19,7 +22,12 @@ pub struct Generator {
     /// Cumulative weight boundaries, normalized to sum 1.
     cum_weights: Vec<f64>,
     access: AccessPattern,
-    rng: Xoshiro256StarStar,
+    /// The workload stream behind a refill buffer: class, size, access,
+    /// and write draws interleave on this one stream, so buffering raw
+    /// words (rather than per-distribution variates) is what keeps the
+    /// draw order — and thus every spec — bit-identical to the unbuffered
+    /// generator.
+    rng: BufferedRng,
     /// Reused by every uniform draw so steady-state generation is
     /// allocation-free.
     scratch: Vec<u64>,
@@ -58,7 +66,7 @@ impl Generator {
             classes,
             cum_weights,
             access: params.access,
-            rng,
+            rng: BufferedRng::new(rng),
             scratch: Vec::new(),
         }
     }

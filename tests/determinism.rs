@@ -74,6 +74,31 @@ fn trace_ring_does_not_perturb_the_run() {
 }
 
 #[test]
+fn uncontended_elision_does_not_perturb_the_run() {
+    // The idle-server fast path elides the request/dispatch calendar hop
+    // but must leave the simulation itself untouched: full reports at the
+    // exp1 reference point must be byte-equal with elision forced on and
+    // forced off, for every paper-trio algorithm.
+    for algo in CcAlgorithm::PAPER_TRIO {
+        let mk = |elide| {
+            SimConfig::new(algo)
+                .with_params(Params::paper_baseline().with_mpl(50))
+                .with_metrics(quick())
+                .with_seed(0x7ACE)
+                .with_elision(elide)
+        };
+        let on = run(mk(true)).unwrap();
+        let off = run(mk(false)).unwrap();
+        assert_eq!(on, off, "{algo}: elision changed the run");
+        // The fast path must also be observer-independent: attaching the
+        // trace ring with elision on matches the unobserved elided run.
+        let (traced, trace) = run_with_trace(mk(true), 4096).unwrap();
+        assert!(!trace.is_empty());
+        assert_eq!(on, traced, "{algo}: elision + trace ring diverged");
+    }
+}
+
+#[test]
 fn seed_changes_results() {
     let mk = |seed| {
         SimConfig::new(CcAlgorithm::Optimistic)

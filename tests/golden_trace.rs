@@ -63,6 +63,25 @@ fn paper_trio_traces_match_golden_files() {
 }
 
 #[test]
+fn golden_traces_match_with_elision_forced_off() {
+    // The uncontended fast path is a pure cost optimization: with it
+    // forced off, the very same checked-in golden files must still match
+    // byte-for-byte (never UPDATE_GOLDEN through this test — it checks
+    // against the files the elided runs produce).
+    for algo in CcAlgorithm::PAPER_TRIO {
+        let cfg = golden_config(algo).with_elision(false);
+        let (report, trace) = run_with_trace(cfg.clone(), 1_000_000).unwrap();
+        let text = serialize_trace(&cfg, &trace, &report);
+        let expected = std::fs::read_to_string(golden_path(algo.label()))
+            .expect("golden file exists (run the elided test first)");
+        assert_eq!(
+            text, expected,
+            "{algo}: disabling elision changed the golden trace"
+        );
+    }
+}
+
+#[test]
 fn golden_serialization_is_bit_stable() {
     // Two fresh runs of the same scenario must serialize byte-identically —
     // the property that lets the files above act as regression anchors.
