@@ -13,8 +13,11 @@
 //! ```text
 //! throughput [--reps 3] [--batches 600] [--mpl 50] [--db 10000]
 //!            [--seed <u64>] [--floor-frac 0.30] [--perf]
-//!            [--out BENCH_5.json] [--check BENCH_5.json]
-//!            [--baseline BENCH_4.json]
+//!            [--scale] [--scale-db 100000000] [--scale-terms 1000000]
+//!            [--scale-mpl 100000] [--scale-events 10000000]
+//!            [--rss-slack 1.5]
+//!            [--out BENCH_6.json] [--check BENCH_6.json]
+//!            [--baseline BENCH_5.json]
 //! ```
 //!
 //! `--out` archives the measurements as JSON, including a conservative
@@ -28,13 +31,34 @@
 //! counters are always embedded in `--out` JSON. `--baseline <path>`
 //! embeds a comparison block into `--out`: this run's events/sec over
 //! the events/sec archived in a previous benchmark file.
+//!
+//! `--scale` adds the million-scale regime (the `exp-scale` catalog
+//! point: a 10^8-page database, 10^6 terminals, mpl 10^5, infinite
+//! resources) under an event budget: the run is cut off after
+//! `--scale-events` calendar events and the partial window salvaged, so
+//! the measurement is bounded no matter how large the regime. The scale
+//! block archives events/sec with its floor, the streaming response
+//! quantiles (P^2 — a histogram at this scale would dominate memory),
+//! peak RSS (`VmHWM`, Linux) with a `--rss-slack` x ceiling, and a
+//! fast-path ablation: a scaled-down dense point (a fifth of the
+//! terminals and mpl, half the events — still hundreds of events per
+//! lane bucket) run with and without the near-horizon calendar lane and
+//! the uncontended-hop elision. The derived point keeps the working set
+//! in cache so the ratio measures the data structures, not paging; both
+//! toggles preserve the event sequence byte for byte, so the events/sec
+//! ratio is a pure data-structure speedup. `--check` at a scale archive
+//! verifies the events/sec floor, the RSS ceiling, and that the fast
+//! paths still win (`fastpath_speedup > 1`).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ccsim_core::{run_with_perf, CcAlgorithm, MetricsConfig, Params, PerfStats, Report, SimConfig};
-use ccsim_des::CalendarStats;
+use ccsim_core::{
+    run_collecting, run_with_perf, CcAlgorithm, MetricsConfig, Params, PerfStats, Report,
+    RunBudget, RunOutcome, SimConfig, StreamingQuantiles,
+};
+use ccsim_des::{CalendarStats, SimDuration};
 use ccsim_experiments::json;
 use ccsim_experiments::write_atomic;
 
@@ -46,6 +70,12 @@ struct Cli {
     seed: u64,
     floor_frac: f64,
     perf: bool,
+    scale: bool,
+    scale_db: u64,
+    scale_terms: u32,
+    scale_mpl: u32,
+    scale_events: u64,
+    rss_slack: f64,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     baseline: Option<PathBuf>,
@@ -76,6 +106,12 @@ fn parse_args() -> Result<Cli, String> {
         seed: 0xCC85,
         floor_frac: 0.30,
         perf: false,
+        scale: false,
+        scale_db: 100_000_000,
+        scale_terms: 1_000_000,
+        scale_mpl: 100_000,
+        scale_events: 10_000_000,
+        rss_slack: 1.5,
         out: None,
         check: None,
         baseline: None,
@@ -95,6 +131,16 @@ fn parse_args() -> Result<Cli, String> {
                 cli.floor_frac = parse_num(&next_val(&mut args, "--floor-frac")?)?;
             }
             "--perf" => cli.perf = true,
+            "--scale" => cli.scale = true,
+            "--scale-db" => cli.scale_db = parse_num(&next_val(&mut args, "--scale-db")?)?,
+            "--scale-terms" => {
+                cli.scale_terms = parse_num(&next_val(&mut args, "--scale-terms")?)?;
+            }
+            "--scale-mpl" => cli.scale_mpl = parse_num(&next_val(&mut args, "--scale-mpl")?)?,
+            "--scale-events" => {
+                cli.scale_events = parse_num(&next_val(&mut args, "--scale-events")?)?;
+            }
+            "--rss-slack" => cli.rss_slack = parse_num(&next_val(&mut args, "--rss-slack")?)?,
             "--out" => cli.out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check" => cli.check = Some(PathBuf::from(next_val(&mut args, "--check")?)),
             "--baseline" => {
@@ -108,6 +154,12 @@ fn parse_args() -> Result<Cli, String> {
     }
     if !(0.0..1.0).contains(&cli.floor_frac) {
         return Err("--floor-frac must be in [0, 1)".to_string());
+    }
+    if cli.rss_slack < 1.0 {
+        return Err("--rss-slack must be at least 1.0".to_string());
+    }
+    if cli.scale_events == 0 {
+        return Err("--scale-events must be positive".to_string());
     }
     if cli.baseline.is_some() && cli.out.is_none() {
         return Err("--baseline requires --out (it is embedded in the archive)".to_string());
@@ -169,6 +221,135 @@ fn measure(cli: &Cli, algo: CcAlgorithm) -> Result<Measurement, String> {
     })
 }
 
+/// The million-scale measurement: the elide-on point (floor source) plus
+/// the elide-off ablation at the identical configuration.
+struct ScaleMeasurement {
+    events_per_sec: f64,
+    commits_per_sec: f64,
+    events: u64,
+    commits: u64,
+    peak_calendar: usize,
+    peak_lock_table: usize,
+    quantiles: StreamingQuantiles,
+    /// `Some(reason)` when the run budget cut the window (the expected
+    /// outcome at this scale), `None` when the horizon completed.
+    stopped: Option<String>,
+    /// Fast-path ablation pair, run at a scaled-down point (a fifth of the
+    /// terminals and mpl, half the events): fast = two-tier calendar +
+    /// uncontended-hop elision, stripped = heap-only + no elision. Both
+    /// toggles preserve the event sequence byte for byte, so the two runs
+    /// do identical work and the events/sec ratio is a pure
+    /// data-structure speedup. The full million point is too
+    /// memory-heavy to time the difference reliably on a noisy CI box —
+    /// its wall clock is dominated by paging the ~600 MiB working set —
+    /// while the derived point still packs hundreds of events per lane
+    /// bucket and a six-figure calendar.
+    ablation_terms: u32,
+    ablation_mpl: u32,
+    ablation_events: u64,
+    fast_events_per_sec: f64,
+    baseline_events_per_sec: f64,
+    fastpath_speedup: f64,
+    /// Process peak RSS after both runs (`VmHWM`; `None` off Linux).
+    peak_rss_bytes: Option<u64>,
+}
+
+fn scale_config(cli: &Cli, terms: u32, mpl: u32, max_events: u64, fast_paths: bool) -> SimConfig {
+    let mut params = Params::exp_scale();
+    params.db_size = cli.scale_db;
+    params.num_terms = terms;
+    params.mpl = mpl;
+    // At mpl 10^5 a single simulated second is tens of millions of events,
+    // so the event budget — not the batch horizon — ends the run. Short
+    // batches with no warmup let the salvaged window still carry batch
+    // counts and feed the streaming quantiles from the first commit.
+    let mut metrics = MetricsConfig::quick();
+    metrics.warmup_batches = 0;
+    metrics.batches = 400;
+    metrics.batch_time = SimDuration::from_millis(250);
+    SimConfig::new(CcAlgorithm::Blocking)
+        .with_params(params)
+        .with_metrics(metrics)
+        .with_seed(cli.seed)
+        .with_budget(RunBudget::unlimited().with_max_events(max_events))
+        .with_elision(fast_paths)
+        .with_two_tier_calendar(fast_paths)
+}
+
+fn measure_scale(cli: &Cli) -> Result<ScaleMeasurement, String> {
+    let run_point = |terms: u32, mpl: u32, events: u64, fast: bool| -> Result<RunOutcome, String> {
+        let mut outs: Vec<RunOutcome> = Vec::with_capacity(cli.reps as usize);
+        for _ in 0..cli.reps {
+            outs.push(
+                run_collecting(scale_config(cli, terms, mpl, events, fast))
+                    .map_err(|e| format!("scale: {e}"))?,
+            );
+        }
+        outs.sort_by(|a, b| {
+            a.perf
+                .events_per_sec()
+                .partial_cmp(&b.perf.events_per_sec())
+                .expect("events/sec is finite")
+        });
+        let mid = outs.len() / 2;
+        Ok(outs.swap_remove(mid))
+    };
+    let full = run_point(cli.scale_terms, cli.scale_mpl, cli.scale_events, true)?;
+    let ab_terms = (cli.scale_terms / 5).max(1);
+    let ab_mpl = (cli.scale_mpl / 5).max(1).min(ab_terms);
+    let ab_events = (cli.scale_events / 2).max(1);
+    let fast = run_point(ab_terms, ab_mpl, ab_events, true)?;
+    let stripped = run_point(ab_terms, ab_mpl, ab_events, false)?;
+    debug_assert_eq!(fast.perf.events, stripped.perf.events);
+    let fast_rate = fast.perf.events_per_sec();
+    let stripped_rate = stripped.perf.events_per_sec();
+    let secs = full.perf.wall.as_secs_f64();
+    Ok(ScaleMeasurement {
+        events_per_sec: full.perf.events_per_sec(),
+        commits_per_sec: if secs > 0.0 {
+            full.report.commits as f64 / secs
+        } else {
+            0.0
+        },
+        events: full.perf.events,
+        commits: full.report.commits,
+        peak_calendar: full.perf.peak_calendar,
+        peak_lock_table: full.perf.peak_lock_table,
+        quantiles: full.quantiles,
+        stopped: full.stopped.map(|e| e.to_string()),
+        ablation_terms: ab_terms,
+        ablation_mpl: ab_mpl,
+        ablation_events: ab_events,
+        fast_events_per_sec: fast_rate,
+        baseline_events_per_sec: stripped_rate,
+        fastpath_speedup: if stripped_rate > 0.0 {
+            fast_rate / stripped_rate
+        } else {
+            0.0
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+    })
+}
+
+/// Process high-water RSS from `/proc/self/status` (`VmHWM`), in bytes.
+#[cfg(target_os = "linux")]
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_bytes() -> Option<u64> {
+    None
+}
+
 /// Build the `"baseline"` comparison block for `--out` from a previous
 /// benchmark archive: per algorithm, the archived events/sec, this run's
 /// events/sec, and the speedup ratio.
@@ -215,7 +396,76 @@ fn baseline_block(path: &PathBuf, results: &[Measurement]) -> Result<String, Str
     Ok(out)
 }
 
-fn to_json(cli: &Cli, results: &[Measurement], baseline: Option<&str>) -> String {
+/// Serialize the scale block for `--out`. Floors follow the small-regime
+/// convention (`floor-frac` x measured); the RSS ceiling goes the other
+/// way (`rss-slack` x measured) because memory regressions grow upward.
+fn scale_json(cli: &Cli, s: &ScaleMeasurement) -> String {
+    let mut out = String::with_capacity(768);
+    let _ = write!(
+        out,
+        "\"scale\":{{\"point\":{{\"experiment\":\"exp-scale\",\"algo\":\"blocking\",\
+         \"db_size\":{},\"num_terms\":{},\"mpl\":{},\"resources\":\"infinite\",\
+         \"max_events\":{},\"seed\":{}}},",
+        cli.scale_db, cli.scale_terms, cli.scale_mpl, cli.scale_events, cli.seed
+    );
+    let _ = write!(
+        out,
+        "\"events_per_sec\":{:.0},\"floor_events_per_sec\":{:.0},\"commits_per_sec\":{:.1},\
+         \"events\":{},\"commits\":{},\"peak_calendar\":{},\"peak_lock_table\":{},",
+        s.events_per_sec,
+        s.events_per_sec * cli.floor_frac,
+        s.commits_per_sec,
+        s.events,
+        s.commits,
+        s.peak_calendar,
+        s.peak_lock_table,
+    );
+    let _ = write!(
+        out,
+        "\"stopped\":{},",
+        match &s.stopped {
+            Some(reason) => format!("\"{reason}\""),
+            None => "null".to_string(),
+        }
+    );
+    let q = &s.quantiles;
+    let _ = write!(
+        out,
+        "\"response_quantiles\":{{\"p50\":{:.6},\"p95\":{:.6},\"p99\":{:.6},\"count\":{}}},",
+        q.p50, q.p95, q.p99, q.count
+    );
+    let _ = write!(
+        out,
+        "\"ablation\":{{\"num_terms\":{},\"mpl\":{},\"max_events\":{},\
+         \"fast_events_per_sec\":{:.0},\"baseline_events_per_sec\":{:.0},\
+         \"fastpath_speedup\":{:.3}}}",
+        s.ablation_terms,
+        s.ablation_mpl,
+        s.ablation_events,
+        s.fast_events_per_sec,
+        s.baseline_events_per_sec,
+        s.fastpath_speedup
+    );
+    match s.peak_rss_bytes {
+        Some(rss) => {
+            let ceiling = (rss as f64 * cli.rss_slack) as u64;
+            let _ = write!(
+                out,
+                ",\"peak_rss_bytes\":{rss},\"rss_ceiling_bytes\":{ceiling}"
+            );
+        }
+        None => out.push_str(",\"peak_rss_bytes\":null,\"rss_ceiling_bytes\":null"),
+    }
+    out.push('}');
+    out
+}
+
+fn to_json(
+    cli: &Cli,
+    results: &[Measurement],
+    baseline: Option<&str>,
+    scale: Option<&str>,
+) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\"bench\":\"throughput\",\"reference_point\":");
     out.push_str("{\"experiment\":\"exp1-low-conflict\",");
@@ -262,6 +512,10 @@ fn to_json(cli: &Cli, results: &[Measurement], baseline: Option<&str>) -> String
         );
     }
     out.push(']');
+    if let Some(block) = scale {
+        out.push(',');
+        out.push_str(block);
+    }
     if let Some(block) = baseline {
         out.push(',');
         out.push_str(block);
@@ -298,6 +552,56 @@ fn check_floors(path: &PathBuf, results: &[Measurement]) -> Result<Vec<String>, 
                 m.algo.label(),
                 m.events_per_sec,
                 floor
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Compare a fresh scale measurement against the `"scale"` block archived
+/// in `path`: the events/sec floor, the RSS ceiling, and the elision win.
+fn check_scale(path: &PathBuf, s: &ScaleMeasurement) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(block) = doc.get("scale") else {
+        return Ok(vec![format!(
+            "scale: {} has no archived scale block (re-archive with --scale --out)",
+            path.display()
+        )]);
+    };
+    let mut failures = Vec::new();
+    let floor = block
+        .get("floor_events_per_sec")
+        .and_then(json::Value::as_f64)
+        .ok_or_else(|| format!("{}: bad scale floor", path.display()))?;
+    if s.events_per_sec < floor {
+        failures.push(format!(
+            "scale: {:.0} events/sec is below the archived floor {:.0}",
+            s.events_per_sec, floor
+        ));
+    }
+    if s.fastpath_speedup <= 1.0 {
+        failures.push(format!(
+            "scale: fast-path speedup {:.3} is not a win (two-tier+elision {:.0} vs \
+             stripped {:.0} events/sec at terms {}, mpl {})",
+            s.fastpath_speedup,
+            s.fast_events_per_sec,
+            s.baseline_events_per_sec,
+            s.ablation_terms,
+            s.ablation_mpl
+        ));
+    }
+    // The ceiling only binds where VmHWM is measurable (Linux) and was
+    // archived from a Linux machine in the first place.
+    if let (Some(rss), Some(ceiling)) = (
+        s.peak_rss_bytes,
+        block.get("rss_ceiling_bytes").and_then(json::Value::as_f64),
+    ) {
+        if rss as f64 > ceiling {
+            failures.push(format!(
+                "scale: peak RSS {:.0} MiB exceeds the archived ceiling {:.0} MiB",
+                rss as f64 / (1024.0 * 1024.0),
+                ceiling / (1024.0 * 1024.0)
             ));
         }
     }
@@ -353,6 +657,57 @@ fn main() -> ExitCode {
             }
         }
     }
+    let scale = if cli.scale {
+        match measure_scale(&cli) {
+            Ok(s) => {
+                println!(
+                    "{:<18} {:>12.0} events/sec  (db {}, terms {}, mpl {}, {} events; \
+                     peak cal {}, peak locks {}, {})",
+                    "scale/blocking",
+                    s.events_per_sec,
+                    cli.scale_db,
+                    cli.scale_terms,
+                    cli.scale_mpl,
+                    s.events,
+                    s.peak_calendar,
+                    s.peak_lock_table,
+                    s.stopped.as_deref().unwrap_or("horizon completed"),
+                );
+                println!(
+                    "{:<18} response quantiles (streaming): p50 {:.1}ms  p95 {:.1}ms  \
+                     p99 {:.1}ms  over {} commits",
+                    "",
+                    s.quantiles.p50 * 1e3,
+                    s.quantiles.p95 * 1e3,
+                    s.quantiles.p99 * 1e3,
+                    s.quantiles.count,
+                );
+                println!(
+                    "{:<18} fast-path ablation (terms {}, mpl {}, {} events): \
+                     {:.0} vs {:.0} events/sec (two-tier+elision over stripped, \
+                     {:.2}x); peak RSS {}",
+                    "",
+                    s.ablation_terms,
+                    s.ablation_mpl,
+                    s.ablation_events,
+                    s.fast_events_per_sec,
+                    s.baseline_events_per_sec,
+                    s.fastpath_speedup,
+                    match s.peak_rss_bytes {
+                        Some(b) => format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)),
+                        None => "unavailable".to_string(),
+                    },
+                );
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
     if let Some(path) = &cli.out {
         let baseline = match &cli.baseline {
             Some(base) => match baseline_block(base, &results) {
@@ -364,7 +719,8 @@ fn main() -> ExitCode {
             },
             None => None,
         };
-        let text = to_json(&cli, &results, baseline.as_deref());
+        let scale_block = scale.as_ref().map(|s| scale_json(&cli, s));
+        let text = to_json(&cli, &results, baseline.as_deref(), scale_block.as_deref());
         if let Err(e) = write_atomic(path, text.as_bytes()) {
             eprintln!("error: writing {}: {e}", path.display());
             return ExitCode::from(2);
@@ -372,20 +728,29 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     if let Some(path) = &cli.check {
-        match check_floors(path, &results) {
-            Ok(failures) if failures.is_empty() => {
-                println!("perf floors OK ({})", path.display());
-            }
-            Ok(failures) => {
-                for f in &failures {
-                    eprintln!("FAIL {f}");
-                }
-                return ExitCode::FAILURE;
-            }
+        let mut failures = match check_floors(path, &results) {
+            Ok(f) => f,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
+        };
+        if let Some(s) = &scale {
+            match check_scale(path, s) {
+                Ok(f) => failures.extend(f),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if failures.is_empty() {
+            println!("perf floors OK ({})", path.display());
+        } else {
+            for f in &failures {
+                eprintln!("FAIL {f}");
+            }
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

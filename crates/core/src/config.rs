@@ -109,6 +109,12 @@ pub struct SimConfig {
     /// every report are byte-identical either way. The switch exists so
     /// determinism tests can prove exactly that by forcing it off.
     pub elide_uncontended: bool,
+    /// Use the two-tier event calendar (near-horizon lane + overflow
+    /// heap). On by default; off routes every event through the heap — the
+    /// single-tier baseline. Delivery order, and therefore every report,
+    /// is byte-identical either way; the switch exists for ablation
+    /// benchmarks and the determinism tests that prove the equivalence.
+    pub two_tier_calendar: bool,
     /// Batch means settings.
     pub metrics: MetricsConfig,
     /// Hard ceilings for the run (events, simulated time, wall clock). The
@@ -130,6 +136,7 @@ impl SimConfig {
             record_history: false,
             trace_capacity: 0,
             elide_uncontended: true,
+            two_tier_calendar: true,
             metrics: MetricsConfig::paper(),
             budget: RunBudget::default(),
         }
@@ -175,6 +182,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_elision(mut self, elide: bool) -> Self {
         self.elide_uncontended = elide;
+        self
+    }
+
+    /// Builder-style toggle for the two-tier calendar (see
+    /// [`SimConfig::two_tier_calendar`]).
+    #[must_use]
+    pub fn with_two_tier_calendar(mut self, two_tier: bool) -> Self {
+        self.two_tier_calendar = two_tier;
         self
     }
 

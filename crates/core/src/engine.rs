@@ -29,12 +29,13 @@ use ccsim_workload::{
 };
 
 use crate::algorithm::{CcAlgorithm, VictimPolicy};
+use crate::arena::TxnArena;
 use crate::budget::{BudgetKind, RunError};
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
 use crate::sink::{CenterFlow, EventSink, FlowStats};
 use crate::trace::{Trace, TraceEvent};
-use crate::txn::{Step, Txn, TxnBufs, TxnState};
+use crate::txn::{Step, TxnState};
 
 /// RNG stream ids (stable; see `ccsim_des::RngStreams`).
 mod streams {
@@ -128,8 +129,13 @@ enum CcAction {
 pub struct Simulator {
     cfg: SimConfig,
     cal: Calendar<Event>,
-    txns: Vec<Option<Txn>>,
+    arena: TxnArena,
     generator: Generator,
+    /// Spec buffers recycled through the generator so the steady-state
+    /// arrival path allocates nothing (and the RNG draw order matches the
+    /// pre-arena engine exactly).
+    scratch_reads: Vec<ObjId>,
+    scratch_writes: Vec<bool>,
     think_rng: Xoshiro256StarStar,
     delay_rng: Xoshiro256StarStar,
     disk_rng: Xoshiro256StarStar,
@@ -257,8 +263,16 @@ impl Simulator {
         let observed = trace.is_some();
         let db_size = params.db_size as usize;
         let num_terms = params.num_terms as usize;
+        // Region width of the arena: the largest readset any class can draw.
+        let txn_cap = ccsim_workload::class_table(params)
+            .iter()
+            .map(|c| c.max_size as usize)
+            .max()
+            .unwrap_or(1);
         Ok(Simulator {
             generator,
+            scratch_reads: Vec::new(),
+            scratch_writes: Vec::new(),
             think_rng: workload_streams.stream(streams::EXT_THINK),
             delay_rng: streams.stream(streams::DELAYS),
             disk_rng: workload_streams.stream(streams::DISKS),
@@ -272,10 +286,14 @@ impl Simulator {
             disks,
             inf_cpu_busy_us: 0,
             inf_io_busy_us: 0,
-            txns: (0..params.num_terms as usize).map(|_| None).collect(),
+            arena: TxnArena::new(num_terms, txn_cap),
             ready: VecDeque::new(),
             active: 0,
-            cal: Calendar::new(),
+            cal: if cfg.two_tier_calendar {
+                Calendar::new()
+            } else {
+                Calendar::heap_only()
+            },
             resp_avg: RunningAvg::new(params.expected_service_time()),
             history: cfg.record_history.then(History::new),
             trace,
@@ -392,6 +410,32 @@ impl Simulator {
         result
     }
 
+    /// The O(1)-memory streaming response-time quantiles collected so far.
+    /// Readable at any point — including after a budget stop — without
+    /// touching the serialized [`Report`].
+    #[must_use]
+    pub fn streaming_quantiles(&self) -> crate::metrics::StreamingQuantiles {
+        self.metrics.streaming_quantiles()
+    }
+
+    /// Run until completion *or* budget exhaustion, salvaging whatever was
+    /// measured either way. Unlike [`Simulator::run_to_completion`], a
+    /// budget stop is reported in [`RunOutcome::stopped`] instead of
+    /// discarding the partial report, perf counters, and streaming
+    /// quantiles — the scale regime runs under a wall-clock budget and
+    /// still wants its observables.
+    #[must_use]
+    pub fn run_collecting(mut self) -> RunOutcome {
+        let stopped = self.run_loop().err();
+        let report = self.finish();
+        RunOutcome {
+            report,
+            stopped,
+            perf: self.perf_stats(),
+            quantiles: self.streaming_quantiles(),
+        }
+    }
+
     /// Performance counters accumulated by the event loop so far.
     #[must_use]
     pub fn perf_stats(&self) -> PerfStats {
@@ -441,7 +485,7 @@ impl Simulator {
     }
 
     fn prime(&mut self) {
-        for term in 0..self.txns.len() {
+        for term in 0..self.arena.num_terms() {
             let at = SimTime::ZERO + self.ext_think.sample(&mut self.think_rng);
             self.cal.schedule(at, Event::Arrive(term));
         }
@@ -513,13 +557,13 @@ impl Simulator {
     /// instant. The actual dispatch happens from [`Simulator::drain_work`],
     /// which bounds stack depth under long grant/abort cascades.
     fn enqueue_dispatch(&mut self, term: usize) {
-        let epoch = self.txns[term].as_ref().expect("live txn").epoch;
+        let epoch = self.arena.get(term).expect("live txn").epoch;
         self.work.push_back((term, epoch));
     }
 
     fn drain_work(&mut self, now: SimTime) {
         while let Some((term, epoch)) = self.work.pop_front() {
-            let Some(txn) = self.txns[term].as_ref() else {
+            let Some(txn) = self.arena.get(term) else {
                 continue;
             };
             // Skip work for attempts that restarted (epoch moved on) or
@@ -537,37 +581,32 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn on_arrive(&mut self, term: usize, now: SimTime) {
-        let id = TxnId(self.next_serial * self.txns.len() as u64 + term as u64);
+        let id = TxnId(self.next_serial * self.arena.num_terms() as u64 + term as u64);
         self.next_serial += 1;
         // Epochs stay monotone per terminal across transactions, so an
         // event addressed to the previous transaction can never match.
-        let epoch = self.txns[term].as_ref().map_or(0, |t| t.epoch + 1);
-        // Recycle the retired transaction's buffers into the new one so the
+        let epoch = self.arena.get(term).map_or(0, |t| t.epoch + 1);
+        // Draw the spec into the recycled scratch buffers, copy it into the
+        // terminal's arena region, then reclaim the buffers: the
         // steady-state arrival path allocates nothing.
-        let (spec_reads, spec_writes, bufs) = match self.txns[term].take() {
-            Some(old) => {
-                let (old_spec, bufs) = old.into_parts();
-                let (reads, writes) = old_spec.into_parts();
-                (reads, writes, bufs)
-            }
-            None => (Vec::new(), Vec::new(), TxnBufs::default()),
-        };
-        let (class, spec) = self
-            .generator
-            .next_spec_with_class_reusing(spec_reads, spec_writes);
+        let reads = std::mem::take(&mut self.scratch_reads);
+        let writes = std::mem::take(&mut self.scratch_writes);
+        let (class, spec) = self.generator.next_spec_with_class_reusing(reads, writes);
         let thinks = !self.cfg.params.int_think_time.is_zero();
-        let mut txn = Txn::new_reusing(
+        self.arena.install(
+            term,
             id,
-            spec,
+            &spec,
             self.cfg.algorithm.program_shape(),
             thinks,
             now,
             epoch,
-            bufs,
+            class,
         );
-        txn.class = class;
+        let (reads, writes) = spec.into_parts();
+        self.scratch_reads = reads;
+        self.scratch_writes = writes;
         self.emit(now, TraceEvent::Arrive(id));
-        self.txns[term] = Some(txn);
         self.ready.push_back(term);
         self.try_admit(now);
     }
@@ -575,7 +614,7 @@ impl Simulator {
     fn on_batch_end(&mut self, now: SimTime) {
         if std::env::var_os("CCSIM_DEBUG_STATES").is_some() {
             let mut counts = [0usize; 6];
-            for t in self.txns.iter().flatten() {
+            for t in self.arena.live() {
                 let ix = match t.state {
                     TxnState::AtTerminal => 0,
                     TxnState::Ready => 1,
@@ -616,7 +655,7 @@ impl Simulator {
     }
 
     fn on_delay_done(&mut self, term: usize, epoch: u32, kind: DelayKind, now: SimTime) {
-        let Some(txn) = self.txns[term].as_mut() else {
+        let Some(txn) = self.arena.get_mut(term) else {
             return;
         };
         if txn.epoch != epoch {
@@ -641,7 +680,7 @@ impl Simulator {
     /// A CPU or I/O service completed for `payload`.
     fn service_done(&mut self, payload: Payload, kind: ServiceKind, now: SimTime) {
         let (term, epoch) = payload;
-        let Some(txn) = self.txns[term].as_mut() else {
+        let Some(txn) = self.arena.get_mut(term) else {
             return;
         };
         if txn.epoch != epoch {
@@ -667,15 +706,15 @@ impl Simulator {
             Step::ReadCpu(i) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
                 txn.usage.add_cpu(params.obj_cpu);
+                txn.advance();
                 // Basic T/O records its reads at the timestamp-check grant
                 // instead (the version is fixed there; a larger-timestamp
                 // writer may legally publish between the grant and this
                 // access completion).
                 if self.history.is_some() && self.cfg.algorithm != CcAlgorithm::BasicTO {
-                    debug_assert_eq!(txn.read_times.len(), i);
-                    txn.read_times.push(now);
+                    debug_assert_eq!(self.arena.read_times(term).len(), i);
+                    self.arena.push_read_time(term, now);
                 }
-                txn.advance();
                 self.work.push_back((term, epoch));
             }
             Step::WriteCpu(_) => {
@@ -699,7 +738,7 @@ impl Simulator {
             let Some(term) = self.ready.pop_front() else {
                 break;
             };
-            let txn = self.txns[term].as_mut().expect("ready txn exists");
+            let txn = self.arena.get_mut(term).expect("ready txn exists");
             debug_assert_eq!(txn.state, TxnState::Ready);
             txn.begin_attempt(now);
             txn.state = TxnState::Running;
@@ -715,12 +754,12 @@ impl Simulator {
     /// service, delay, or lock — or finishes.
     fn dispatch(&mut self, term: usize, now: SimTime) {
         loop {
-            let txn = self.txns[term].as_ref().expect("dispatched txn exists");
+            let txn = self.arena.get(term).expect("dispatched txn exists");
             debug_assert_eq!(txn.state, TxnState::Running);
             let epoch = txn.epoch;
             match txn.step() {
                 Step::PreclaimLock(k) => {
-                    let (obj, write) = txn.lock_plan[k];
+                    let (obj, write) = self.arena.lock_plan_at(term, k);
                     let mode = if write {
                         LockMode::Write
                     } else {
@@ -732,26 +771,26 @@ impl Simulator {
                     }
                 }
                 Step::LockRead(i) => {
-                    let obj = txn.spec.read_at(i);
+                    let obj = self.arena.read_at(term, i);
                     match self.cc_request(term, obj, LockMode::Read, now) {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
                 }
                 Step::LockWrite(j) => {
-                    let obj = txn.write_objs[j];
+                    let obj = self.arena.write_obj_at(term, j);
                     match self.cc_request(term, obj, LockMode::Write, now) {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
                 }
                 Step::ReadIo(i) => {
-                    let obj = txn.spec.read_at(i);
+                    let obj = self.arena.read_at(term, i);
                     self.submit_io(term, obj, epoch, now);
                     return;
                 }
                 Step::UpdateIo(j) => {
-                    let obj = txn.write_objs[j];
+                    let obj = self.arena.write_obj_at(term, j);
                     self.submit_io(term, obj, epoch, now);
                     return;
                 }
@@ -762,8 +801,9 @@ impl Simulator {
                 }
                 Step::IntThink => {
                     let d = self.int_think.sample(&mut self.delay_rng);
-                    let txn = self.txns[term]
-                        .as_mut()
+                    let txn = self
+                        .arena
+                        .get_mut(term)
                         .expect("terminal has no active transaction");
                     if d.is_zero() {
                         txn.advance();
@@ -799,8 +839,9 @@ impl Simulator {
         if cc_cpu.is_zero() {
             return false;
         }
-        let txn = self.txns[term]
-            .as_ref()
+        let txn = self
+            .arena
+            .get(term)
             .expect("terminal has no active transaction");
         if txn.cc_charged {
             return false;
@@ -838,8 +879,9 @@ impl Simulator {
     }
 
     fn cc_blocking(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         match self.lockmgr.request(tid, obj, mode) {
@@ -868,8 +910,9 @@ impl Simulator {
         now: SimTime,
         cause: AbortCause,
     ) -> CcAction {
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         match self.lockmgr.try_request(tid, obj, mode) {
@@ -888,8 +931,9 @@ impl Simulator {
 
     /// Wait-die: on conflict, an older requester waits; a younger one dies.
     fn cc_wait_die(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term]
-            .as_ref()
+        let txn = self
+            .arena
+            .get(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         let my_ts = (txn.arrival, tid);
@@ -904,8 +948,9 @@ impl Simulator {
             self.abort_and_restart(term, AbortCause::Died, now);
             return CcAction::Suspend;
         }
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
@@ -928,8 +973,9 @@ impl Simulator {
     /// holders; a younger requester waits. Holders past their commit point
     /// are spared (wounding them gains nothing).
     fn cc_wound_wait(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term]
-            .as_ref()
+        let txn = self
+            .arena
+            .get(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         let my_ts = (txn.arrival, tid);
@@ -942,7 +988,7 @@ impl Simulator {
             self.lockmgr.blockers_into(tid, obj, mode, &mut blockers);
             let victim = blockers.iter().copied().find(|&b| {
                 let b_term = self.term_of(b);
-                self.txns[b_term].as_ref().is_some_and(|bt| {
+                self.arena.get(b_term).is_some_and(|bt| {
                     bt.id == b
                         && (bt.arrival, bt.id) > my_ts
                         && bt.state.is_active()
@@ -962,8 +1008,9 @@ impl Simulator {
         // A wound cascade can come full circle: releasing a victim's locks
         // dispatches waiters, one of which may be older than *us* and wound
         // us in turn. If that happened, our attempt is over.
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         if txn.id != tid || txn.state != TxnState::Running {
             return CcAction::Suspend;
@@ -989,20 +1036,21 @@ impl Simulator {
     /// order; late operations restart with a fresh timestamp; readers wait
     /// out pending smaller-timestamp prewrites.
     fn cc_tso(&mut self, term: usize, obj: ObjId, mode: LockMode, now: SimTime) -> CcAction {
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         let ts = (txn.attempt_start, tid);
         match mode {
             LockMode::Read => match self.tso.read(tid, obj, ts) {
                 TsoRead::Granted => {
+                    txn.advance();
                     if self.history.is_some() {
                         // The version this read observes is decided *now*:
                         // record the grant instant as the read time.
-                        txn.read_times.push(now);
+                        self.arena.push_read_time(term, now);
                     }
-                    txn.advance();
                     CcAction::Proceed
                 }
                 TsoRead::Wait => {
@@ -1038,7 +1086,7 @@ impl Simulator {
     fn process_tso_wakeups(&mut self, woken: Vec<TxnId>, now: SimTime) {
         for w in woken {
             let term = self.term_of(w);
-            let Some(txn) = self.txns[term].as_mut() else {
+            let Some(txn) = self.arena.get_mut(term) else {
                 continue;
             };
             if txn.id != w || txn.state != TxnState::Blocked {
@@ -1048,7 +1096,7 @@ impl Simulator {
             // A TSO wait only ever happens on a read step; report which
             // object the reader resumes on. The re-check may block again.
             let obj = match txn.step() {
-                Step::LockRead(i) => Some(txn.spec.read_at(i)),
+                Step::LockRead(i) => Some(self.arena.read_at(term, i)),
                 _ => None,
             };
             if let Some(obj) = obj {
@@ -1061,18 +1109,20 @@ impl Simulator {
     /// The optimistic commit-point test (a no-op for locking algorithms).
     fn validate(&mut self, term: usize, now: SimTime) -> CcAction {
         if self.cfg.algorithm != CcAlgorithm::Optimistic {
-            let txn = self.txns[term]
-                .as_mut()
+            let txn = self
+                .arena
+                .get_mut(term)
                 .expect("terminal has no active transaction");
             txn.advance();
             return CcAction::Proceed;
         }
-        let txn = self.txns[term]
-            .as_ref()
+        let txn = self
+            .arena
+            .get(term)
             .expect("terminal has no active transaction");
         let tid = txn.id;
         let start = txn.attempt_start;
-        let outcome = self.validator.validate(start, txn.spec.reads());
+        let outcome = self.validator.validate(start, self.arena.reads(term));
         if let Err(conflict) = outcome {
             self.emit(now, TraceEvent::ValidationFailure(tid, conflict.obj));
             self.abort_and_restart(term, AbortCause::Validation, now);
@@ -1080,14 +1130,14 @@ impl Simulator {
         }
         {
             // Kung–Robinson critical section: stamp writes at validation.
-            // Borrowing the writeset directly (disjoint fields) avoids a
-            // per-commit Vec clone on the optimistic hot path.
-            let txn = self.txns[term]
-                .as_ref()
-                .expect("terminal has no active transaction");
-            self.validator.commit(now, txn.write_objs.iter().copied());
-            let txn = self.txns[term]
-                .as_mut()
+            // Borrowing the writeset straight out of the arena (disjoint
+            // fields) avoids a per-commit Vec clone on the optimistic hot
+            // path.
+            self.validator
+                .commit(now, self.arena.write_objs(term).iter().copied());
+            let txn = self
+                .arena
+                .get_mut(term)
                 .expect("terminal has no active transaction");
             txn.publish_at = Some(now);
             txn.advance();
@@ -1099,8 +1149,9 @@ impl Simulator {
     /// longer blocked or no cycle remains.
     fn resolve_deadlocks(&mut self, term: usize, now: SimTime) {
         loop {
-            let txn = self.txns[term]
-                .as_ref()
+            let txn = self
+                .arena
+                .get(term)
                 .expect("terminal has no active transaction");
             if txn.state != TxnState::Blocked {
                 return;
@@ -1110,8 +1161,9 @@ impl Simulator {
             };
             let victim = self.choose_victim(&cycle);
             let victim_term = self.term_of(victim);
-            let detector = self.txns[term]
-                .as_ref()
+            let detector = self
+                .arena
+                .get(term)
                 .expect("terminal has no active transaction")
                 .id;
             self.emit(now, TraceEvent::Deadlock { detector, victim });
@@ -1121,7 +1173,7 @@ impl Simulator {
 
     fn choose_victim(&self, cycle: &[TxnId]) -> TxnId {
         let key = |tid: &TxnId| {
-            let t = self.txns[self.term_of(*tid)].as_ref().expect("cycle txn");
+            let t = self.arena.get(self.term_of(*tid)).expect("cycle txn");
             debug_assert_eq!(t.id, *tid);
             (t.arrival, t.id)
         };
@@ -1142,7 +1194,7 @@ impl Simulator {
     /// Abort `term`'s current attempt and requeue it per the restart-delay
     /// policy.
     fn abort_and_restart(&mut self, term: usize, cause: AbortCause, now: SimTime) {
-        let txn = self.txns[term].as_mut().expect("aborting live txn");
+        let txn = self.arena.get_mut(term).expect("aborting live txn");
         debug_assert!(txn.state.is_active(), "victims are active");
         txn.restarts += 1;
         txn.bump_epoch();
@@ -1168,8 +1220,8 @@ impl Simulator {
         // Basic T/O: drop prewrites and cancel a parked read; wake readers.
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
             let ts = (
-                self.txns[term]
-                    .as_ref()
+                self.arena
+                    .get(term)
                     .expect("terminal has no active transaction")
                     .attempt_start,
                 tid,
@@ -1181,8 +1233,9 @@ impl Simulator {
 
         // Requeue per policy.
         let delay = self.restart_delay_for(cause);
-        let txn = self.txns[term]
-            .as_mut()
+        let txn = self
+            .arena
+            .get_mut(term)
             .expect("terminal has no active transaction");
         if delay.is_zero() {
             txn.state = TxnState::Ready;
@@ -1248,35 +1301,32 @@ impl Simulator {
     }
 
     fn commit(&mut self, term: usize, now: SimTime) {
-        let txn = self.txns[term].as_mut().expect("committing live txn");
+        let txn = self.arena.get_mut(term).expect("committing live txn");
         debug_assert_eq!(txn.state, TxnState::Running);
         let tid = txn.id;
         let response = now.since(txn.arrival);
         let usage = txn.usage;
+        let class = txn.class;
+        let attempt_start = txn.attempt_start;
+        let publish_at = txn.publish_at;
         txn.state = TxnState::AtTerminal;
 
         if let Some(history) = self.history.as_mut() {
             history.push(CommittedTxn {
                 id: tid,
-                start: txn.attempt_start,
-                reads: txn
-                    .spec
-                    .reads()
+                start: attempt_start,
+                reads: self
+                    .arena
+                    .reads(term)
                     .iter()
                     .copied()
-                    .zip(txn.read_times.iter().copied())
+                    .zip(self.arena.read_times(term).iter().copied())
                     .collect(),
-                // The attempt is over; move the writeset instead of cloning
-                // (a fresh attempt always rebuilds it).
-                writes: std::mem::take(&mut txn.write_objs),
-                commit_at: txn.publish_at.unwrap_or(now),
+                writes: self.arena.write_objs(term).to_vec(),
+                commit_at: publish_at.unwrap_or(now),
             });
         }
 
-        let class = self.txns[term]
-            .as_ref()
-            .expect("terminal has no active transaction")
-            .class;
         self.emit(now, TraceEvent::Commit(tid));
         self.resp_avg.observe(response);
         self.metrics
@@ -1295,8 +1345,8 @@ impl Simulator {
         }
         let tso_woken = if self.cfg.algorithm == CcAlgorithm::BasicTO {
             let ts = (
-                self.txns[term]
-                    .as_ref()
+                self.arena
+                    .get(term)
                     .expect("terminal has no active transaction")
                     .attempt_start,
                 tid,
@@ -1330,7 +1380,7 @@ impl Simulator {
     fn process_grants(&mut self, grants: &[Grant], now: SimTime) {
         for &g in grants {
             let term = self.term_of(g.txn);
-            let Some(txn) = self.txns[term].as_mut() else {
+            let Some(txn) = self.arena.get_mut(term) else {
                 continue;
             };
             if txn.id != g.txn {
@@ -1476,19 +1526,20 @@ impl Simulator {
     }
 
     fn term_of(&self, tid: TxnId) -> usize {
-        (tid.0 % self.txns.len() as u64) as usize
+        (tid.0 % self.arena.num_terms() as u64) as usize
     }
 
     fn timestamp_of(&self, tid: TxnId) -> (SimTime, TxnId) {
-        let t = self.txns[self.term_of(tid)].as_ref().expect("live txn");
+        let t = self.arena.get(self.term_of(tid)).expect("live txn");
         debug_assert_eq!(t.id, tid);
         (t.arrival, t.id)
     }
 
     /// Past the commit point (validation) — only deferred updates remain.
     fn is_committing(&self, term: usize) -> bool {
-        let txn = self.txns[term]
-            .as_ref()
+        let txn = self
+            .arena
+            .get(term)
             .expect("terminal has no active transaction");
         matches!(txn.step(), Step::UpdateIo(_) | Step::Commit)
     }
@@ -1551,6 +1602,32 @@ pub fn run_with_perf(cfg: SimConfig) -> Result<(Report, PerfStats), RunError> {
     sim.run_loop()?;
     let report = sim.finish();
     Ok((report, sim.perf_stats()))
+}
+
+/// Everything a budget-tolerant run salvages (see
+/// [`Simulator::run_collecting`]).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Metrics over whatever window completed (partial when `stopped`).
+    pub report: Report,
+    /// `Some` when the run was stopped by its [`crate::RunBudget`] rather
+    /// than finishing its configured batches.
+    pub stopped: Option<RunError>,
+    /// Engine perf counters up to the stopping point.
+    pub perf: PerfStats,
+    /// Streaming response quantiles up to the stopping point.
+    pub quantiles: crate::metrics::StreamingQuantiles,
+}
+
+/// Like [`run`], but budget exhaustion salvages the partial run instead of
+/// discarding it: the [`RunOutcome`] always carries a report, perf
+/// counters, and streaming quantiles.
+///
+/// # Errors
+/// Returns [`RunError::InvalidConfig`] if the configuration is invalid
+/// (budget stops are *not* errors here — see [`RunOutcome::stopped`]).
+pub fn run_collecting(cfg: SimConfig) -> Result<RunOutcome, RunError> {
+    Ok(Simulator::new(cfg)?.run_collecting())
 }
 
 #[cfg(test)]

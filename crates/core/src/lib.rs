@@ -26,6 +26,7 @@
 #![warn(clippy::all)]
 
 mod algorithm;
+mod arena;
 mod budget;
 mod config;
 mod engine;
@@ -35,13 +36,17 @@ mod trace;
 mod txn;
 
 pub use algorithm::{CcAlgorithm, VictimPolicy};
+pub use arena::{TxnArena, TxnRec};
 pub use budget::{BudgetKind, RunBudget, RunError};
 pub use config::{MetricsConfig, SimConfig};
-pub use engine::{run, run_with_history, run_with_perf, run_with_trace, PerfStats, Simulator};
-pub use metrics::{ClassReport, Metrics, Report};
+pub use engine::{
+    run, run_collecting, run_with_history, run_with_perf, run_with_trace, PerfStats, RunOutcome,
+    Simulator,
+};
+pub use metrics::{ClassReport, Metrics, Report, StreamingQuantiles};
 pub use sink::{CenterFlow, EventSink, FlowStats};
 pub use trace::{Trace, TraceEvent};
-pub use txn::{AttemptUsage, Program, ProgramShape, Step, Txn, TxnBufs, TxnState};
+pub use txn::{AttemptUsage, Program, ProgramShape, Step, TxnState};
 
 // Re-export the vocabulary types callers need to configure runs.
 pub use ccsim_history::{check_conflict_serializable, CommittedTxn, History};

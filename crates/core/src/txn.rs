@@ -1,7 +1,8 @@
-//! Transaction runtime state: the step program and per-attempt bookkeeping.
+//! Transaction step programs and per-attempt bookkeeping types.
 //!
 //! A transaction's behaviour is a fixed sequence of *steps* derived from its
-//! [`TxnSpec`] and the concurrency control algorithm (paper §3):
+//! [`TxnSpec`](ccsim_workload::TxnSpec) and the concurrency control algorithm
+//! (paper §3):
 //!
 //! * locking algorithms interleave lock requests with object accesses:
 //!   `lock(o) → io(o) → cpu(o)` per read, an optional internal think, then
@@ -10,10 +11,11 @@
 //!   and a single validation step at its commit point.
 //!
 //! The step sequence is addressed by a flat program counter so that the
-//! engine can advance a transaction with one integer increment.
+//! engine can advance a transaction with one integer increment. The
+//! per-terminal runtime records themselves live in
+//! [`TxnArena`](crate::arena::TxnArena).
 
-use ccsim_des::{SimDuration, SimTime};
-use ccsim_workload::{ObjId, TxnId, TxnSpec};
+use ccsim_des::SimDuration;
 
 /// One step of a transaction program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +68,15 @@ pub struct Program {
 }
 
 impl Program {
-    /// Build the program shape.
+    /// Build the program shape for a transaction that reads `reads` objects
+    /// and writes `writes` of them.
     #[must_use]
-    pub fn new(shape: ProgramShape, thinks: bool, spec: &TxnSpec) -> Self {
+    pub fn new(shape: ProgramShape, thinks: bool, reads: usize, writes: usize) -> Self {
         Program {
             shape,
             thinks,
-            reads: spec.num_reads(),
-            writes: spec.num_writes(),
+            reads,
+            writes,
         }
     }
 
@@ -215,194 +218,9 @@ impl AttemptUsage {
     }
 }
 
-/// Recyclable backing buffers of a retired [`Txn`], recovered with
-/// [`Txn::into_parts`] and reused by [`Txn::new_reusing`].
-#[derive(Debug, Default)]
-pub struct TxnBufs {
-    /// Backing store for [`Txn::write_objs`].
-    pub write_objs: Vec<ObjId>,
-    /// Backing store for [`Txn::lock_plan`].
-    pub lock_plan: Vec<(ObjId, bool)>,
-    /// Backing store for [`Txn::read_times`].
-    pub read_times: Vec<SimTime>,
-}
-
-/// The runtime record of one terminal's current transaction.
-#[derive(Debug)]
-pub struct Txn {
-    /// Globally unique id of the current transaction (not reused across
-    /// transactions; preserved across restarts of the same transaction).
-    pub id: TxnId,
-    /// The access program (kept across restarts — paper footnote 1).
-    pub spec: TxnSpec,
-    /// Objects written, in write order (cached from the spec).
-    pub write_objs: Vec<ObjId>,
-    /// The preclaim plan for static locking: `(object, final mode as
-    /// write?)` in ascending object order (a global acquisition order makes
-    /// static locking deadlock-free). Empty for other shapes.
-    pub lock_plan: Vec<(ObjId, bool)>,
-    /// Program shape.
-    pub program: Program,
-    /// Program counter into [`Program::step_at`].
-    pub pc: usize,
-    /// The decoded step at `pc`, kept in sync by [`Txn::advance`] and
-    /// [`Txn::begin_attempt`] so the hot path decodes each step once.
-    cur: Step,
-    /// Lifecycle state.
-    pub state: TxnState,
-    /// When this transaction first entered the ready queue (response time
-    /// origin; also the timestamp used by youngest-victim, wait-die and
-    /// wound-wait).
-    pub arrival: SimTime,
-    /// When the current attempt was admitted (the optimistic start time).
-    pub attempt_start: SimTime,
-    /// Attempt epoch, bumped on every restart; stale events are dropped by
-    /// comparing epochs.
-    pub epoch: u32,
-    /// Resource usage of the current attempt.
-    pub usage: AttemptUsage,
-    /// Times this transaction blocked (across all attempts).
-    pub blocks: u32,
-    /// Times this transaction restarted.
-    pub restarts: u32,
-    /// True while a concurrency-control CPU charge is in flight for the
-    /// current step (only when `cc_cpu > 0`).
-    pub cc_charged: bool,
-    /// Read-completion times of the current attempt, parallel to
-    /// `spec.reads()` (filled only when history recording is enabled).
-    pub read_times: Vec<SimTime>,
-    /// When this attempt's writes were (will be) published: the validation
-    /// instant for optimistic CC, the commit event otherwise.
-    pub publish_at: Option<SimTime>,
-    /// Workload class index (0 = the primary Table-1 class).
-    pub class: usize,
-}
-
-impl Txn {
-    /// Create the record for a freshly submitted transaction. `epoch` must
-    /// be strictly greater than any epoch the same terminal has used before
-    /// (stale-event filtering relies on it; the engine passes a per-terminal
-    /// monotone counter).
-    #[must_use]
-    pub fn new(
-        id: TxnId,
-        spec: TxnSpec,
-        shape: ProgramShape,
-        thinks: bool,
-        arrival: SimTime,
-        epoch: u32,
-    ) -> Self {
-        Txn::new_reusing(id, spec, shape, thinks, arrival, epoch, TxnBufs::default())
-    }
-
-    /// As [`Txn::new`], rebuilding the record inside recycled buffers
-    /// (cleared first) so the engine's per-transaction turnover is
-    /// allocation-free in the steady state.
-    #[must_use]
-    pub fn new_reusing(
-        id: TxnId,
-        spec: TxnSpec,
-        shape: ProgramShape,
-        thinks: bool,
-        arrival: SimTime,
-        epoch: u32,
-        bufs: TxnBufs,
-    ) -> Self {
-        let TxnBufs {
-            mut write_objs,
-            mut lock_plan,
-            mut read_times,
-        } = bufs;
-        write_objs.clear();
-        write_objs.extend(spec.write_objs());
-        lock_plan.clear();
-        if shape == ProgramShape::Static2pl {
-            lock_plan.extend(
-                spec.reads()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &obj)| (obj, spec.writes_at(i))),
-            );
-            lock_plan.sort_unstable_by_key(|&(obj, _)| obj);
-        }
-        read_times.clear();
-        let program = Program::new(shape, thinks, &spec);
-        Txn {
-            id,
-            spec,
-            write_objs,
-            lock_plan,
-            program,
-            pc: 0,
-            cur: program.step_at(0),
-            state: TxnState::Ready,
-            arrival,
-            attempt_start: arrival,
-            epoch,
-            usage: AttemptUsage::default(),
-            blocks: 0,
-            restarts: 0,
-            cc_charged: false,
-            read_times,
-            publish_at: None,
-            class: 0,
-        }
-    }
-
-    /// Tear a retired transaction down into its spec and recyclable
-    /// buffers (see [`Txn::new_reusing`]).
-    #[must_use]
-    pub fn into_parts(self) -> (TxnSpec, TxnBufs) {
-        (
-            self.spec,
-            TxnBufs {
-                write_objs: self.write_objs,
-                lock_plan: self.lock_plan,
-                read_times: self.read_times,
-            },
-        )
-    }
-
-    /// The step the transaction is currently at.
-    #[must_use]
-    pub fn step(&self) -> Step {
-        self.cur
-    }
-
-    /// Advance to the next step.
-    pub fn advance(&mut self) {
-        self.pc += 1;
-        self.cur = self.program.step_at(self.pc);
-        self.cc_charged = false;
-    }
-
-    /// Rewind for a fresh attempt after a restart.
-    pub fn begin_attempt(&mut self, now: SimTime) {
-        self.pc = 0;
-        self.cur = self.program.step_at(0);
-        self.cc_charged = false;
-        self.attempt_start = now;
-        self.usage.reset();
-        self.read_times.clear();
-        self.publish_at = None;
-    }
-
-    /// Bump the epoch (called at restart so stale events are ignored).
-    pub fn bump_epoch(&mut self) {
-        self.epoch += 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccsim_workload::ObjId;
-
-    fn spec(reads: usize, write_ixs: &[usize]) -> TxnSpec {
-        let objs: Vec<ObjId> = (0..reads as u64).map(ObjId).collect();
-        let writes: Vec<bool> = (0..reads).map(|i| write_ixs.contains(&i)).collect();
-        TxnSpec::new(objs, writes)
-    }
 
     fn collect(program: Program) -> Vec<Step> {
         (0..program.len()).map(|pc| program.step_at(pc)).collect()
@@ -410,8 +228,7 @@ mod tests {
 
     #[test]
     fn locking_program_shape() {
-        let s = spec(2, &[1]);
-        let p = Program::new(ProgramShape::Dynamic2pl, false, &s);
+        let p = Program::new(ProgramShape::Dynamic2pl, false, 2, 1);
         assert_eq!(
             collect(p),
             vec![
@@ -432,8 +249,7 @@ mod tests {
 
     #[test]
     fn optimistic_program_shape() {
-        let s = spec(2, &[0]);
-        let p = Program::new(ProgramShape::LockFree, false, &s);
+        let p = Program::new(ProgramShape::LockFree, false, 2, 1);
         assert_eq!(
             collect(p),
             vec![
@@ -451,8 +267,7 @@ mod tests {
 
     #[test]
     fn think_step_sits_between_reads_and_writes() {
-        let s = spec(1, &[0]);
-        let p = Program::new(ProgramShape::Dynamic2pl, true, &s);
+        let p = Program::new(ProgramShape::Dynamic2pl, true, 1, 1);
         assert_eq!(
             collect(p),
             vec![
@@ -471,8 +286,7 @@ mod tests {
 
     #[test]
     fn read_only_program_ends_with_validate_commit() {
-        let s = spec(3, &[]);
-        let p = Program::new(ProgramShape::LockFree, false, &s);
+        let p = Program::new(ProgramShape::LockFree, false, 3, 0);
         let steps = collect(p);
         assert_eq!(steps.len(), 3 * 2 + 2);
         assert_eq!(steps[steps.len() - 2], Step::Validate);
@@ -489,9 +303,7 @@ mod tests {
             for thinks in [false, true] {
                 for reads in 1..6 {
                     for writes in 0..=reads {
-                        let wixs: Vec<usize> = (0..writes).collect();
-                        let s = spec(reads, &wixs);
-                        let p = Program::new(shape, thinks, &s);
+                        let p = Program::new(shape, thinks, reads, writes);
                         let steps = collect(p);
                         assert_eq!(steps.len(), p.len());
                         assert_eq!(*steps.last().unwrap(), Step::Commit);
@@ -513,36 +325,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "past commit")]
     fn pc_past_commit_panics() {
-        let s = spec(1, &[]);
-        let p = Program::new(ProgramShape::Dynamic2pl, false, &s);
+        let p = Program::new(ProgramShape::Dynamic2pl, false, 1, 0);
         let _ = p.step_at(p.len());
-    }
-
-    #[test]
-    fn txn_lifecycle_helpers() {
-        let s = spec(2, &[1]);
-        let mut t = Txn::new(
-            TxnId(7),
-            s,
-            ProgramShape::Dynamic2pl,
-            false,
-            SimTime::from_secs(1),
-            0,
-        );
-        assert_eq!(t.step(), Step::LockRead(0));
-        assert_eq!(t.write_objs, vec![ObjId(1)]);
-        t.advance();
-        assert_eq!(t.step(), Step::ReadIo(0));
-        t.usage.add_cpu(SimDuration::from_millis(15));
-        t.usage.add_io(SimDuration::from_millis(35));
-        assert_eq!(t.usage.cpu_us, 15_000);
-        t.bump_epoch();
-        t.begin_attempt(SimTime::from_secs(5));
-        assert_eq!(t.pc, 0);
-        assert_eq!(t.epoch, 1);
-        assert_eq!(t.usage, AttemptUsage::default());
-        assert_eq!(t.attempt_start, SimTime::from_secs(5));
-        assert_eq!(t.arrival, SimTime::from_secs(1), "arrival survives restart");
     }
 
     #[test]

@@ -122,6 +122,69 @@ struct Slot<E> {
 struct LaneBucket {
     bucket: u64,
     nodes: Vec<Node>,
+    /// Set when the min-scan first parks on this bucket: `nodes` is then
+    /// a binary min-heap by `(time, seq)` — pops take the root, late
+    /// schedules into the bucket sift in, both O(log bucket). Until then
+    /// the bucket is a plain append vector. Without this, a bucket dense
+    /// with same-millisecond events (a million-scale regime packs
+    /// thousands into one bucket) would pay a full scan per pop —
+    /// quadratic in bucket population. A sorted vector is no better: the
+    /// model schedules lock-grant wakeups at the current instant, which
+    /// insert mid-bucket and pay a memmove each.
+    heaped: bool,
+}
+
+// -- per-bucket binary-heap primitives (by `(time, seq)` key) -----------
+
+fn bucket_sift_up(nodes: &mut [Node], mut i: usize) {
+    let node = nodes[i];
+    let key = node.key();
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if key < nodes[parent].key() {
+            nodes[i] = nodes[parent];
+            i = parent;
+        } else {
+            break;
+        }
+    }
+    nodes[i] = node;
+}
+
+fn bucket_sift_down(nodes: &mut [Node], mut i: usize) {
+    let len = nodes.len();
+    let node = nodes[i];
+    let key = node.key();
+    loop {
+        let mut child = 2 * i + 1;
+        if child >= len {
+            break;
+        }
+        if child + 1 < len && nodes[child + 1].key() < nodes[child].key() {
+            child += 1;
+        }
+        if nodes[child].key() < key {
+            nodes[i] = nodes[child];
+            i = child;
+        } else {
+            break;
+        }
+    }
+    nodes[i] = node;
+}
+
+fn bucket_heapify(nodes: &mut [Node]) {
+    for i in (0..nodes.len() / 2).rev() {
+        bucket_sift_down(nodes, i);
+    }
+}
+
+fn bucket_pop_root(nodes: &mut Vec<Node>) -> Node {
+    let root = nodes.swap_remove(0);
+    if !nodes.is_empty() {
+        bucket_sift_down(nodes, 0);
+    }
+    root
 }
 
 /// A deterministic event calendar.
@@ -137,6 +200,9 @@ struct LaneBucket {
 /// ```
 pub struct Calendar<E> {
     heap: Vec<Node>,
+    /// When false, every schedule goes to the overflow heap — the
+    /// single-tier baseline for ablation runs (see [`Calendar::heap_only`]).
+    use_lane: bool,
     /// Near-horizon ring, indexed by `absolute_bucket % NEAR_BUCKETS`.
     lane: Vec<LaneBucket>,
     /// Live events currently stored in the lane (exact, not counting
@@ -170,10 +236,12 @@ impl<E> Calendar<E> {
     pub fn new() -> Self {
         Calendar {
             heap: Vec::new(),
+            use_lane: true,
             lane: (0..NEAR_BUCKETS)
                 .map(|_| LaneBucket {
                     bucket: u64::MAX,
                     nodes: Vec::new(),
+                    heaped: false,
                 })
                 .collect(),
             lane_live: 0,
@@ -185,6 +253,20 @@ impl<E> Calendar<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             stats: CalendarStats::default(),
+        }
+    }
+
+    /// Create an empty calendar that bypasses the near-horizon lane: every
+    /// event lands in the overflow heap. Delivery order is identical to
+    /// [`Calendar::new`] — `(time, seq)` decides in both tiers — so the
+    /// only difference is cost. This is the single-tier baseline that
+    /// ablation benchmarks measure the lane against; simulations have no
+    /// reason to use it.
+    #[must_use]
+    pub fn heap_only() -> Self {
+        Calendar {
+            use_lane: false,
+            ..Self::new()
         }
     }
 
@@ -235,7 +317,7 @@ impl<E> Calendar<E> {
         self.next_seq += 1;
         let bucket = at.as_micros() >> BUCKET_SHIFT;
         let cur = self.now.as_micros() >> BUCKET_SHIFT;
-        let near = bucket < cur + NEAR_BUCKETS;
+        let near = self.use_lane && bucket < cur + NEAR_BUCKETS;
         let (slot, generation) = match self.free.pop() {
             Some(s) => {
                 let sl = &mut self.slots[s as usize];
@@ -278,9 +360,14 @@ impl<E> Calendar<E> {
                     sl.seq != n.seq || sl.event.is_none()
                 }));
                 ring.nodes.clear();
+                ring.heaped = false;
                 ring.bucket = bucket;
             }
             ring.nodes.push(node);
+            if ring.heaped {
+                let last = ring.nodes.len() - 1;
+                bucket_sift_up(&mut ring.nodes, last);
+            }
         } else {
             self.stats.heap_schedules += 1;
             self.heap.push(node);
@@ -311,14 +398,17 @@ impl<E> Calendar<E> {
         true
     }
 
-    /// Locate the lane's live minimum: `(ring index, node index, key)`.
+    /// Locate the lane's live minimum: `(ring index, key)` — the minimum
+    /// is always the parked bucket's heap root.
     ///
-    /// Scans forward from the cursor, purging stale nodes in the buckets
-    /// it crosses and parking the cursor on the first bucket with a live
-    /// event. All live lane events sit in `[clock bucket, clock bucket +
-    /// NEAR_BUCKETS)` and none below the cursor, so the scan is bounded
-    /// and each empty bucket is crossed at most once per ring rotation.
-    fn lane_min(&mut self) -> Option<(usize, usize, (SimTime, u64))> {
+    /// Scans forward from the cursor and parks it on the first bucket with
+    /// a live event, heapifying that bucket on first touch so the minimum
+    /// — and every subsequent pop from the bucket — is a root read, not a
+    /// scan. All live lane events sit in `[clock bucket, clock bucket +
+    /// NEAR_BUCKETS)` and none below the cursor, so the walk is bounded;
+    /// stale nodes are purged at heapify time or discarded once when they
+    /// surface as the root.
+    fn lane_min(&mut self) -> Option<(usize, (SimTime, u64))> {
         if self.lane_live == 0 {
             return None;
         }
@@ -328,20 +418,24 @@ impl<E> Calendar<E> {
             let ix = (b % NEAR_BUCKETS) as usize;
             if self.lane[ix].bucket == b {
                 let slots = &self.slots;
-                let nodes = &mut self.lane[ix].nodes;
-                nodes.retain(|n| {
-                    let sl = &slots[n.slot as usize];
-                    sl.seq == n.seq && sl.event.is_some()
-                });
-                let best = nodes
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, n)| n.key())
-                    .map(|(i, n)| (i, n.key()));
-                if let Some((node_ix, key)) = best {
-                    self.scan_from = b;
-                    return Some((ix, node_ix, key));
+                let ring = &mut self.lane[ix];
+                if !ring.heaped {
+                    ring.nodes.retain(|n| {
+                        let sl = &slots[n.slot as usize];
+                        sl.seq == n.seq && sl.event.is_some()
+                    });
+                    bucket_heapify(&mut ring.nodes);
+                    ring.heaped = true;
                 }
+                while let Some(&root) = ring.nodes.first() {
+                    let sl = &slots[root.slot as usize];
+                    if sl.seq == root.seq && sl.event.is_some() {
+                        self.scan_from = b;
+                        return Some((ix, root.key()));
+                    }
+                    bucket_pop_root(&mut ring.nodes);
+                }
+                ring.heaped = false;
             }
             b += 1;
         }
@@ -374,16 +468,16 @@ impl<E> Calendar<E> {
         let lane = self.lane_min();
         let heap = self.heap_peek_key();
         let use_lane = match (lane, heap) {
-            (Some((_, _, lk)), Some(hk)) => lk < hk,
+            (Some((_, lk)), Some(hk)) => lk < hk,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
         };
         let node = if use_lane {
-            let (ring_ix, node_ix, _) = lane.expect("lane candidate vanished");
+            let (ring_ix, _) = lane.expect("lane candidate vanished");
             self.stats.lane_pops += 1;
             self.lane_live -= 1;
-            self.lane[ring_ix].nodes.swap_remove(node_ix)
+            bucket_pop_root(&mut self.lane[ring_ix].nodes)
         } else {
             self.stats.heap_pops += 1;
             let node = self.heap[0];
@@ -404,7 +498,7 @@ impl<E> Calendar<E> {
 
     /// Timestamp of the next live event, if any, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        let lane = self.lane_min().map(|(_, _, key)| key);
+        let lane = self.lane_min().map(|(_, key)| key);
         let heap = self.heap_peek_key();
         match (lane, heap) {
             (Some(l), Some(h)) => Some(l.min(h).0),
@@ -737,5 +831,33 @@ mod tests {
         }
         assert_eq!(delivered + cancelled, scheduled);
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn heap_only_delivers_the_same_order_as_two_tier() {
+        let mut two_tier: Calendar<u64> = Calendar::new();
+        let mut heap_only: Calendar<u64> = Calendar::heap_only();
+        // Mixed near-horizon and far-future timestamps, including ties
+        // (seq must break them identically in both tiers).
+        let mut x = 0x9E37_79B9u64;
+        let mut next = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        for i in 0..5_000u64 {
+            let at = SimTime::from_micros(next(2_000_000));
+            two_tier.schedule(at, i);
+            heap_only.schedule(at, i);
+        }
+        assert_eq!(heap_only.stats().lane_schedules, 0);
+        assert!(two_tier.stats().lane_schedules > 0);
+        loop {
+            match (two_tier.pop(), heap_only.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
     }
 }

@@ -275,6 +275,30 @@ pub fn exp5_10s() -> ExperimentSpec {
     )
 }
 
+/// Extension: the million-scale closed network. A 10^8-object database and
+/// 10^6 terminals under infinite resources, swept over mpl 10^5–10^6 —
+/// conflict is negligible at this density, so the interesting observables
+/// are engineering ones (events/sec, peak memory, streaming latency
+/// quantiles) rather than the paper's curves. Run it with a
+/// [`ccsim_core::RunBudget`]; a full measured window at mpl 10^6 is not a
+/// CI-sized computation.
+#[must_use]
+pub fn exp_scale() -> ExperimentSpec {
+    ExperimentSpec {
+        id: "exp-scale",
+        title: "Extension: million-scale closed network (10^8 objects, 10^6 terminals)",
+        params: Params::exp_scale(),
+        series: Series::paper_trio(),
+        mpls: vec![100_000, 250_000, 500_000, 1_000_000],
+        restart_delay_for_all: false,
+        views: vec![view(
+            "Scale",
+            "Throughput at million-scale multiprogramming levels",
+            FigureKind::Throughput,
+        )],
+    }
+}
+
 /// Extension ablation: deadlock victim policies for the blocking algorithm.
 #[must_use]
 pub fn ablation_victim() -> ExperimentSpec {
@@ -381,6 +405,9 @@ pub fn ablation_tso() -> ExperimentSpec {
 }
 
 /// Every experiment, in the paper's order.
+///
+/// Deliberately excludes [`exp_scale`]: a million-terminal run does not
+/// belong in a `repro all` sweep. It is reachable by id only.
 #[must_use]
 pub fn all() -> Vec<ExperimentSpec> {
     vec![
@@ -401,9 +428,13 @@ pub fn all() -> Vec<ExperimentSpec> {
     ]
 }
 
-/// Look up an experiment by id.
+/// Look up an experiment by id. Covers the paper catalog plus the
+/// `exp-scale` extension, which [`all`] omits.
 #[must_use]
 pub fn by_id(id: &str) -> Option<ExperimentSpec> {
+    if id == "exp-scale" {
+        return Some(exp_scale());
+    }
     all().into_iter().find(|e| e.id == id)
 }
 
@@ -466,6 +497,21 @@ mod tests {
                 let cfg = e.config(s, e.mpls[0], ccsim_core::MetricsConfig::quick(), 1);
                 assert!(cfg.validate().is_ok(), "{} failed validation", e.id);
             }
+        }
+    }
+
+    #[test]
+    fn exp_scale_resolves_by_id_but_stays_out_of_all() {
+        let e = by_id("exp-scale").unwrap();
+        assert_eq!(e.id, "exp-scale");
+        assert_eq!(e.params.db_size, 100_000_000);
+        assert_eq!(e.params.num_terms, 1_000_000);
+        assert!(e.mpls.iter().all(|&m| m >= 100_000));
+        assert!(all().iter().all(|x| x.id != "exp-scale"));
+        // Its configs must still validate like any catalog entry.
+        for s in &e.series {
+            let cfg = e.config(s, e.mpls[0], ccsim_core::MetricsConfig::quick(), 1);
+            assert!(cfg.validate().is_ok(), "exp-scale failed validation");
         }
     }
 

@@ -15,20 +15,36 @@
 //!
 //! # Storage layout
 //!
-//! The paper's database is a fixed array of `db_size` objects, so the lock
-//! table is a dense `Vec<Entry>` indexed directly by [`ObjId`] — no hashing
-//! on the hot path, and entries are emptied in place rather than removed,
-//! so their `holders`/`queue` allocations are reused for the lifetime of
-//! the run. Per-transaction state (held objects, outstanding request) lives
-//! in a slot array indexed by `TxnId % nslots`; the engine derives
-//! transaction ids as `serial * num_terms + terminal`, so sizing the slot
-//! array to the terminal count makes the mapping collision-free. Standalone
-//! users get a default slot count that doubles transparently whenever two
-//! live transactions would collide.
+//! The table is *sparse*: it holds state only for objects that currently
+//! have a holder or a waiter, so memory scales with the number of locks in
+//! flight (at most `mpl × tran_size`), not with `db_size`. That is what
+//! makes `db_size = 10^8` runs practical — a dense `Vec<Entry>` indexed by
+//! [`ObjId`] would cost gigabytes while a run touches a vanishing fraction
+//! of the database. Concretely:
+//!
+//! * `entries` is a pool of [`Entry`] slots; `index` is an open-addressed
+//!   hash map (`ObjId → slot`, Fibonacci hashing, backward-shift deletion)
+//!   over that pool.
+//! * When a release or queue cancellation empties an entry (no holders, no
+//!   waiters), its slot is pushed onto a free list and the index entry is
+//!   removed; the next lock on *any* object pops the slot and reuses its
+//!   `holders`/`queue` allocations. Steady-state locking is therefore
+//!   allocation-free, exactly as the dense layout was.
+//! * Invariant: an indexed entry is never empty, and every pool slot is
+//!   either indexed or on the free list ([`LockManager::assert_consistent`]
+//!   checks both, plus exact `held_count` occupancy accounting — the
+//!   `peak_locks_in_table` statistic is unchanged by the sparse layout).
+//!
+//! Per-transaction state (held objects, outstanding request) lives in a
+//! slot array indexed by `TxnId % nslots`; the engine derives transaction
+//! ids as `serial * num_terms + terminal`, so sizing the slot array to the
+//! terminal count makes the mapping collision-free. Standalone users get a
+//! default slot count that doubles transparently whenever two live
+//! transactions would collide.
 
 use std::collections::VecDeque;
 
-use ccsim_workload::{ObjId, TxnId};
+use ccsim_workload::{ObjId, ObjMap, TxnId};
 
 use crate::graph::find_cycle_through;
 
@@ -139,12 +155,19 @@ impl TxnSlot {
 /// [`LockManager::new`]; grows on demand.
 const DEFAULT_TXN_SLOTS: usize = 64;
 
-/// The lock manager: dense lock table plus per-transaction slot array.
+/// The lock manager: sparse hashed lock table plus per-transaction slot
+/// array (see the module docs for the storage layout).
 #[derive(Debug)]
 pub struct LockManager {
-    /// Lock state per object, indexed by `ObjId`. Entries are emptied in
-    /// place, never removed, so `holders`/`queue` capacity is reused.
-    table: Vec<Entry>,
+    /// Pool of entry slots; live ones are reachable through `index`,
+    /// retired ones through `free`. Retired slots keep their
+    /// `holders`/`queue` allocations for reuse.
+    entries: Vec<Entry>,
+    /// Sparse `ObjId → entries` slot map: present iff the object currently
+    /// has at least one holder or waiter.
+    index: ObjMap<u32>,
+    /// Retired entry slots available for reuse (LIFO).
+    free: Vec<u32>,
     /// Per-transaction state, indexed by `TxnId % txns.len()`.
     txns: Vec<TxnSlot>,
     /// Total `(txn, obj)` holder pairs in the table (current occupancy).
@@ -175,15 +198,20 @@ impl LockManager {
     /// concurrently live transactions. When transaction ids are assigned as
     /// `serial * txn_slots + index` (the engine's terminal numbering), the
     /// slot mapping is collision-free and never reallocates.
+    ///
+    /// The table is sparse, so `db_size` is only a pre-sizing *hint* (capped
+    /// well below `10^8` — memory follows locks in flight, not objects).
     #[must_use]
     pub fn with_capacity(db_size: usize, txn_slots: usize) -> Self {
-        let mut table = Vec::new();
-        table.resize_with(db_size, Entry::default);
+        // Pre-size for modest small-regime runs; big runs grow on demand.
+        let hint = db_size.min(1024);
         let nslots = txn_slots.max(1);
         let mut txns = Vec::with_capacity(nslots);
         txns.resize_with(nslots, TxnSlot::new);
         LockManager {
-            table,
+            entries: Vec::with_capacity(hint),
+            index: ObjMap::with_capacity(hint),
+            free: Vec::new(),
             txns,
             held_count: 0,
             peak_held: 0,
@@ -193,17 +221,41 @@ impl LockManager {
         }
     }
 
-    /// Grow the object table to cover `obj` and return its index.
+    /// The entry slot for `obj`, creating one (recycled if possible) when
+    /// the object has no lock state yet.
     fn ensure_obj(&mut self, obj: ObjId) -> usize {
-        let i = usize::try_from(obj.0).expect("object id exceeds address space");
-        if i >= self.table.len() {
-            assert!(
-                i < 1 << 32,
-                "object id {obj} too large for dense lock table"
-            );
-            self.table.resize_with(i + 1, Entry::default);
+        if let Some(i) = self.index.get(obj) {
+            return i as usize;
         }
+        let i = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                let i = self.entries.len();
+                assert!(
+                    i <= u32::MAX as usize,
+                    "more than 2^32 concurrently locked objects"
+                );
+                self.entries.push(Entry::default());
+                i
+            }
+        };
+        self.index.insert(obj, i as u32);
         i
+    }
+
+    /// The live entry for `obj`, if it has any lock state.
+    #[inline]
+    fn entry_of(&self, obj: ObjId) -> Option<&Entry> {
+        self.index.get(obj).map(|i| &self.entries[i as usize])
+    }
+
+    /// Retire entry slot `i` (known empty) back to the free list so its
+    /// allocations are reused by the next locked object.
+    fn retire(&mut self, obj: ObjId, i: usize) {
+        debug_assert!(self.entries[i].holders.is_empty() && self.entries[i].queue.is_empty());
+        let removed = self.index.remove(obj);
+        debug_assert_eq!(removed, Some(i as u32));
+        self.free.push(i as u32);
     }
 
     /// The slot currently occupied by `tid`, if it is live.
@@ -288,7 +340,7 @@ impl LockManager {
             "{txn} already has an outstanding lock request"
         );
         let oi = self.ensure_obj(obj);
-        match self.table[oi].holder_mode(txn) {
+        match self.entries[oi].holder_mode(txn) {
             Some(LockMode::Write) => {
                 // Write covers both modes; re-request is a no-op.
                 self.grants += 1;
@@ -300,13 +352,13 @@ impl LockManager {
             }
             Some(LockMode::Read) => {
                 // Upgrade read -> write.
-                if self.table[oi].is_sole_holder(txn) {
-                    self.table[oi].holders[0].1 = LockMode::Write;
+                if self.entries[oi].is_sole_holder(txn) {
+                    self.entries[oi].holders[0].1 = LockMode::Write;
                     self.grants += 1;
                     RequestOutcome::Granted
                 } else if may_queue {
                     let si = self.claim_slot(txn);
-                    let entry = &mut self.table[oi];
+                    let entry = &mut self.entries[oi];
                     let pos = entry.queue.iter().take_while(|w| w.is_upgrade).count();
                     entry.queue.insert(
                         pos,
@@ -325,9 +377,9 @@ impl LockManager {
                 }
             }
             None => {
-                if self.table[oi].queue.is_empty() && self.table[oi].compatible_for(txn, mode) {
+                if self.entries[oi].queue.is_empty() && self.entries[oi].compatible_for(txn, mode) {
                     let si = self.claim_slot(txn);
-                    self.table[oi].holders.push((txn, mode));
+                    self.entries[oi].holders.push((txn, mode));
                     self.held_count += 1;
                     if self.held_count > self.peak_held {
                         self.peak_held = self.held_count;
@@ -337,7 +389,7 @@ impl LockManager {
                     RequestOutcome::Granted
                 } else if may_queue {
                     let si = self.claim_slot(txn);
-                    self.table[oi].queue.push_back(Waiter {
+                    self.entries[oi].queue.push_back(Waiter {
                         txn,
                         mode,
                         is_upgrade: false,
@@ -372,25 +424,38 @@ impl LockManager {
         };
         // Cancel an outstanding queued request.
         if let Some(obj) = self.txns[si].waiting.take() {
-            let entry = &mut self.table[obj.0 as usize];
+            let ei = self
+                .index
+                .get(obj)
+                .expect("waited-on object has lock state") as usize;
+            let entry = &mut self.entries[ei];
             entry.queue.retain(|w| w.txn != txn);
             // Removing a waiter can unblock those behind it (e.g. a
             // queued upgrade vanishing lets queued readers through).
             let from = grants.len();
             Self::drain_queue(entry, grants, &mut self.held_count);
+            let emptied = entry.holders.is_empty() && entry.queue.is_empty();
             Self::patch_grants(obj, grants, from);
+            if emptied {
+                self.retire(obj, ei);
+            }
         }
         // Release held locks, in acquisition order. The held list is moved
         // out and handed back so its allocation survives with the slot.
         let mut held = std::mem::take(&mut self.txns[si].held);
         for obj in held.drain(..) {
-            let entry = &mut self.table[obj.0 as usize];
+            let ei = self.index.get(obj).expect("held object has lock state") as usize;
+            let entry = &mut self.entries[ei];
             let before = entry.holders.len();
             entry.holders.retain(|(t, _)| *t != txn);
             self.held_count -= before - entry.holders.len();
             let from = grants.len();
             Self::drain_queue(entry, grants, &mut self.held_count);
+            let emptied = entry.holders.is_empty() && entry.queue.is_empty();
             Self::patch_grants(obj, grants, from);
+            if emptied {
+                self.retire(obj, ei);
+            }
         }
         self.txns[si].held = held;
         // Index the new grants (an upgrade grant's object is already in the
@@ -459,7 +524,7 @@ impl LockManager {
         let Some(obj) = self.waiting_on(txn) else {
             return;
         };
-        let Some(entry) = self.table.get(obj.0 as usize) else {
+        let Some(entry) = self.entry_of(obj) else {
             return;
         };
         let Some(me_pos) = entry.queue.iter().position(|w| w.txn == txn) else {
@@ -496,7 +561,7 @@ impl LockManager {
     /// Allocation-free form of [`LockManager::blockers`]: blockers are
     /// appended to `out` (existing contents are untouched).
     pub fn blockers_into(&self, txn: TxnId, obj: ObjId, mode: LockMode, out: &mut Vec<TxnId>) {
-        let Some(entry) = self.table.get(obj.0 as usize) else {
+        let Some(entry) = self.entry_of(obj) else {
             return;
         };
         match entry.holder_mode(txn) {
@@ -544,9 +609,7 @@ impl LockManager {
     /// The mode `txn` holds on `obj`, if any.
     #[must_use]
     pub fn holds(&self, txn: TxnId, obj: ObjId) -> Option<LockMode> {
-        self.table
-            .get(obj.0 as usize)
-            .and_then(|e| e.holder_mode(txn))
+        self.entry_of(obj).and_then(|e| e.holder_mode(txn))
     }
 
     /// The object `txn` is blocked on, if it is blocked.
@@ -580,18 +643,24 @@ impl LockManager {
         self.peak_held
     }
 
+    /// Entry slots ever allocated (live + free). Bounded by the peak number
+    /// of *concurrently* locked objects, not by `db_size` — the memory
+    /// story of the sparse table, surfaced for the scale benchmarks.
+    #[must_use]
+    pub fn entry_slots(&self) -> usize {
+        self.entries.len()
+    }
+
     /// All current holders of `obj` (test/diagnostic aid).
     #[must_use]
     pub fn holders_of(&self, obj: ObjId) -> &[(TxnId, LockMode)] {
-        self.table
-            .get(obj.0 as usize)
-            .map_or(&[], |e| e.holders.as_slice())
+        self.entry_of(obj).map_or(&[], |e| e.holders.as_slice())
     }
 
     /// Queue length on `obj`.
     #[must_use]
     pub fn queue_len(&self, obj: ObjId) -> usize {
-        self.table.get(obj.0 as usize).map_or(0, |e| e.queue.len())
+        self.entry_of(obj).map_or(0, |e| e.queue.len())
     }
 
     /// Lifetime counters: `(grants, blocks, denials)`.
@@ -605,11 +674,42 @@ impl LockManager {
     /// # Panics
     /// Panics if any transaction slot disagrees with the lock table, if
     /// multiple holders coexist with a writer, if a grantable queue head was
-    /// left waiting, or if the occupancy counter drifts.
+    /// left waiting, if the occupancy counter drifts, or if the sparse
+    /// table's slot accounting breaks (an indexed entry is empty, a slot is
+    /// both indexed and free, or a pool slot is neither).
     pub fn assert_consistent(&self) {
+        // Sparse-layout accounting: every pool slot is exactly one of
+        // indexed (and then non-empty) or free (and then empty).
+        let mut seen = vec![false; self.entries.len()];
+        for (obj, i) in self.index.iter() {
+            let entry = &self.entries[i as usize];
+            assert!(
+                !std::mem::replace(&mut seen[i as usize], true),
+                "entry slot {i} indexed twice"
+            );
+            assert!(
+                !entry.holders.is_empty() || !entry.queue.is_empty(),
+                "{obj}: indexed entry is empty (should be retired)"
+            );
+        }
+        for &i in &self.free {
+            let entry = &self.entries[i as usize];
+            assert!(
+                !std::mem::replace(&mut seen[i as usize], true),
+                "entry slot {i} free-listed twice or also indexed"
+            );
+            assert!(
+                entry.holders.is_empty() && entry.queue.is_empty(),
+                "free entry slot {i} still has lock state"
+            );
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "orphaned entry slot (neither indexed nor free)"
+        );
         let mut holder_pairs = 0usize;
-        for (i, entry) in self.table.iter().enumerate() {
-            let obj = ObjId(i as u64);
+        for (obj, ei) in self.index.iter() {
+            let entry = &self.entries[ei as usize];
             holder_pairs += entry.holders.len();
             let writers = entry
                 .holders
@@ -672,18 +772,16 @@ impl LockManager {
                 continue;
             }
             let txn = slot.tid;
-            for obj in &slot.held {
+            for &obj in &slot.held {
                 assert!(
-                    self.table
-                        .get(obj.0 as usize)
+                    self.entry_of(obj)
                         .is_some_and(|e| e.holder_mode(txn).is_some()),
                     "held index lists {txn} on {obj} but table disagrees"
                 );
             }
             if let Some(obj) = slot.waiting {
                 assert!(
-                    self.table
-                        .get(obj.0 as usize)
+                    self.entry_of(obj)
                         .is_some_and(|e| e.queue.iter().any(|w| w.txn == txn)),
                     "waiting index lists {txn} on {obj} but queue disagrees"
                 );
@@ -1110,6 +1208,69 @@ mod tests {
         let grants = lm.release_all(t(1));
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].txn, t(129));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn entry_slots_recycle_across_objects() {
+        // Locking n distinct objects sequentially must not grow the pool
+        // past the concurrency high-water mark: each release retires the
+        // entry and the next object reuses it.
+        let mut lm = LockManager::new();
+        for i in 0..1000u64 {
+            lm.request(t(1), o(i * 97), LockMode::Write);
+            lm.release_all(t(1));
+            lm.assert_consistent();
+        }
+        assert_eq!(lm.entry_slots(), 1, "pool grew despite sequential reuse");
+        assert_eq!(lm.peak_locks_in_table(), 1);
+        // Two objects at once needs two slots, no more.
+        lm.request(t(1), o(5), LockMode::Read);
+        lm.request(t(2), o(6), LockMode::Read);
+        assert_eq!(lm.entry_slots(), 2);
+        lm.release_all(t(1));
+        lm.release_all(t(2));
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn huge_object_ids_stay_sparse() {
+        // db_size = 10^8-style ids: memory must follow locks in flight.
+        let mut lm = LockManager::with_capacity(100_000_000, 8);
+        for i in 0..100u64 {
+            lm.request(t(i % 8), o(99_999_999 - i * 1_000_003), LockMode::Read);
+        }
+        assert_eq!(lm.locks_in_table(), 100);
+        assert_eq!(lm.entry_slots(), 100);
+        lm.assert_consistent();
+        for i in 0..8 {
+            lm.release_all(t(i));
+        }
+        assert_eq!(lm.locks_in_table(), 0);
+        lm.assert_consistent();
+    }
+
+    #[test]
+    fn canceling_sole_waiter_retires_entry() {
+        // A waiter queued behind a holder on one object, canceled after the
+        // holder already released a *different* object, must leave no empty
+        // indexed entry behind.
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(7), LockMode::Write);
+        lm.request(t(2), o(7), LockMode::Read); // queued
+        let grants = lm.release_all(t(1)); // t2 granted
+        assert_eq!(grants.len(), 1);
+        lm.release_all(t(2));
+        assert_eq!(lm.entry_slots(), 1);
+        lm.assert_consistent();
+        // Now: waiter is the only occupant (holder aborts first), then the
+        // waiter itself aborts — both paths must retire the entry.
+        lm.request(t(3), o(9), LockMode::Write);
+        lm.request(t(4), o(9), LockMode::Write); // queued
+        lm.release_all(t(4)); // cancel the queued request only
+        assert_eq!(lm.queue_len(o(9)), 0);
+        lm.release_all(t(3));
+        assert_eq!(lm.locks_in_table(), 0);
         lm.assert_consistent();
     }
 

@@ -17,7 +17,7 @@
 #![warn(clippy::all)]
 
 use ccsim_des::SimTime;
-use ccsim_workload::ObjId;
+use ccsim_workload::{ObjId, ObjMap};
 
 /// Why a validation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,17 +30,18 @@ pub struct Conflict {
 
 /// Backward-validation state: the last committed write time of each object.
 ///
-/// The paper's database is a fixed object array, so the stamp table is a
-/// dense `Vec<SimTime>` indexed by [`ObjId`] with `SimTime::ZERO` as the
-/// "never written" sentinel. The sentinel is sound because a conflict
-/// requires `committed_at > start` and no attempt starts before time zero —
-/// a (physically impossible) commit at exactly time zero would be
-/// unobservable either way.
+/// The stamp table is a sparse [`ObjMap`] holding an entry only for objects
+/// with a committed write on record, so memory follows write traffic (and
+/// shrinks again under [`Validator::prune_before`]) rather than `db_size` —
+/// at `db_size = 10^8` a dense stamp array would cost 800 MB up front. An
+/// absent entry means "never written", which is observably identical to the
+/// old dense layout's `SimTime::ZERO` sentinel: a conflict requires
+/// `committed_at > start`, and no attempt starts before time zero, so a
+/// (physically impossible) commit at exactly time zero is treated as
+/// erasing the stamp rather than setting an unobservable one.
 #[derive(Debug, Default)]
 pub struct Validator {
-    last_write: Vec<SimTime>,
-    /// Number of non-sentinel stamps in `last_write`.
-    tracked: usize,
+    last_write: ObjMap<SimTime>,
     validations: u64,
     failures: u64,
 }
@@ -52,12 +53,13 @@ impl Validator {
         Validator::default()
     }
 
-    /// An empty validator presized for `db_size` objects, so the stamp
-    /// table never reallocates during a run.
+    /// An empty validator presized for small-regime runs. The stamp table
+    /// is sparse, so `db_size` is only a pre-sizing hint (capped): big
+    /// databases start small and the table grows with write traffic.
     #[must_use]
     pub fn with_capacity(db_size: usize) -> Self {
         Validator {
-            last_write: vec![SimTime::ZERO; db_size],
+            last_write: ObjMap::with_capacity(db_size.min(1024)),
             ..Validator::default()
         }
     }
@@ -72,7 +74,7 @@ impl Validator {
     pub fn validate(&mut self, start: SimTime, readset: &[ObjId]) -> Result<(), Conflict> {
         self.validations += 1;
         for &obj in readset {
-            if let Some(&committed_at) = self.last_write.get(obj.0 as usize) {
+            if let Some(committed_at) = self.last_write.get(obj) {
                 if committed_at > start {
                     self.failures += 1;
                     return Err(Conflict { obj, committed_at });
@@ -87,15 +89,12 @@ impl Validator {
     /// (the critical section).
     pub fn commit(&mut self, now: SimTime, writeset: impl IntoIterator<Item = ObjId>) {
         for obj in writeset {
-            let i = usize::try_from(obj.0).expect("object id exceeds address space");
-            if i >= self.last_write.len() {
-                self.last_write.resize(i + 1, SimTime::ZERO);
+            if now == SimTime::ZERO {
+                // Equivalent to the dense layout's "never written" sentinel.
+                self.last_write.remove(obj);
+            } else {
+                self.last_write.insert(obj, now);
             }
-            let slot = &mut self.last_write[i];
-            if *slot == SimTime::ZERO && now != SimTime::ZERO {
-                self.tracked += 1;
-            }
-            *slot = now;
         }
     }
 
@@ -119,10 +118,7 @@ impl Validator {
     /// committed a write to it.
     #[must_use]
     pub fn last_write(&self, obj: ObjId) -> Option<SimTime> {
-        self.last_write
-            .get(obj.0 as usize)
-            .copied()
-            .filter(|&t| t != SimTime::ZERO)
+        self.last_write.get(obj)
     }
 
     /// Drop write stamps at or before `horizon`. Any attempt that started at
@@ -130,21 +126,15 @@ impl Validator {
     /// attempt predates `horizon` the entries are dead weight. Returns how
     /// many stamps were pruned.
     pub fn prune_before(&mut self, horizon: SimTime) -> usize {
-        let mut pruned = 0;
-        for t in &mut self.last_write {
-            if *t != SimTime::ZERO && *t <= horizon {
-                *t = SimTime::ZERO;
-                pruned += 1;
-            }
-        }
-        self.tracked -= pruned;
-        pruned
+        let before = self.last_write.len();
+        self.last_write.retain(|_, t| t > horizon);
+        before - self.last_write.len()
     }
 
     /// Number of objects with a recorded committed write.
     #[must_use]
     pub fn tracked_objects(&self) -> usize {
-        self.tracked
+        self.last_write.len()
     }
 
     /// Lifetime counters: `(validations, failures)`.

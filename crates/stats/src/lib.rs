@@ -14,6 +14,7 @@
 //!   *actual* multiprogramming level the paper discusses in §4.3);
 //! * [`RunningAvg`] / [`Ewma`] — the adaptive restart-delay estimators;
 //! * [`LogHistogram`] — log-bucketed latency histogram with quantiles;
+//! * [`P2Quantile`] — O(1)-memory streaming quantiles for the scale regime;
 //! * [`Replications`] / [`paired_t`] — independent-replication intervals and
 //!   paired comparisons under common random numbers.
 
@@ -22,6 +23,7 @@
 
 mod batch;
 mod histogram;
+mod p2;
 mod replication;
 mod running;
 mod timeweighted;
@@ -30,6 +32,7 @@ mod welford;
 
 pub use batch::{BatchMeans, Confidence, Estimate};
 pub use histogram::LogHistogram;
+pub use p2::P2Quantile;
 pub use replication::{paired_t, PairedT, Replications};
 pub use running::{Ewma, RunningAvg};
 pub use timeweighted::TimeWeighted;

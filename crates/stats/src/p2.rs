@@ -1,0 +1,312 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac's algorithm estimates a single quantile in O(1) memory
+//! by maintaining five markers: the minimum, the maximum, the target
+//! quantile, and the two midpoints on either side of it. Marker heights are
+//! nudged toward their ideal positions with a parabolic (falling back to
+//! linear) interpolation as observations stream in.
+//!
+//! In this workspace it backs the million-transaction `exp-scale` regime,
+//! where buffering per-transaction response times for an exact end-of-run
+//! quantile would cost memory proportional to the committed-transaction
+//! count. For the paper-regime reports the [`crate::LogHistogram`] remains
+//! the serialized source of truth; P² is the O(1) cross-check and the
+//! scale-regime observable.
+
+/// Streaming estimator of one quantile `q` in O(1) memory (the P²
+/// algorithm of Jain & Chlamtac, CACM 1985).
+///
+/// ```
+/// use ccsim_stats::P2Quantile;
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 1..=10_000 {
+///     p95.add(f64::from(i));
+/// }
+/// let est = p95.quantile();
+/// assert!((est - 9_500.0).abs() < 100.0, "estimate {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// Target quantile in `(0, 1)`.
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions, 1-based observation ranks.
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A new estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile this estimator tracks.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if self.count < 5 {
+            // Bootstrap: collect the first five observations sorted.
+            let n = self.count as usize;
+            self.heights[n] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k containing x and update the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+
+        // Shift positions of markers above the cell; advance desired ones.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i];
+            let step_dn = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && step_up > 1.0) || (d <= -1.0 && step_dn < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction is non-monotone.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate.
+    ///
+    /// With fewer than five observations this is the exact sample quantile
+    /// (nearest-rank on the sorted prefix); 0 if empty.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        let n = self.count as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        if n < 5 {
+            let mut prefix: Vec<f64> = self.heights[..n].to_vec();
+            prefix.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+            return prefix[rank - 1];
+        }
+        self.heights[2]
+    }
+
+    /// Reset to the empty state, keeping the target quantile.
+    pub fn reset(&mut self) {
+        *self = P2Quantile::new(self.q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile of a buffered sample, the reference the
+    /// streaming estimate is judged against.
+    fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+        let mut s = xs.to_vec();
+        s.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    #[test]
+    fn empty_and_tiny_prefixes_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.quantile(), 0.0);
+        p.add(7.0);
+        assert_eq!(p.quantile(), 7.0);
+        p.add(3.0);
+        p.add(11.0);
+        // Exact median of {3, 7, 11}.
+        assert_eq!(p.quantile(), 7.0);
+    }
+
+    #[test]
+    fn median_of_uniform_ramp() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            p.add(f64::from(i));
+        }
+        assert!((p.quantile() - 5_000.0).abs() < 50.0, "{}", p.quantile());
+    }
+
+    #[test]
+    fn paper_example_sequence() {
+        // The worked example from Jain & Chlamtac's paper (20 observations,
+        // median): the published final marker heights give q ≈ 0.74.
+        let obs = [
+            0.02, 0.15, 0.74, 3.39, 0.83, 22.37, 10.15, 15.43, 38.62, 15.92, 34.60, 10.28, 1.47,
+            0.40, 0.05, 11.39, 0.27, 0.42, 0.09, 11.37,
+        ];
+        let mut p = P2Quantile::new(0.5);
+        for x in obs {
+            p.add(x);
+        }
+        // The paper's Table 1 ends with the middle marker at height 4.44
+        // (P² is deliberately approximate on small skewed samples; it
+        // converges on long streams, which the property tests verify).
+        assert!(
+            (p.quantile() - 4.44).abs() < 0.01,
+            "estimate {} vs published 4.44",
+            p.quantile()
+        );
+    }
+
+    #[test]
+    fn constant_sequence_is_exact() {
+        // Degenerate distribution: every marker collapses onto the constant,
+        // so the estimate must be exact for any quantile.
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            let mut p = P2Quantile::new(q);
+            for _ in 0..10_000 {
+                p.add(42.5);
+            }
+            assert_eq!(p.quantile(), 42.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn bimodal_sequence_tracks_the_populated_mode() {
+        // Two far-apart modes (1.0 and 1001.0), 30/70 split, interleaved
+        // deterministically. The median sits in the heavy mode; p10 in the
+        // light one. The estimate must land in (or very near) the right
+        // mode — the classic P² failure mode is drifting into the gap.
+        let xs: Vec<f64> = (0..20_000)
+            .map(|i| if i % 10 < 3 { 1.0 } else { 1_001.0 })
+            .collect();
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p10 = P2Quantile::new(0.1);
+        for &x in &xs {
+            p50.add(x);
+            p10.add(x);
+        }
+        let exact50 = exact_quantile(&xs, 0.5);
+        let exact10 = exact_quantile(&xs, 0.1);
+        assert_eq!(exact50, 1_001.0);
+        assert_eq!(exact10, 1.0);
+        assert!(
+            (p50.quantile() - exact50).abs() < 100.0,
+            "p50 {} drifted into the gap",
+            p50.quantile()
+        );
+        assert!(
+            (p10.quantile() - exact10).abs() < 100.0,
+            "p10 {} drifted into the gap",
+            p10.quantile()
+        );
+    }
+
+    #[test]
+    fn monotone_ramps_stay_tight() {
+        // Ascending and descending ramps: quantiles of 1..=n are exactly
+        // q*n, and order must not matter much to the estimate.
+        let n = 50_000;
+        for q in [0.5, 0.95, 0.99] {
+            let mut asc = P2Quantile::new(q);
+            let mut desc = P2Quantile::new(q);
+            for i in 1..=n {
+                asc.add(f64::from(i));
+                desc.add(f64::from(n - i + 1));
+            }
+            let exact = q * f64::from(n);
+            for (label, est) in [("asc", asc.quantile()), ("desc", desc.quantile())] {
+                let rel = (est - exact).abs() / exact;
+                assert!(rel < 0.02, "q={q} {label}: {est} vs {exact} (rel {rel})");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_empty_state() {
+        let mut p = P2Quantile::new(0.9);
+        for i in 0..100 {
+            p.add(f64::from(i));
+        }
+        p.reset();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.quantile(), 0.0);
+        assert_eq!(p.q(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -3,12 +3,45 @@
 
 use ccsim_des::{SimDuration, SimTime};
 use ccsim_stats::{
-    paired_t, BatchMeans, Confidence, LogHistogram, Replications, TimeWeighted, Welford,
+    paired_t, BatchMeans, Confidence, LogHistogram, P2Quantile, Replications, TimeWeighted, Welford,
 };
 use proptest::prelude::*;
 
 fn finite_values() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)
+}
+
+/// Adversarial streaming-stats inputs: constant runs, far-apart bimodal
+/// mixes, and monotone ramps (both directions) — the sequences that break
+/// naive one-pass estimators.
+fn adversarial_values() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        // Constant.
+        (-1.0e3f64..1.0e3, 5usize..400).prop_map(|(c, n)| vec![c; n]),
+        // Bimodal: two centers, deterministic interleave by modulus.
+        (0.0f64..10.0, 1.0e3f64..1.0e6, 2usize..10, 10usize..400).prop_map(
+            |(lo, hi, period, n)| (0..n)
+                .map(|i| if i % period == 0 { lo } else { hi })
+                .collect()
+        ),
+        // Monotone ramps.
+        (1usize..400, any::<bool>()).prop_map(|(n, up)| {
+            let ramp: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            if up {
+                ramp
+            } else {
+                ramp.into_iter().rev().collect()
+            }
+        }),
+    ]
+}
+
+/// Exact nearest-rank quantile of a buffered sample.
+fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
 }
 
 proptest! {
@@ -152,6 +185,88 @@ proptest! {
             prop_assert!(q <= hi * 1.06, "q {q} above max {hi}");
             last = q;
         }
+    }
+
+    /// Welford stays exact (to float tolerance) against the two-pass
+    /// reference on the adversarial sequences too — constants, bimodal
+    /// mixes, and ramps must not degrade mean or variance.
+    #[test]
+    fn welford_survives_adversarial_sequences(xs in adversarial_values()) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!(
+                (w.sample_variance() - var).abs() <= 1e-5 * (1.0 + var.abs()),
+                "welford {} vs reference {} on adversarial input",
+                w.sample_variance(),
+                var
+            );
+        }
+    }
+
+    /// P² estimates are always bracketed by the observed extrema, and the
+    /// exact sample quantile of the same buffered data falls inside the
+    /// estimator's neighboring-marker bracket... on any input whatsoever.
+    #[test]
+    fn p2_stays_within_observed_range(
+        xs in prop_oneof![finite_values(), adversarial_values()],
+        qi in 1usize..20,
+    ) {
+        let q = qi as f64 / 20.0;
+        let mut p = P2Quantile::new(q);
+        for &x in &xs {
+            p.add(x);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let est = p.quantile();
+        prop_assert!(est >= lo && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+        prop_assert_eq!(p.count(), xs.len() as u64);
+    }
+
+    /// On constant sequences the P² estimate is *exactly* the constant.
+    #[test]
+    fn p2_exact_on_constants(c in -1.0e6f64..1.0e6, n in 1usize..500, qi in 1usize..20) {
+        let mut p = P2Quantile::new(qi as f64 / 20.0);
+        for _ in 0..n {
+            p.add(c);
+        }
+        prop_assert_eq!(p.quantile(), c);
+    }
+
+    /// On well-populated samples the P² estimate's *rank* within the
+    /// buffered data is close to the target quantile — a distribution-free
+    /// accuracy bound that holds even when values cluster.
+    #[test]
+    fn p2_rank_tracks_target_quantile(
+        xs in proptest::collection::vec(0.0f64..1000.0, 200..600),
+        qi in 1usize..10,
+    ) {
+        let q = qi as f64 / 10.0;
+        let mut p = P2Quantile::new(q);
+        for &x in &xs {
+            p.add(x);
+        }
+        let est = p.quantile();
+        let n = xs.len() as f64;
+        let rank = xs.iter().filter(|&&x| x <= est).count() as f64 / n;
+        prop_assert!(
+            (rank - q).abs() <= 0.15,
+            "estimate {est} sits at rank {rank}, target {q}"
+        );
+        // And against the exact buffered quantile, the value error is
+        // bounded by a modest fraction of the observed spread.
+        let exact = exact_quantile(&xs, q);
+        prop_assert!(
+            (est - exact).abs() <= 0.2 * 1000.0,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     /// The time-weighted average of a step signal equals the Riemann sum.

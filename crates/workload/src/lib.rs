@@ -12,12 +12,14 @@
 
 mod classes;
 mod gen;
+mod objmap;
 mod params;
 mod spec;
 mod types;
 
 pub use classes::{class_table, TxnClass};
 pub use gen::Generator;
+pub use objmap::ObjMap;
 pub use params::{AccessPattern, ParamError, Params, ResourceSpec, RestartDelayPolicy};
 pub use spec::TxnSpec;
 pub use types::{ObjId, TermId, TxnId};

@@ -174,6 +174,25 @@ impl Params {
         }
     }
 
+    /// The million-scale closed network: a 10^8-object database and 10^6
+    /// terminals under infinite resources. The paper's per-object costs and
+    /// think times are kept, so per-transaction behaviour matches the
+    /// baseline; only the population and database are six/five orders of
+    /// magnitude larger. Conflict is negligible at this density — the
+    /// regime exists to exercise the engine's sparse lock table, arena
+    /// transaction state, and streaming statistics at full scale, with
+    /// `mpl` (typically 10^5–10^6) swept by the `exp-scale` experiment.
+    #[must_use]
+    pub fn exp_scale() -> Params {
+        Params {
+            db_size: 100_000_000,
+            num_terms: 1_000_000,
+            mpl: 100_000,
+            resources: ResourceSpec::Infinite,
+            ..Params::paper_baseline()
+        }
+    }
+
     /// The multiprogramming levels swept in every experiment.
     pub const PAPER_MPLS: [u32; 7] = [5, 10, 25, 50, 75, 100, 200];
 

@@ -2,7 +2,10 @@
 //! seeds must replay bit-for-bit through the whole stack, including the
 //! experiment harness and its JSON serialization.
 
-use ccsim_core::{run, run_with_trace, CcAlgorithm, Confidence, MetricsConfig, Params, SimConfig};
+use ccsim_core::{
+    run, run_collecting, run_with_trace, CcAlgorithm, Confidence, MetricsConfig, Params, RunBudget,
+    SimConfig,
+};
 use ccsim_des::SimDuration;
 use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RunOptions};
 
@@ -96,6 +99,72 @@ fn uncontended_elision_does_not_perturb_the_run() {
         assert!(!trace.is_empty());
         assert_eq!(on, traced, "{algo}: elision + trace ring diverged");
     }
+}
+
+#[test]
+fn scale_point_is_deterministic_under_observation_and_calendar_choice() {
+    // A budgeted slice of the `exp-scale` regime (10^8 objects, sparse
+    // lock table, arena txn state, streaming quantiles), scaled down to
+    // tens of thousands of in-flight transactions so the test stays
+    // quick. Three pure observer/representation switches must leave the
+    // salvaged window byte-identical: attaching the trace ring, eliding
+    // uncontended resource hops, and the two-tier calendar itself.
+    let mk = || {
+        let mut params = Params::exp_scale();
+        params.num_terms = 50_000;
+        params.mpl = 5_000;
+        SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(params)
+            .with_metrics(MetricsConfig {
+                warmup_batches: 0,
+                batches: 400,
+                batch_time: SimDuration::from_millis(250),
+                confidence: Confidence::Ninety,
+            })
+            .with_seed(0x5CA1E_D)
+            .with_budget(RunBudget::unlimited().with_max_events(300_000))
+    };
+    let base = run_collecting(mk()).unwrap();
+    assert!(
+        base.stopped.is_some(),
+        "the point should stop on its event budget"
+    );
+    assert!(base.report.commits > 0, "salvaged window has no commits");
+
+    let mut traced_cfg = mk();
+    traced_cfg.trace_capacity = 4096;
+    let traced = run_collecting(traced_cfg).unwrap();
+    assert_eq!(
+        base.report, traced.report,
+        "attaching the trace ring changed the scale run"
+    );
+    assert_eq!(base.quantiles, traced.quantiles);
+
+    let unelided = run_collecting(mk().with_elision(false)).unwrap();
+    assert_eq!(
+        base.report, unelided.report,
+        "elision changed the scale run"
+    );
+    assert_eq!(base.quantiles, unelided.quantiles);
+
+    let heap_only = run_collecting(mk().with_two_tier_calendar(false)).unwrap();
+    assert_eq!(
+        base.report, heap_only.report,
+        "the two-tier calendar changed the scale run"
+    );
+    assert_eq!(base.quantiles, heap_only.quantiles);
+    assert_eq!(
+        base.perf.events, heap_only.perf.events,
+        "calendar tiers disagreed on the event count"
+    );
+    assert_eq!(
+        heap_only.perf.calendar.lane_schedules, 0,
+        "heap-only run still used the near lane"
+    );
+    assert!(
+        base.perf.calendar.lane_schedules > 0,
+        "two-tier run never used the near lane"
+    );
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Budgeted smoke of the million-scale regime (`exp-scale`): the run must
+//! stop on its event budget with a salvaged window, audit clean, and — on
+//! Linux, when `BENCH_6.json` carries an archived ceiling — keep peak RSS
+//! under it. The test lives in its own integration binary so the process
+//! high-water mark (`VmHWM`) is attributable to this regime alone.
+//!
+//! The point is profile-scaled: release builds (the CI `scale-smoke` job
+//! runs `cargo test --release --test scale_smoke`) exercise the full
+//! 10^6-terminal, mpl-10^5 shape; debug builds shrink terminals and the
+//! budget so tier-1 `cargo test -q` stays fast while walking the same
+//! sparse-lock-table / arena / streaming-quantile code paths.
+
+use ccsim_audit::attach;
+use ccsim_core::{
+    BudgetKind, CcAlgorithm, Confidence, MetricsConfig, Params, RunBudget, RunError, SimConfig,
+    Simulator,
+};
+use ccsim_des::SimDuration;
+
+/// The `exp-scale` regime, profile-scaled as described in the module doc.
+fn scale_cfg() -> SimConfig {
+    let mut params = Params::exp_scale();
+    let max_events = if cfg!(debug_assertions) {
+        params.num_terms = 100_000;
+        params.mpl = 10_000;
+        200_000
+    } else {
+        2_000_000
+    };
+    // Budget, not horizon, ends the run: no warmup and short batches so
+    // the salvaged window carries batch counts and streaming quantiles
+    // from the first commit (same shape the throughput bench uses).
+    let metrics = MetricsConfig {
+        warmup_batches: 0,
+        batches: 400,
+        batch_time: SimDuration::from_millis(250),
+        confidence: Confidence::Ninety,
+    };
+    SimConfig::new(CcAlgorithm::Blocking)
+        .with_params(params)
+        .with_metrics(metrics)
+        .with_seed(0x5CA1E)
+        .with_budget(RunBudget::unlimited().with_max_events(max_events))
+}
+
+/// Peak resident set (`VmHWM`) of this test process, Linux only.
+fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        return Some(kb * 1024);
+    }
+    #[allow(unreachable_code)]
+    None
+}
+
+/// The archived RSS ceiling from the tracked benchmark file, if present.
+fn archived_rss_ceiling() -> Option<u64> {
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_6.json")).ok()?;
+    // One numeric field; a full JSON parse would drag a dependency into
+    // the root test just for this.
+    let key = "\"rss_ceiling_bytes\":";
+    let at = text.find(key)? + key.len();
+    let digits: String = text[at..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn budgeted_scale_point_audits_clean_and_stays_under_the_rss_ceiling() {
+    let cfg = scale_cfg();
+    let budget_events = cfg.budget.max_events.expect("budget caps events");
+    let mut sim = Simulator::new(cfg).expect("exp-scale config is valid");
+    let handle = attach(&mut sim);
+    let out = sim.run_collecting();
+
+    // Bounded completion: the event ceiling — not an error, not the
+    // horizon — ended the run, and the partial window was salvaged.
+    match &out.stopped {
+        Some(RunError::BudgetExhausted { exceeded, .. }) => {
+            assert_eq!(
+                *exceeded,
+                BudgetKind::Events,
+                "stopped on the wrong ceiling"
+            );
+        }
+        other => panic!("expected an event-budget stop, got {other:?}"),
+    }
+    assert!(out.perf.events >= budget_events);
+    assert!(out.report.commits > 0, "salvaged window has no commits");
+    assert!(
+        out.quantiles.count > 0,
+        "streaming quantiles saw no commits"
+    );
+    assert!(
+        out.quantiles.p50 <= out.quantiles.p95 && out.quantiles.p95 <= out.quantiles.p99,
+        "quantiles out of order: {:?}",
+        out.quantiles
+    );
+
+    // The auditor saw the whole run — including the budget-stop finish —
+    // and found every invariant intact.
+    let audit = handle.report();
+    assert!(audit.run_ended, "auditor missed the end of the run");
+    assert!(audit.is_clean(), "invariants violated:\n{}", audit.render());
+
+    // Memory ceiling: only binding where VmHWM is measurable and an
+    // archived ceiling exists (the ceiling was measured at the *full*
+    // 10-million-event point, so the budgeted smoke sits well under it).
+    match (peak_rss_bytes(), archived_rss_ceiling()) {
+        (Some(rss), Some(ceiling)) => {
+            assert!(
+                rss <= ceiling,
+                "peak RSS {:.0} MiB exceeds the archived ceiling {:.0} MiB",
+                rss as f64 / (1024.0 * 1024.0),
+                ceiling as f64 / (1024.0 * 1024.0)
+            );
+        }
+        (rss, ceiling) => {
+            eprintln!("skipping RSS ceiling check (measured {rss:?}, archived {ceiling:?})");
+        }
+    }
+}
