@@ -135,6 +135,9 @@ enum Expect {
     /// A `Restart` for this transaction (after `Deadlock`,
     /// `ValidationFailure` or `TsRejected`).
     Restart(TxnId),
+    /// A `VersionInstalled` for this transaction (after `Commit` under
+    /// multiversion CC: every MVCC commit must account for its versions).
+    Install(TxnId),
 }
 
 impl Expect {
@@ -142,6 +145,7 @@ impl Expect {
         match (self, event) {
             (Expect::Release(t), TraceEvent::LocksReleased(u, _)) => t == *u,
             (Expect::Restart(t), TraceEvent::Restart(u)) => t == *u,
+            (Expect::Install(t), TraceEvent::VersionInstalled(u, _)) => t == *u,
             _ => false,
         }
     }
@@ -150,6 +154,7 @@ impl Expect {
         match self {
             Expect::Release(t) => format!("LocksReleased for {t}"),
             Expect::Restart(t) => format!("Restart for {t}"),
+            Expect::Install(t) => format!("VersionInstalled for {t}"),
         }
     }
 }
@@ -343,8 +348,16 @@ impl Auditor {
             // Static locking cannot deadlock and never has a lock denied;
             // the unsafe no-CC baseline never conflicts at all.
             TraceEvent::Restart(_) => !matches!(algo, A::StaticLocking | A::NoCc),
-            TraceEvent::ValidationFailure(..) => algo == A::Optimistic,
+            // Every certification-at-commit protocol can fail validation;
+            // snapshot isolation's first-committer-wins check, Silo's
+            // read-set re-check, and TicToc's superseded-version check all
+            // announce their aborts this way.
+            TraceEvent::ValidationFailure(..) => {
+                matches!(algo, A::Optimistic | A::MvccSi | A::SiloOcc | A::TicToc)
+            }
             TraceEvent::TsRejected(..) => algo == A::BasicTO,
+            // Only multiversion CC installs versions.
+            TraceEvent::VersionInstalled(..) => algo == A::MvccSi,
         };
         (!ok).then(|| format!("event `{event}` is illegal under {algo}"))
     }
@@ -492,8 +505,41 @@ impl Auditor {
                         s.phase = Phase::Committed;
                     }
                     self.expect = Some(Expect::Release(t));
+                } else if self.algo == CcAlgorithm::MvccSi {
+                    // The slot clears at the obligated VersionInstalled.
+                    if let Some(s) = self.slot_mut(t) {
+                        s.phase = Phase::Committed;
+                    }
+                    self.expect = Some(Expect::Install(t));
                 } else {
                     let term = self.term_of(t);
+                    self.slots[term] = None;
+                }
+            }
+            TraceEvent::VersionInstalled(t, _) => {
+                // Adjacency is enforced by the expectation mechanism; an
+                // out-of-the-blue installation is caught here.
+                let expected = self
+                    .recent
+                    .iter()
+                    .rev()
+                    .nth(1)
+                    .is_some_and(|(_, prev)| matches!(*prev, TraceEvent::Commit(u) if u == t));
+                if !expected {
+                    self.violate(
+                        at,
+                        Some(t),
+                        "VersionInstalled without an immediately preceding Commit".into(),
+                    );
+                }
+                if let Err(m) = self.check_phase(t, &[Phase::Committed]) {
+                    self.violate(at, Some(t), m);
+                }
+                let term = self.term_of(t);
+                if self.slots[term]
+                    .as_ref()
+                    .is_some_and(|s| s.id == t && s.phase == Phase::Committed)
+                {
                     self.slots[term] = None;
                 }
             }
@@ -871,6 +917,69 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.message.contains("spontaneous restart")));
+    }
+
+    #[test]
+    fn mvcc_commit_lifecycle_is_clean_and_installation_is_obligatory() {
+        let mut a = Auditor::new(&cfg(CcAlgorithm::MvccSi));
+        feed(&mut a, 1, TraceEvent::Arrive(t(1)));
+        feed(&mut a, 1, TraceEvent::Admit(t(1)));
+        feed(&mut a, 2, TraceEvent::Commit(t(1)));
+        feed(&mut a, 2, TraceEvent::VersionInstalled(t(1), 2));
+        assert!(a.report().is_clean(), "{}", a.report().render());
+
+        // A commit whose installation never arrives breaks the obligation.
+        let mut b = Auditor::new(&cfg(CcAlgorithm::MvccSi));
+        feed(&mut b, 1, TraceEvent::Arrive(t(1)));
+        feed(&mut b, 1, TraceEvent::Admit(t(1)));
+        feed(&mut b, 2, TraceEvent::Commit(t(1)));
+        feed(&mut b, 3, TraceEvent::Arrive(t(11)));
+        assert!(b
+            .report()
+            .violations
+            .iter()
+            .any(|v| v.message.contains("expected VersionInstalled")));
+    }
+
+    #[test]
+    fn version_installed_outside_mvcc_is_illegal() {
+        let mut a = Auditor::new(&cfg(CcAlgorithm::SiloOcc));
+        feed(&mut a, 1, TraceEvent::Arrive(t(1)));
+        feed(&mut a, 1, TraceEvent::Admit(t(1)));
+        feed(&mut a, 2, TraceEvent::Commit(t(1)));
+        feed(&mut a, 2, TraceEvent::VersionInstalled(t(1), 1));
+        assert!(a
+            .report()
+            .violations
+            .iter()
+            .any(|v| v.message.contains("illegal under silo-occ")));
+    }
+
+    #[test]
+    fn validation_failure_is_legal_for_the_modern_trio() {
+        for algo in CcAlgorithm::MODERN_TRIO {
+            let mut a = Auditor::new(&cfg(algo));
+            feed(&mut a, 1, TraceEvent::Arrive(t(1)));
+            feed(&mut a, 1, TraceEvent::Admit(t(1)));
+            feed(&mut a, 2, TraceEvent::ValidationFailure(t(1), o(3)));
+            feed(&mut a, 2, TraceEvent::Restart(t(1)));
+            assert!(a.report().is_clean(), "{algo}: {}", a.report().render());
+        }
+    }
+
+    #[test]
+    fn blocking_events_are_illegal_for_the_modern_trio() {
+        for algo in CcAlgorithm::MODERN_TRIO {
+            let mut a = Auditor::new(&cfg(algo));
+            feed(&mut a, 1, TraceEvent::Arrive(t(1)));
+            feed(&mut a, 1, TraceEvent::Admit(t(1)));
+            feed(&mut a, 2, TraceEvent::Block(t(1), o(7)));
+            assert!(a
+                .report()
+                .violations
+                .iter()
+                .any(|v| v.message.contains("illegal under")));
+        }
     }
 
     #[test]

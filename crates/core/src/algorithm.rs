@@ -49,6 +49,24 @@ pub enum CcAlgorithm {
     /// and exists purely as the data-contention-free upper bound on
     /// throughput.
     NoCc,
+    /// Modern extension: multiversion concurrency control under snapshot
+    /// isolation (Larson et al. style) — every read sees the database as of
+    /// the attempt's start, writers never block readers, and the commit
+    /// point enforces first-committer-wins on the write set. Admits the
+    /// classic SI anomalies (write skew), which the history oracle detects
+    /// and counts rather than hides.
+    MvccSi,
+    /// Modern extension: Silo-style epoch-based optimistic concurrency
+    /// control — reads record a per-object TID word, validation at the
+    /// commit point checks every recorded word is unchanged, and committed
+    /// transactions take epoch-batched transaction ids (serializable).
+    SiloOcc,
+    /// Modern extension: TicToc-style timestamp recomputation — each access
+    /// carries a read/write timestamp interval and the commit point *derives*
+    /// a commit timestamp inside every interval instead of rejecting on
+    /// physical-time order, aborting only when no such timestamp exists
+    /// (serializable).
+    TicToc,
 }
 
 impl CcAlgorithm {
@@ -61,7 +79,7 @@ impl CcAlgorithm {
 
     /// All *safe* algorithms (everything but the deliberately unsafe
     /// [`CcAlgorithm::NoCc`] baseline).
-    pub const ALL: [CcAlgorithm; 8] = [
+    pub const ALL: [CcAlgorithm; 11] = [
         CcAlgorithm::Blocking,
         CcAlgorithm::ImmediateRestart,
         CcAlgorithm::Optimistic,
@@ -70,6 +88,17 @@ impl CcAlgorithm {
         CcAlgorithm::NoWaiting,
         CcAlgorithm::StaticLocking,
         CcAlgorithm::BasicTO,
+        CcAlgorithm::MvccSi,
+        CcAlgorithm::SiloOcc,
+        CcAlgorithm::TicToc,
+    ];
+
+    /// The three modern in-memory protocols (the 2020s sequel series to the
+    /// paper trio), in plotting order.
+    pub const MODERN_TRIO: [CcAlgorithm; 3] = [
+        CcAlgorithm::MvccSi,
+        CcAlgorithm::SiloOcc,
+        CcAlgorithm::TicToc,
     ];
 
     /// Does the algorithm use the lock manager? (Timestamp ordering has
@@ -78,7 +107,12 @@ impl CcAlgorithm {
     pub fn uses_locks(self) -> bool {
         !matches!(
             self,
-            CcAlgorithm::Optimistic | CcAlgorithm::NoCc | CcAlgorithm::BasicTO
+            CcAlgorithm::Optimistic
+                | CcAlgorithm::NoCc
+                | CcAlgorithm::BasicTO
+                | CcAlgorithm::MvccSi
+                | CcAlgorithm::SiloOcc
+                | CcAlgorithm::TicToc
         )
     }
 
@@ -87,7 +121,11 @@ impl CcAlgorithm {
     pub fn program_shape(self) -> crate::txn::ProgramShape {
         use crate::txn::ProgramShape;
         match self {
-            CcAlgorithm::Optimistic | CcAlgorithm::NoCc => ProgramShape::LockFree,
+            CcAlgorithm::Optimistic
+            | CcAlgorithm::NoCc
+            | CcAlgorithm::MvccSi
+            | CcAlgorithm::SiloOcc
+            | CcAlgorithm::TicToc => ProgramShape::LockFree,
             CcAlgorithm::StaticLocking => ProgramShape::Static2pl,
             _ => ProgramShape::Dynamic2pl,
         }
@@ -116,6 +154,9 @@ impl CcAlgorithm {
             CcAlgorithm::StaticLocking => "static-locking",
             CcAlgorithm::BasicTO => "basic-to",
             CcAlgorithm::NoCc => "no-cc",
+            CcAlgorithm::MvccSi => "mvcc-si",
+            CcAlgorithm::SiloOcc => "silo-occ",
+            CcAlgorithm::TicToc => "tictoc",
         }
     }
 }
@@ -185,6 +226,11 @@ mod tests {
             CcAlgorithm::BasicTO.program_shape(),
             crate::txn::ProgramShape::Dynamic2pl
         );
+        for a in CcAlgorithm::MODERN_TRIO {
+            assert!(!a.uses_locks(), "{a} must not use the lock manager");
+            assert!(!a.uses_restart_delay());
+            assert_eq!(a.program_shape(), crate::txn::ProgramShape::LockFree);
+        }
     }
 
     #[test]
@@ -208,5 +254,16 @@ mod tests {
         for a in CcAlgorithm::PAPER_TRIO {
             assert!(CcAlgorithm::ALL.contains(&a));
         }
+    }
+
+    #[test]
+    fn modern_trio_is_subset_of_all() {
+        for a in CcAlgorithm::MODERN_TRIO {
+            assert!(CcAlgorithm::ALL.contains(&a));
+            assert!(!CcAlgorithm::PAPER_TRIO.contains(&a));
+        }
+        assert_eq!(CcAlgorithm::MvccSi.label(), "mvcc-si");
+        assert_eq!(CcAlgorithm::SiloOcc.label(), "silo-occ");
+        assert_eq!(CcAlgorithm::TicToc.label(), "tictoc");
     }
 }

@@ -141,6 +141,9 @@ pub struct TxnArena {
     lock_plan: Vec<(ObjId, bool)>,
     /// Read-completion times (history recording only). Empty until first use.
     read_times: Vec<SimTime>,
+    /// Observed validity bounds (`rts` at read time), parallel to
+    /// `read_times`. TicToc only; empty until first use.
+    read_auxes: Vec<SimTime>,
 }
 
 impl TxnArena {
@@ -156,6 +159,7 @@ impl TxnArena {
             write_objs: vec![ObjId(0); num_terms * cap],
             lock_plan: Vec::new(),
             read_times: Vec::new(),
+            read_auxes: Vec::new(),
         }
     }
 
@@ -301,6 +305,20 @@ impl TxnArena {
         rec.n_read_times += 1;
     }
 
+    /// Record a TicToc read observation for `term`'s next read: the
+    /// version's write timestamp (which doubles as the history read
+    /// instant in `read_times`) plus the validity bound (`rts`) the word
+    /// carried at access time, kept in lockstep in a second lazily
+    /// allocated region.
+    pub fn push_read_obs(&mut self, term: usize, wts: SimTime, rts: SimTime) {
+        if self.read_auxes.is_empty() {
+            self.read_auxes = vec![SimTime::ZERO; self.recs.len() * self.cap];
+        }
+        let at = term * self.cap + self.recs[term].n_read_times as usize;
+        self.read_auxes[at] = rts;
+        self.push_read_time(term, wts);
+    }
+
     /// Read-completion times recorded for `term`'s current attempt.
     #[must_use]
     pub fn read_times(&self, term: usize) -> &[SimTime] {
@@ -310,6 +328,18 @@ impl TxnArena {
         }
         let base = term * self.cap;
         &self.read_times[base..base + n]
+    }
+
+    /// Observed `rts` bounds recorded via [`TxnArena::push_read_obs`] for
+    /// `term`'s current attempt, parallel to [`TxnArena::read_times`].
+    #[must_use]
+    pub fn read_auxes(&self, term: usize) -> &[SimTime] {
+        let n = self.recs[term].n_read_times as usize;
+        if n == 0 {
+            return &[];
+        }
+        let base = term * self.cap;
+        &self.read_auxes[base..base + n]
     }
 }
 

@@ -20,10 +20,13 @@ use ccsim_des::{
 };
 use ccsim_history::{CommittedTxn, History};
 use ccsim_lockmgr::{Grant, LockManager, LockMode, RequestOutcome};
-use ccsim_occ::Validator;
+use ccsim_mvcc::MvccManager;
+use ccsim_occ::{SiloValidator, Validator};
 use ccsim_resources::{DiskArray, Priority, Request, ServerPool};
 use ccsim_stats::RunningAvg;
-use ccsim_tso::{ReadOutcome as TsoRead, TsoManager, WriteOutcome as TsoWrite};
+use ccsim_tso::{
+    ReadOutcome as TsoRead, TicTocManager, TsoManager, TtWord, WriteOutcome as TsoWrite,
+};
 use ccsim_workload::{
     Generator, ObjId, ParamError, Params, ResourceSpec, RestartDelayPolicy, TxnId,
 };
@@ -151,6 +154,15 @@ pub struct Simulator {
     lockmgr: LockManager,
     validator: Validator,
     tso: TsoManager,
+    mvcc: MvccManager,
+    silo: SiloValidator,
+    tictoc: TicTocManager,
+    /// Scratch `(object, observed-at)` pairs for Silo read-set validation,
+    /// reused across commits so the hot path never allocates.
+    rw_scratch: Vec<(ObjId, SimTime)>,
+    /// Scratch `(object, observed word)` pairs for TicToc validation; same
+    /// reuse discipline.
+    tt_scratch: Vec<(ObjId, TtWord)>,
     cpus: Option<ServerPool<Payload>>,
     disks: Option<DiskArray<Payload>>,
     inf_cpu_busy_us: u64,
@@ -282,6 +294,11 @@ impl Simulator {
             lockmgr: LockManager::with_capacity(db_size, num_terms),
             validator: Validator::with_capacity(db_size),
             tso: TsoManager::new(),
+            mvcc: MvccManager::new(),
+            silo: SiloValidator::new(SiloValidator::DEFAULT_EPOCH),
+            tictoc: TicTocManager::new(),
+            rw_scratch: Vec::new(),
+            tt_scratch: Vec::new(),
             cpus,
             disks,
             inf_cpu_busy_us: 0,
@@ -645,6 +662,18 @@ impl Simulator {
                 eprintln!("    disks: busy={busy} stalled={stalled} maxq={maxq} argmax={argmax}");
             }
         }
+        // Version chains only grow at commits; a batch boundary is a cheap,
+        // deterministic place to drop versions no live snapshot can reach.
+        if self.cfg.algorithm == CcAlgorithm::MvccSi {
+            let horizon = self
+                .arena
+                .live()
+                .filter(|t| t.state.is_active())
+                .map(|t| t.attempt_start)
+                .min()
+                .unwrap_or(now);
+            self.mvcc.prune_before(horizon);
+        }
         let (cpu_busy, io_busy) = self.busy_micros(now);
         if self.metrics.on_batch_end(now, cpu_busy, io_busy) {
             self.done = true;
@@ -706,14 +735,48 @@ impl Simulator {
             Step::ReadCpu(i) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
                 txn.usage.add_cpu(params.obj_cpu);
+                let snapshot = txn.attempt_start;
                 txn.advance();
-                // Basic T/O records its reads at the timestamp-check grant
-                // instead (the version is fixed there; a larger-timestamp
-                // writer may legally publish between the grant and this
-                // access completion).
-                if self.history.is_some() && self.cfg.algorithm != CcAlgorithm::BasicTO {
-                    debug_assert_eq!(self.arena.read_times(term).len(), i);
-                    self.arena.push_read_time(term, now);
+                match self.cfg.algorithm {
+                    // Basic T/O records its reads at the timestamp-check
+                    // grant instead (the version is fixed there; a larger-
+                    // timestamp writer may legally publish between the
+                    // grant and this access completion).
+                    CcAlgorithm::BasicTO => {}
+                    // Silo validates its read set at commit against the
+                    // per-object TID words, so the observation instant is
+                    // needed whether or not history is recorded.
+                    CcAlgorithm::SiloOcc => {
+                        debug_assert_eq!(self.arena.read_times(term).len(), i);
+                        self.arena.push_read_time(term, now);
+                    }
+                    // TicToc reads a *version* — identified by its write
+                    // timestamp — not an instant; validation needs the
+                    // whole observed word (the `rts` bound is what lets a
+                    // superseded read still commit in the past), and the
+                    // history records the wts.
+                    CcAlgorithm::TicToc => {
+                        let obj = self.arena.read_at(term, i);
+                        let observed = self.tictoc.word(obj);
+                        debug_assert_eq!(self.arena.read_times(term).len(), i);
+                        self.arena.push_read_obs(term, observed.wts, observed.rts);
+                    }
+                    // Snapshot isolation reads as of the attempt start:
+                    // recording that instant makes the history checker's
+                    // "last writer committed at or before read time" rule
+                    // derive exactly the snapshot's version.
+                    CcAlgorithm::MvccSi => {
+                        if self.history.is_some() {
+                            debug_assert_eq!(self.arena.read_times(term).len(), i);
+                            self.arena.push_read_time(term, snapshot);
+                        }
+                    }
+                    _ => {
+                        if self.history.is_some() {
+                            debug_assert_eq!(self.arena.read_times(term).len(), i);
+                            self.arena.push_read_time(term, now);
+                        }
+                    }
                 }
                 self.work.push_back((term, epoch));
             }
@@ -872,7 +935,11 @@ impl Simulator {
             CcAlgorithm::WaitDie => self.cc_wait_die(term, obj, mode, now),
             CcAlgorithm::WoundWait => self.cc_wound_wait(term, obj, mode, now),
             CcAlgorithm::BasicTO => self.cc_tso(term, obj, mode, now),
-            CcAlgorithm::Optimistic | CcAlgorithm::NoCc => {
+            CcAlgorithm::Optimistic
+            | CcAlgorithm::NoCc
+            | CcAlgorithm::MvccSi
+            | CcAlgorithm::SiloOcc
+            | CcAlgorithm::TicToc => {
                 unreachable!("lock-free algorithms have no lock steps")
             }
         }
@@ -1106,16 +1173,27 @@ impl Simulator {
         }
     }
 
-    /// The optimistic commit-point test (a no-op for locking algorithms).
+    /// The commit-point test (a no-op for locking algorithms).
     fn validate(&mut self, term: usize, now: SimTime) -> CcAction {
-        if self.cfg.algorithm != CcAlgorithm::Optimistic {
-            let txn = self
-                .arena
-                .get_mut(term)
-                .expect("terminal has no active transaction");
-            txn.advance();
-            return CcAction::Proceed;
+        match self.cfg.algorithm {
+            CcAlgorithm::Optimistic => self.validate_kung_robinson(term, now),
+            CcAlgorithm::MvccSi => self.validate_mvcc(term, now),
+            CcAlgorithm::SiloOcc => self.validate_silo(term, now),
+            CcAlgorithm::TicToc => self.validate_tictoc(term, now),
+            _ => {
+                let txn = self
+                    .arena
+                    .get_mut(term)
+                    .expect("terminal has no active transaction");
+                txn.advance();
+                CcAction::Proceed
+            }
         }
+    }
+
+    /// Classic optimistic CC: serial validation against every commit since
+    /// the attempt started.
+    fn validate_kung_robinson(&mut self, term: usize, now: SimTime) -> CcAction {
         let txn = self
             .arena
             .get(term)
@@ -1142,6 +1220,115 @@ impl Simulator {
             txn.publish_at = Some(now);
             txn.advance();
             CcAction::Proceed
+        }
+    }
+
+    /// Snapshot isolation: first-committer-wins over the write set only
+    /// (reads came from the attempt-start snapshot and need no check).
+    fn validate_mvcc(&mut self, term: usize, now: SimTime) -> CcAction {
+        let txn = self
+            .arena
+            .get(term)
+            .expect("terminal has no active transaction");
+        let tid = txn.id;
+        let start = txn.attempt_start;
+        match self
+            .mvcc
+            .check_and_install(start, now, tid, self.arena.write_objs(term))
+        {
+            Err(conflict) => {
+                self.emit(now, TraceEvent::ValidationFailure(tid, conflict.obj));
+                self.abort_and_restart(term, AbortCause::Validation, now);
+                CcAction::Suspend
+            }
+            Ok(_installed) => {
+                let txn = self
+                    .arena
+                    .get_mut(term)
+                    .expect("terminal has no active transaction");
+                txn.publish_at = Some(now);
+                txn.advance();
+                CcAction::Proceed
+            }
+        }
+    }
+
+    /// Silo-style epoch OCC: the read set is re-checked against per-object
+    /// TID words; an unchanged read set commits and bumps the words.
+    fn validate_silo(&mut self, term: usize, now: SimTime) -> CcAction {
+        let txn = self
+            .arena
+            .get(term)
+            .expect("terminal has no active transaction");
+        let tid = txn.id;
+        let mut scratch = std::mem::take(&mut self.rw_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.arena
+                .reads(term)
+                .iter()
+                .copied()
+                .zip(self.arena.read_times(term).iter().copied()),
+        );
+        let outcome = self.silo.validate(&scratch);
+        self.rw_scratch = scratch;
+        if let Err(conflict) = outcome {
+            self.emit(now, TraceEvent::ValidationFailure(tid, conflict.obj));
+            self.abort_and_restart(term, AbortCause::Validation, now);
+            return CcAction::Suspend;
+        }
+        self.silo
+            .commit(now, self.arena.write_objs(term).iter().copied());
+        let txn = self
+            .arena
+            .get_mut(term)
+            .expect("terminal has no active transaction");
+        txn.publish_at = Some(now);
+        txn.advance();
+        CcAction::Proceed
+    }
+
+    /// TicToc: derive a commit timestamp covering every read version and
+    /// landing after every read extension of the written objects, instead
+    /// of rejecting on physical-time conflicts.
+    fn validate_tictoc(&mut self, term: usize, now: SimTime) -> CcAction {
+        let txn = self
+            .arena
+            .get(term)
+            .expect("terminal has no active transaction");
+        let tid = txn.id;
+        let mut scratch = std::mem::take(&mut self.tt_scratch);
+        scratch.clear();
+        scratch.extend(
+            self.arena
+                .reads(term)
+                .iter()
+                .zip(self.arena.read_times(term))
+                .zip(self.arena.read_auxes(term))
+                .map(|((&obj, &wts), &rts)| (obj, TtWord { wts, rts })),
+        );
+        let outcome = self
+            .tictoc
+            .validate_and_commit(&scratch, self.arena.write_objs(term));
+        self.tt_scratch = scratch;
+        match outcome {
+            Err(conflict) => {
+                self.emit(now, TraceEvent::ValidationFailure(tid, conflict.obj));
+                self.abort_and_restart(term, AbortCause::Validation, now);
+                CcAction::Suspend
+            }
+            Ok(commit_ts) => {
+                let txn = self
+                    .arena
+                    .get_mut(term)
+                    .expect("terminal has no active transaction");
+                // The *logical* commit instant: the history records it so
+                // the serializability check follows TicToc's timestamp
+                // order rather than physical validation order.
+                txn.publish_at = Some(commit_ts);
+                txn.advance();
+                CcAction::Proceed
+            }
         }
     }
 
@@ -1328,6 +1515,13 @@ impl Simulator {
         }
 
         self.emit(now, TraceEvent::Commit(tid));
+        if self.cfg.algorithm == CcAlgorithm::MvccSi {
+            // The versions were installed at validation; announcing them at
+            // the commit event gives the auditor a conservation obligation
+            // to discharge (every MVCC commit accounts for its writes).
+            let installed = self.arena.write_objs(term).len() as u32;
+            self.emit(now, TraceEvent::VersionInstalled(tid, installed));
+        }
         self.resp_avg.observe(response);
         self.metrics
             .on_commit(class, response, usage.cpu_us, usage.io_us);

@@ -49,7 +49,10 @@ pub use trace::{Trace, TraceEvent};
 pub use txn::{AttemptUsage, Program, ProgramShape, Step, TxnState};
 
 // Re-export the vocabulary types callers need to configure runs.
-pub use ccsim_history::{check_conflict_serializable, CommittedTxn, History};
+pub use ccsim_history::{
+    check_conflict_serializable, check_snapshot_isolation, CommittedTxn, History, SiReport,
+    SiViolation,
+};
 pub use ccsim_lockmgr::LockMode;
 pub use ccsim_stats::{Confidence, Estimate};
 pub use ccsim_workload::{

@@ -61,6 +61,12 @@ pub enum TraceEvent {
     /// lock-using algorithm; the count lets an auditor cross-check its own
     /// event-derived holdings against the lock manager's.
     LocksReleased(TxnId, u32),
+    /// A committing multiversion transaction installed `n` new versions
+    /// (one per written object; 0 for read-only commits). Emitted
+    /// immediately after `Commit` under MVCC snapshot isolation — the
+    /// multiversion analogue of `LocksReleased`, letting the auditor
+    /// cross-check version installation against the write set.
+    VersionInstalled(TxnId, u32),
 }
 
 impl TraceEvent {
@@ -77,7 +83,8 @@ impl TraceEvent {
             | TraceEvent::ValidationFailure(t, _)
             | TraceEvent::TsRejected(t, _)
             | TraceEvent::Commit(t)
-            | TraceEvent::LocksReleased(t, _) => t,
+            | TraceEvent::LocksReleased(t, _)
+            | TraceEvent::VersionInstalled(t, _) => t,
             TraceEvent::Deadlock { detector, .. } => detector,
         }
     }
@@ -103,6 +110,7 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Commit(t) => write!(f, "{t} commits"),
             TraceEvent::LocksReleased(t, n) => write!(f, "{t} releases {n} lock(s)"),
+            TraceEvent::VersionInstalled(t, n) => write!(f, "{t} installs {n} version(s)"),
         }
     }
 }
@@ -291,6 +299,11 @@ mod tests {
             TraceEvent::LocksReleased(t(7), 4).to_string(),
             "txn7 releases 4 lock(s)"
         );
+        assert_eq!(
+            TraceEvent::VersionInstalled(t(8), 2).to_string(),
+            "txn8 installs 2 version(s)"
+        );
+        assert_eq!(TraceEvent::VersionInstalled(t(8), 2).txn(), t(8));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub fn exp1_infinite() -> ExperimentSpec {
         id: "exp1-inf",
         title: "Experiment 1: low conflict, infinite resources",
         params: Params::low_conflict().with_resources(ResourceSpec::Infinite),
-        series: Series::paper_trio(),
+        series: Series::paper_trio_with_modern(),
         mpls: paper_mpls(),
         restart_delay_for_all: false,
         views: vec![view(
@@ -45,7 +45,7 @@ pub fn exp1_finite() -> ExperimentSpec {
         id: "exp1-1x2",
         title: "Experiment 1: low conflict, 1 CPU / 2 disks",
         params: Params::low_conflict(),
-        series: Series::paper_trio(),
+        series: Series::paper_trio_with_modern(),
         mpls: paper_mpls(),
         restart_delay_for_all: false,
         views: vec![view(
@@ -64,7 +64,7 @@ pub fn exp2() -> ExperimentSpec {
         id: "exp2",
         title: "Experiment 2: infinite resources",
         params: Params::paper_baseline().with_resources(ResourceSpec::Infinite),
-        series: Series::paper_trio(),
+        series: Series::paper_trio_with_modern(),
         mpls: paper_mpls(),
         restart_delay_for_all: false,
         views: vec![
@@ -480,6 +480,26 @@ mod tests {
         for n in 3..=21 {
             let want = format!("Figure {n}");
             assert!(figures.contains(&want), "{want} missing from catalog");
+        }
+    }
+
+    #[test]
+    fn modern_protocols_ride_the_exp1_exp2_sweeps() {
+        for id in ["exp1-inf", "exp1-1x2", "exp2"] {
+            let e = by_id(id).unwrap();
+            let labels: Vec<&str> = e.series.iter().map(|s| s.label.as_str()).collect();
+            assert_eq!(
+                labels,
+                [
+                    "blocking",
+                    "immediate-restart",
+                    "optimistic",
+                    "mvcc-si",
+                    "silo-occ",
+                    "tictoc"
+                ],
+                "{id}: the trio must stay first (seed stability), moderns appended"
+            );
         }
     }
 

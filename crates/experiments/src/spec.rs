@@ -60,6 +60,17 @@ impl Series {
             .map(Series::paper)
             .collect()
     }
+
+    /// The paper's three curves plus the modern in-memory protocols
+    /// (MVCC-SI, Silo OCC, TicToc). The moderns are appended *after* the
+    /// trio: control seeds are derived per series index, so extending a
+    /// sweep this way leaves the original curves' runs byte-identical.
+    #[must_use]
+    pub fn paper_trio_with_modern() -> Vec<Series> {
+        let mut series = Series::paper_trio();
+        series.extend(CcAlgorithm::MODERN_TRIO.iter().copied().map(Series::paper));
+        series
+    }
 }
 
 /// A full experiment: a parameter sweep whose runs regenerate one or more
@@ -435,5 +446,20 @@ mod tests {
         assert_eq!(s[0].label, "blocking");
         assert_eq!(s[1].label, "immediate-restart");
         assert_eq!(s[2].label, "optimistic");
+    }
+
+    #[test]
+    fn modern_series_extend_the_trio_without_reordering_it() {
+        let s = Series::paper_trio_with_modern();
+        assert_eq!(s.len(), 6);
+        // The first three must be the trio, unchanged: control seeds are
+        // per series index, so the original curves stay byte-identical.
+        for (a, b) in s.iter().zip(Series::paper_trio()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.algorithm, b.algorithm);
+        }
+        assert_eq!(s[3].label, "mvcc-si");
+        assert_eq!(s[4].label, "silo-occ");
+        assert_eq!(s[5].label, "tictoc");
     }
 }

@@ -66,14 +66,10 @@ impl std::fmt::Display for CycleError {
 }
 impl std::error::Error for CycleError {}
 
-/// Check conflict-serializability.
-///
-/// # Errors
-/// Returns the conflict cycle if the history is not serializable;
-/// otherwise returns a witness serial order of all committed transactions.
-pub fn check_conflict_serializable(history: &History) -> Result<Vec<TxnId>, CycleError> {
+/// Build every conflict edge of `history`'s dependency serialization graph
+/// (see the module docs for the WW/WR/RW rules).
+pub(crate) fn conflict_edges(history: &History) -> Vec<Conflict> {
     let txns = history.txns();
-    let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
 
     // Per-object timelines.
     #[derive(Default)]
@@ -140,12 +136,22 @@ pub fn check_conflict_serializable(history: &History) -> Result<Vec<TxnId>, Cycl
             }
         }
     }
+    edges
+}
 
-    // Adjacency restricted to committed transactions (reads that observe a
-    // never-committed id cannot occur: only commits are recorded).
+/// Topologically sort the graph `edges` induces over `history`'s committed
+/// transactions, or reconstruct a cycle. Edges naming unknown transactions
+/// are ignored (reads that observe a never-committed id cannot occur: only
+/// commits are recorded).
+pub(crate) fn toposort_or_cycle(
+    history: &History,
+    edges: &[Conflict],
+) -> Result<Vec<TxnId>, CycleError> {
+    let txns = history.txns();
+    let index: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
     let n = txns.len();
     let mut adj: Vec<Vec<(usize, Conflict)>> = vec![Vec::new(); n];
-    for e in edges {
+    for &e in edges {
         let (Some(&f), Some(&t)) = (index.get(&e.from), index.get(&e.to)) else {
             continue;
         };
@@ -207,6 +213,16 @@ pub fn check_conflict_serializable(history: &History) -> Result<Vec<TxnId>, Cycl
     }
     order.reverse();
     Ok(order.into_iter().map(|i| txns[i].id).collect())
+}
+
+/// Check conflict-serializability.
+///
+/// # Errors
+/// Returns the conflict cycle if the history is not serializable;
+/// otherwise returns a witness serial order of all committed transactions.
+pub fn check_conflict_serializable(history: &History) -> Result<Vec<TxnId>, CycleError> {
+    let edges = conflict_edges(history);
+    toposort_or_cycle(history, &edges)
 }
 
 #[cfg(test)]

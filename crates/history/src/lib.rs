@@ -15,7 +15,9 @@
 #![warn(clippy::all)]
 
 mod checker;
+mod dsg;
 mod record;
 
 pub use checker::{check_conflict_serializable, Conflict, ConflictKind, CycleError};
+pub use dsg::{check_snapshot_isolation, SiReport, SiViolation};
 pub use record::{CommittedTxn, History};

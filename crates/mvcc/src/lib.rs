@@ -1,0 +1,351 @@
+//! `ccsim-mvcc` — the multiversion concurrency control substrate
+//! (snapshot isolation, after Larson et al.'s main-memory MVCC designs).
+//!
+//! Under snapshot isolation a transaction reads the database *as of its
+//! attempt start* (its snapshot): writers never block or invalidate
+//! readers, and version chains keep every committed version a live
+//! snapshot might still need. The only conflict rule is
+//! **first-committer-wins** at the commit point: a transaction aborts iff
+//! some object in its write set has a version committed *after its
+//! snapshot* — i.e. a concurrent transaction wrote the same object and
+//! committed first. Read-write conflicts are never checked, which is
+//! exactly why SI admits the classic write-skew anomaly; the history
+//! oracle in `ccsim-history` detects and counts those rather than letting
+//! them hide.
+//!
+//! Storage follows the workspace's sparse-table slot scheme: a
+//! deterministic open-addressed [`ObjMap`] maps each touched object to a
+//! slot in a chain arena, so memory follows write traffic rather than
+//! `db_size` (at `db_size = 10^8` a dense chain table would be gigabytes).
+//! Pruned chains return their slots through a free list.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use ccsim_des::SimTime;
+use ccsim_workload::{ObjId, ObjMap, TxnId};
+
+/// One committed version of an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// When the writing transaction committed (the version's birth).
+    pub committed_at: SimTime,
+    /// The transaction that installed it.
+    pub writer: TxnId,
+}
+
+/// A first-committer-wins conflict: the failing transaction's snapshot
+/// predates a committed write to an object it wants to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiConflict {
+    /// The contested object.
+    pub obj: ObjId,
+    /// When the first committer's version was installed.
+    pub committed_at: SimTime,
+    /// Who committed first.
+    pub winner: TxnId,
+}
+
+/// The multiversion store: per-object version chains behind a sparse slot
+/// table.
+#[derive(Debug, Default)]
+pub struct MvccManager {
+    /// Object → slot in `chains`.
+    slots: ObjMap<u32>,
+    /// Version chains, oldest first. A vacated slot holds an empty chain
+    /// and sits on the free list.
+    chains: Vec<Vec<Version>>,
+    /// Recyclable slots of pruned-away chains.
+    free: Vec<u32>,
+    commits: u64,
+    conflicts: u64,
+    versions_installed: u64,
+}
+
+impl MvccManager {
+    /// An empty store (every object at its unversioned initial state).
+    #[must_use]
+    pub fn new() -> Self {
+        MvccManager::default()
+    }
+
+    fn chain(&self, obj: ObjId) -> Option<&Vec<Version>> {
+        self.slots.get(obj).map(|s| &self.chains[s as usize])
+    }
+
+    /// The latest committed version of `obj`, if any transaction has
+    /// written it.
+    #[must_use]
+    pub fn latest(&self, obj: ObjId) -> Option<Version> {
+        self.chain(obj).and_then(|c| c.last().copied())
+    }
+
+    /// The version a transaction with snapshot time `snapshot` reads:
+    /// the newest version committed at or before the snapshot. `None`
+    /// means the object's initial (unversioned) state.
+    #[must_use]
+    pub fn snapshot_read(&self, obj: ObjId, snapshot: SimTime) -> Option<Version> {
+        let chain = self.chain(obj)?;
+        // Chains are short (pruning trails the oldest live snapshot), so a
+        // reverse scan beats a binary search in practice.
+        chain
+            .iter()
+            .rev()
+            .find(|v| v.committed_at <= snapshot)
+            .copied()
+    }
+
+    /// First-committer-wins commit check for a transaction whose snapshot
+    /// is `start`: on success, atomically install one new version per
+    /// write-set object at commit time `now` and return how many versions
+    /// were installed. Validation and installation are one logical step
+    /// (the simulator performs both at a single event).
+    ///
+    /// # Errors
+    /// Returns the first [`SiConflict`] found: some write-set object
+    /// already has a version committed strictly after `start`.
+    ///
+    /// # Panics
+    /// Panics if `now < start` (a commit cannot precede its snapshot).
+    pub fn check_and_install(
+        &mut self,
+        start: SimTime,
+        now: SimTime,
+        writer: TxnId,
+        writes: &[ObjId],
+    ) -> Result<u32, SiConflict> {
+        assert!(now >= start, "commit time precedes the snapshot");
+        for &obj in writes {
+            if let Some(v) = self.latest(obj) {
+                if v.committed_at > start {
+                    self.conflicts += 1;
+                    return Err(SiConflict {
+                        obj,
+                        committed_at: v.committed_at,
+                        winner: v.writer,
+                    });
+                }
+            }
+        }
+        for &obj in writes {
+            let slot = match self.slots.get(obj) {
+                Some(s) => s as usize,
+                None => {
+                    let s = match self.free.pop() {
+                        Some(s) => s as usize,
+                        None => {
+                            self.chains.push(Vec::new());
+                            self.chains.len() - 1
+                        }
+                    };
+                    self.slots.insert(
+                        obj,
+                        u32::try_from(s).expect("chain arena exceeds u32 slots"),
+                    );
+                    s
+                }
+            };
+            self.chains[slot].push(Version {
+                committed_at: now,
+                writer,
+            });
+            self.versions_installed += 1;
+        }
+        self.commits += 1;
+        Ok(u32::try_from(writes.len()).expect("write set exceeds u32"))
+    }
+
+    /// Garbage-collect versions no live snapshot can read: for each chain,
+    /// keep every version committed after `horizon` plus the newest one at
+    /// or before it (the version a snapshot at `horizon` reads). Chains
+    /// left with nothing a future snapshot could distinguish from "latest
+    /// only" keep that latest version; fully prunable chains release their
+    /// slot. Returns how many versions were dropped.
+    pub fn prune_before(&mut self, horizon: SimTime) -> usize {
+        let mut dropped = 0;
+        let mut vacated: Vec<ObjId> = Vec::new();
+        for (obj, slot) in self.slots.iter() {
+            let chain = &mut self.chains[slot as usize];
+            let visible = chain
+                .iter()
+                .rposition(|v| v.committed_at <= horizon)
+                .unwrap_or(0);
+            if visible > 0 {
+                chain.drain(..visible);
+                dropped += visible;
+            }
+            if chain.is_empty() {
+                vacated.push(obj);
+            }
+        }
+        for obj in vacated {
+            if let Some(slot) = self.slots.remove(obj) {
+                self.free.push(slot);
+            }
+        }
+        dropped
+    }
+
+    /// Number of objects with at least one committed version.
+    #[must_use]
+    pub fn tracked_objects(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total versions currently retained across all chains.
+    #[must_use]
+    pub fn live_versions(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Lifetime counters: `(commits, first_committer_conflicts,
+    /// versions_installed)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.commits, self.conflicts, self.versions_installed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn o(v: u64) -> ObjId {
+        ObjId(v)
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn x(v: u64) -> TxnId {
+        TxnId(v)
+    }
+
+    #[test]
+    fn snapshot_reads_see_the_version_as_of_start() {
+        let mut m = MvccManager::new();
+        m.check_and_install(t(0), t(10), x(1), &[o(5)]).unwrap();
+        m.check_and_install(t(10), t(20), x(2), &[o(5)]).unwrap();
+        assert_eq!(m.snapshot_read(o(5), t(5)), None, "before any version");
+        assert_eq!(m.snapshot_read(o(5), t(10)).unwrap().writer, x(1));
+        assert_eq!(m.snapshot_read(o(5), t(15)).unwrap().writer, x(1));
+        assert_eq!(m.snapshot_read(o(5), t(20)).unwrap().writer, x(2));
+        assert_eq!(m.latest(o(5)).unwrap().writer, x(2));
+        assert_eq!(m.live_versions(), 2);
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let mut m = MvccManager::new();
+        // Two concurrent writers of obj 1: both snapshots at t=0.
+        m.check_and_install(t(0), t(10), x(1), &[o(1)]).unwrap();
+        let err = m.check_and_install(t(0), t(12), x(2), &[o(1)]).unwrap_err();
+        assert_eq!(err.obj, o(1));
+        assert_eq!(err.winner, x(1));
+        assert_eq!(err.committed_at, t(10));
+        // A writer whose snapshot includes the winner's commit is fine.
+        assert!(m.check_and_install(t(10), t(15), x(3), &[o(1)]).is_ok());
+        assert_eq!(m.counters(), (2, 1, 2));
+    }
+
+    #[test]
+    fn failed_commit_installs_nothing() {
+        let mut m = MvccManager::new();
+        m.check_and_install(t(0), t(10), x(1), &[o(2)]).unwrap();
+        // x2 writes obj1 *and* obj2; the obj2 conflict must abort the whole
+        // commit before any obj1 version appears.
+        assert!(m
+            .check_and_install(t(0), t(11), x(2), &[o(1), o(2)])
+            .is_err());
+        assert_eq!(m.latest(o(1)), None);
+        assert_eq!(m.live_versions(), 1);
+    }
+
+    #[test]
+    fn disjoint_write_sets_never_conflict() {
+        // The write-skew shape: both read {1, 2}, one writes 1, the other
+        // writes 2, fully concurrent — SI commits both (the anomaly the
+        // history oracle exists to count).
+        let mut m = MvccManager::new();
+        assert!(m.check_and_install(t(0), t(10), x(1), &[o(1)]).is_ok());
+        assert!(m.check_and_install(t(0), t(11), x(2), &[o(2)]).is_ok());
+    }
+
+    #[test]
+    fn read_only_commits_install_no_versions() {
+        let mut m = MvccManager::new();
+        assert_eq!(m.check_and_install(t(0), t(5), x(1), &[]).unwrap(), 0);
+        assert_eq!(m.live_versions(), 0);
+        assert_eq!(m.counters(), (1, 0, 0));
+    }
+
+    #[test]
+    fn pruning_keeps_the_horizon_visible_version() {
+        let mut m = MvccManager::new();
+        m.check_and_install(t(0), t(10), x(1), &[o(1)]).unwrap();
+        m.check_and_install(t(10), t(20), x(2), &[o(1)]).unwrap();
+        m.check_and_install(t(20), t(30), x(3), &[o(1)]).unwrap();
+        // No live snapshot predates t=25: the t=10 version is dead, the
+        // t=20 version is what a t=25 snapshot reads, t=30 is the future.
+        let dropped = m.prune_before(t(25));
+        assert_eq!(dropped, 1);
+        assert_eq!(m.snapshot_read(o(1), t(25)).unwrap().writer, x(2));
+        assert_eq!(m.snapshot_read(o(1), t(30)).unwrap().writer, x(3));
+        // First-committer-wins still works across the prune.
+        assert!(m.check_and_install(t(25), t(40), x(4), &[o(1)]).is_err());
+    }
+
+    #[test]
+    fn pruned_slots_are_recycled() {
+        let mut m = MvccManager::new();
+        m.check_and_install(t(0), t(1), x(1), &[o(1), o(2), o(3)])
+            .unwrap();
+        assert_eq!(m.tracked_objects(), 3);
+        // Nothing here is prunable (each chain keeps its visible version).
+        assert_eq!(m.prune_before(t(50)), 0);
+        assert_eq!(m.tracked_objects(), 3);
+        assert_eq!(m.live_versions(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// First-committer-wins agrees with the declarative rule: a commit
+        /// fails iff a prior commit to one of its write objects happened
+        /// strictly inside its (start, now] window.
+        #[test]
+        fn fcw_matches_interval_overlap_model(
+            ops in proptest::collection::vec(
+                (0u64..8, 0u64..20, 1u64..10), 1..40
+            ),
+        ) {
+            let mut m = MvccManager::new();
+            // Naive model: per object, list of commit times.
+            let mut committed: Vec<(u64, u64)> = Vec::new(); // (obj, at)
+            let mut clock = 0u64;
+            for (i, &(obj, start_back, dur)) in ops.iter().enumerate() {
+                clock += dur;
+                let start = clock.saturating_sub(start_back);
+                let now = clock;
+                let expect_conflict = committed
+                    .iter()
+                    .any(|&(ob, at)| ob == obj && at > start);
+                let got = m.check_and_install(
+                    t(start),
+                    t(now),
+                    x(i as u64),
+                    &[o(obj)],
+                );
+                prop_assert_eq!(
+                    got.is_err(),
+                    expect_conflict,
+                    "op {} obj {} start {} now {}",
+                    i, obj, start, now
+                );
+                if got.is_ok() {
+                    committed.push((obj, now));
+                }
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use ccsim_des::SimTime;
+use ccsim_des::{SimDuration, SimTime};
 use ccsim_workload::{ObjId, ObjMap};
 
 /// Why a validation failed.
@@ -144,6 +144,139 @@ impl Validator {
     }
 }
 
+/// An epoch-batched transaction id in the Silo style: the commit epoch in
+/// the high part, a within-epoch sequence number in the low part. Ids are
+/// totally ordered and strictly increasing in commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SiloTid {
+    /// The epoch the commit landed in (`now / epoch_len`).
+    pub epoch: u64,
+    /// Commit sequence number within the epoch, starting at 1.
+    pub seq: u64,
+}
+
+/// Silo-style epoch OCC validation state.
+///
+/// Each object carries a *TID word*, modeled as the simulated instant of the
+/// last committed write to it (the monotone stand-in for Silo's packed
+/// version numbers). A reader records the word at access time; validation at
+/// the commit point succeeds iff every recorded word is unchanged — i.e. no
+/// write to a read object committed *after the read observed it*. This is
+/// strictly more permissive than Kung–Robinson backward validation (which
+/// conflicts on any write after attempt start): a read that already saw the
+/// newer version revalidates cleanly.
+///
+/// Commit ids are epoch-batched: the epoch is `now / epoch_len` and a
+/// per-epoch counter orders commits within it, as in Silo's group commit.
+/// Like [`Validator`], the word table is a sparse [`ObjMap`]: an absent
+/// entry means "never written" and is observably identical to a
+/// `SimTime::ZERO` word.
+#[derive(Debug)]
+pub struct SiloValidator {
+    words: ObjMap<SimTime>,
+    epoch_len: SimDuration,
+    current_epoch: u64,
+    epoch_seq: u64,
+    epochs_advanced: u64,
+    validations: u64,
+    failures: u64,
+}
+
+impl SiloValidator {
+    /// Silo's default epoch length (40 ms in the paper).
+    pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_millis(40);
+
+    /// An empty validator with the given epoch length.
+    ///
+    /// # Panics
+    /// Panics if `epoch_len` is zero.
+    #[must_use]
+    pub fn new(epoch_len: SimDuration) -> Self {
+        assert!(!epoch_len.is_zero(), "epoch length must be positive");
+        SiloValidator {
+            words: ObjMap::default(),
+            epoch_len,
+            current_epoch: 0,
+            epoch_seq: 0,
+            epochs_advanced: 0,
+            validations: 0,
+            failures: 0,
+        }
+    }
+
+    /// The TID word of `obj` as a reader observes it now.
+    #[must_use]
+    pub fn word(&self, obj: ObjId) -> SimTime {
+        self.words.get(obj).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Validate a read set of `(object, word observed at read time)` pairs.
+    ///
+    /// # Errors
+    /// Returns the first [`Conflict`] found: some read object's TID word
+    /// changed after the read observed it (a write committed in between).
+    pub fn validate(&mut self, readset: &[(ObjId, SimTime)]) -> Result<(), Conflict> {
+        self.validations += 1;
+        for &(obj, observed) in readset {
+            let committed_at = self.word(obj);
+            if committed_at > observed {
+                self.failures += 1;
+                return Err(Conflict { obj, committed_at });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a successful commit at `now` writing `writeset`, assigning the
+    /// next epoch-batched commit id. Must be called at the same instant as
+    /// the successful [`SiloValidator::validate`] (the critical section).
+    pub fn commit(&mut self, now: SimTime, writeset: impl IntoIterator<Item = ObjId>) -> SiloTid {
+        let epoch = now.as_micros() / self.epoch_len.as_micros();
+        if epoch > self.current_epoch {
+            self.current_epoch = epoch;
+            self.epoch_seq = 0;
+            self.epochs_advanced += 1;
+        }
+        self.epoch_seq += 1;
+        for obj in writeset {
+            if now == SimTime::ZERO {
+                self.words.remove(obj);
+            } else {
+                self.words.insert(obj, now);
+            }
+        }
+        SiloTid {
+            epoch: self.current_epoch,
+            seq: self.epoch_seq,
+        }
+    }
+
+    /// Drop TID words at or before `horizon` (see [`Validator::prune_before`]).
+    pub fn prune_before(&mut self, horizon: SimTime) -> usize {
+        let before = self.words.len();
+        self.words.retain(|_, t| t > horizon);
+        before - self.words.len()
+    }
+
+    /// Number of objects with a recorded word.
+    #[must_use]
+    pub fn tracked_objects(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Lifetime counters: `(validations, failures, epochs_advanced)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.validations, self.failures, self.epochs_advanced)
+    }
+}
+
+impl Default for SiloValidator {
+    fn default() -> Self {
+        SiloValidator::new(SiloValidator::DEFAULT_EPOCH)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +382,64 @@ mod tests {
         let mut v = Validator::new();
         v.commit(t(10), [o(1)]);
         assert!(v.validate(t(0), &[]).is_ok());
+    }
+
+    #[test]
+    fn silo_unchanged_words_validate() {
+        let mut v = SiloValidator::default();
+        v.commit(t(5), [o(1)]);
+        // A read that observed the word at t=6 (after the write) is clean.
+        assert!(v.validate(&[(o(1), t(6))]).is_ok());
+        // A never-written object observed at any time is clean.
+        assert!(v.validate(&[(o(2), SimTime::ZERO)]).is_ok());
+        assert_eq!(v.counters().0, 2);
+    }
+
+    #[test]
+    fn silo_changed_word_fails_validation() {
+        let mut v = SiloValidator::default();
+        v.commit(t(5), [o(1)]);
+        // Observed before the write committed: the word changed underneath.
+        let err = v.validate(&[(o(1), t(3))]).unwrap_err();
+        assert_eq!(err.obj, o(1));
+        assert_eq!(err.committed_at, t(5));
+        assert_eq!(v.counters().1, 1);
+    }
+
+    #[test]
+    fn silo_is_more_permissive_than_attempt_start_validation() {
+        // The Kung–Robinson validator conflicts on any write after attempt
+        // start; Silo revalidates cleanly if the read already saw it.
+        let mut kr = Validator::new();
+        let mut silo = SiloValidator::default();
+        kr.commit(t(5), [o(1)]);
+        silo.commit(t(5), [o(1)]);
+        // Attempt started at t=1, read obj1 at t=6 (post-write).
+        assert!(kr.validate(t(1), &[o(1)]).is_err());
+        assert!(silo.validate(&[(o(1), t(6))]).is_ok());
+    }
+
+    #[test]
+    fn silo_tids_are_epoch_batched_and_monotone() {
+        let mut v = SiloValidator::new(SimDuration::from_secs(1));
+        let a = v.commit(SimTime::from_millis(100), [o(1)]);
+        let b = v.commit(SimTime::from_millis(900), [o(2)]);
+        let c = v.commit(SimTime::from_millis(2500), [o(3)]);
+        assert_eq!((a.epoch, a.seq), (0, 1));
+        assert_eq!((b.epoch, b.seq), (0, 2));
+        assert_eq!((c.epoch, c.seq), (2, 1));
+        assert!(a < b && b < c, "tids must be strictly increasing");
+        assert_eq!(v.counters().2, 1, "one epoch advance");
+    }
+
+    #[test]
+    fn silo_pruning_drops_only_safe_words() {
+        let mut v = SiloValidator::default();
+        v.commit(t(1), [o(1)]);
+        v.commit(t(9), [o(2)]);
+        assert_eq!(v.tracked_objects(), 2);
+        assert_eq!(v.prune_before(t(5)), 1);
+        assert_eq!(v.word(o(1)), SimTime::ZERO);
+        assert_eq!(v.word(o(2)), t(9));
     }
 }

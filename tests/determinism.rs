@@ -55,8 +55,14 @@ fn trace_ring_does_not_perturb_the_run() {
     // The engine skips event emission entirely when nothing observes the
     // run; that fast path must be a pure observer effect. Attaching the
     // trace ring (exp3's resource-limited baseline, mpl 50) must leave the
-    // report byte-identical to the unobserved run.
-    for algo in CcAlgorithm::PAPER_TRIO {
+    // report byte-identical to the unobserved run. The modern in-memory
+    // protocols ride the same loop: their validation managers (version
+    // chains, TID words, timestamp intervals) must be equally observer-
+    // independent.
+    for algo in CcAlgorithm::PAPER_TRIO
+        .into_iter()
+        .chain(CcAlgorithm::MODERN_TRIO)
+    {
         let mk = || {
             SimConfig::new(algo)
                 .with_params(Params::paper_baseline().with_mpl(50))
@@ -81,8 +87,11 @@ fn uncontended_elision_does_not_perturb_the_run() {
     // The idle-server fast path elides the request/dispatch calendar hop
     // but must leave the simulation itself untouched: full reports at the
     // exp1 reference point must be byte-equal with elision forced on and
-    // forced off, for every paper-trio algorithm.
-    for algo in CcAlgorithm::PAPER_TRIO {
+    // forced off, for every paper-trio and modern-trio algorithm.
+    for algo in CcAlgorithm::PAPER_TRIO
+        .into_iter()
+        .chain(CcAlgorithm::MODERN_TRIO)
+    {
         let mk = |elide| {
             SimConfig::new(algo)
                 .with_params(Params::paper_baseline().with_mpl(50))
@@ -165,6 +174,65 @@ fn scale_point_is_deterministic_under_observation_and_calendar_choice() {
         base.perf.calendar.lane_schedules > 0,
         "two-tier run never used the near lane"
     );
+}
+
+#[test]
+fn modern_scale_points_are_deterministic_under_toggles() {
+    // One budget-bounded slice of the `exp-scale` regime per modern
+    // protocol: the sparse-slot version chains (MVCC), TID words (Silo)
+    // and timestamp intervals (TicToc) must all survive the same pure
+    // observer/representation switches byte-for-byte that the blocking
+    // scale point above does — trace ring on, elision off, and the
+    // two-tier calendar off.
+    for algo in CcAlgorithm::MODERN_TRIO {
+        let mk = || {
+            let mut params = Params::exp_scale();
+            params.num_terms = 20_000;
+            params.mpl = 2_000;
+            SimConfig::new(algo)
+                .with_params(params)
+                .with_metrics(MetricsConfig {
+                    warmup_batches: 0,
+                    batches: 400,
+                    batch_time: SimDuration::from_millis(250),
+                    confidence: Confidence::Ninety,
+                })
+                .with_seed(0x5CA1E_D)
+                .with_budget(RunBudget::unlimited().with_max_events(200_000))
+        };
+        let base = run_collecting(mk()).unwrap();
+        assert!(
+            base.stopped.is_some(),
+            "{algo}: the point should stop on its event budget"
+        );
+        assert!(
+            base.report.commits > 0,
+            "{algo}: salvaged window has no commits"
+        );
+
+        let mut traced_cfg = mk();
+        traced_cfg.trace_capacity = 4096;
+        let traced = run_collecting(traced_cfg).unwrap();
+        assert_eq!(
+            base.report, traced.report,
+            "{algo}: attaching the trace ring changed the scale run"
+        );
+        assert_eq!(base.quantiles, traced.quantiles);
+
+        let unelided = run_collecting(mk().with_elision(false)).unwrap();
+        assert_eq!(
+            base.report, unelided.report,
+            "{algo}: elision changed the scale run"
+        );
+        assert_eq!(base.quantiles, unelided.quantiles);
+
+        let heap_only = run_collecting(mk().with_two_tier_calendar(false)).unwrap();
+        assert_eq!(
+            base.report, heap_only.report,
+            "{algo}: the two-tier calendar changed the scale run"
+        );
+        assert_eq!(base.quantiles, heap_only.quantiles);
+    }
 }
 
 #[test]

@@ -48,9 +48,15 @@ fn golden_path(label: &str) -> PathBuf {
         .join(format!("{label}.trace"))
 }
 
+fn tracked_algorithms() -> impl Iterator<Item = CcAlgorithm> {
+    CcAlgorithm::PAPER_TRIO
+        .into_iter()
+        .chain(CcAlgorithm::MODERN_TRIO)
+}
+
 #[test]
 fn paper_trio_traces_match_golden_files() {
-    for algo in CcAlgorithm::PAPER_TRIO {
+    for algo in tracked_algorithms() {
         let cfg = golden_config(algo);
         let (report, trace) = run_with_trace(cfg.clone(), 1_000_000).unwrap();
         assert_eq!(trace.dropped(), 0, "{algo} golden trace overflowed");
@@ -68,7 +74,7 @@ fn golden_traces_match_with_elision_forced_off() {
     // forced off, the very same checked-in golden files must still match
     // byte-for-byte (never UPDATE_GOLDEN through this test — it checks
     // against the files the elided runs produce).
-    for algo in CcAlgorithm::PAPER_TRIO {
+    for algo in tracked_algorithms() {
         let cfg = golden_config(algo).with_elision(false);
         let (report, trace) = run_with_trace(cfg.clone(), 1_000_000).unwrap();
         let text = serialize_trace(&cfg, &trace, &report);
