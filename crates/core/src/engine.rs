@@ -385,6 +385,11 @@ impl Simulator {
 
     fn run_loop(&mut self) -> Result<(), RunError> {
         let budget = self.cfg.budget;
+        let pool = self.cfg.event_pool.clone();
+        // Events charged to the shared pool ahead of processing; the
+        // unused remainder is refunded at exit so pool accounting is
+        // exact. A detached pool costs nothing on the hot path.
+        let mut pool_charged: u64 = 0;
         let started = std::time::Instant::now();
         self.prime();
         let result = loop {
@@ -403,19 +408,37 @@ impl Simulator {
                 .is_some_and(|cap| now.since(SimTime::ZERO) > cap)
             {
                 Some(BudgetKind::SimTime)
-            } else if events % Self::WALL_CHECK_PERIOD == 1
-                && budget
+            } else if events % Self::WALL_CHECK_PERIOD == 1 {
+                // Periodic checks: the wall clock (Instant::now costs more
+                // than an event dispatch) and the shared event pool, which
+                // is charged one block ahead at the same cadence.
+                if budget
                     .max_wall_clock
                     .is_some_and(|cap| started.elapsed() > cap)
-            {
-                Some(BudgetKind::WallClock)
+                {
+                    Some(BudgetKind::WallClock)
+                } else if let Some(p) = &pool {
+                    if p.try_charge(crate::EventPool::BLOCK) {
+                        pool_charged += crate::EventPool::BLOCK;
+                        None
+                    } else {
+                        Some(BudgetKind::Pool)
+                    }
+                } else {
+                    None
+                }
             } else {
                 None
             };
             if let Some(exceeded) = exceeded {
+                if exceeded == BudgetKind::Pool {
+                    // The event that tripped the check was never run;
+                    // settle the pool for the events actually processed.
+                    self.events -= 1;
+                }
                 break Err(RunError::BudgetExhausted {
                     exceeded,
-                    events,
+                    events: self.events,
                     sim_time: now,
                     wall_clock: started.elapsed(),
                 });
@@ -423,6 +446,17 @@ impl Simulator {
             self.now = now;
             self.handle(now, ev);
         };
+        if let Some(p) = &pool {
+            // Settle: refund the pre-charged events that never ran (or
+            // charge the tail that ran past the last block boundary).
+            if pool_charged > self.events {
+                p.refund(pool_charged - self.events);
+            } else if self.events > pool_charged && !p.try_charge(self.events - pool_charged) {
+                // The tail overdraws an exhausted pool: drain what's left
+                // so `consumed` never exceeds the pool's capacity.
+                let _ = p.try_charge(p.remaining());
+            }
+        }
         self.run_wall = started.elapsed();
         result
     }
@@ -1947,6 +1981,49 @@ mod tests {
             run(quick_cfg(CcAlgorithm::Blocking).with_budget(crate::RunBudget::unlimited()))
                 .unwrap();
         assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn event_pool_accounting_is_exact_and_non_perturbing() {
+        let plain = run(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+        let pool = crate::EventPool::unlimited();
+        let pooled = run(quick_cfg(CcAlgorithm::Blocking).with_event_pool(pool.clone())).unwrap();
+        // Attaching a pool must not change the simulation...
+        assert_eq!(plain, pooled);
+        // ...and after settlement the pool has been charged exactly the
+        // number of events the run processed.
+        let expected = {
+            let sim = Simulator::new(quick_cfg(CcAlgorithm::Blocking)).unwrap();
+            sim.run_collecting().perf.events
+        };
+        assert_eq!(pool.consumed(), expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn depleted_event_pool_stops_the_run_with_a_typed_error() {
+        // One block is granted at event 1; the second block (event 8193)
+        // cannot be charged, so the run stops there deterministically.
+        let pool = crate::EventPool::new(crate::EventPool::BLOCK + 10);
+        let res = run(quick_cfg(CcAlgorithm::Blocking).with_event_pool(pool.clone()));
+        let Err(RunError::BudgetExhausted {
+            exceeded, events, ..
+        }) = res
+        else {
+            panic!("expected pool exhaustion, got {res:?}");
+        };
+        assert_eq!(exceeded, BudgetKind::Pool);
+        assert_eq!(events, crate::EventPool::BLOCK);
+        // Settlement: exactly the processed events were consumed.
+        assert_eq!(pool.consumed(), crate::EventPool::BLOCK);
+        assert_eq!(pool.remaining(), 10);
+        // A second run on the same pool fails at its first block charge
+        // having processed nothing.
+        let res = run(quick_cfg(CcAlgorithm::Blocking).with_event_pool(pool.clone()));
+        let Err(RunError::BudgetExhausted { events, .. }) = res else {
+            panic!("expected pool exhaustion, got {res:?}");
+        };
+        assert_eq!(events, 0);
     }
 
     #[test]

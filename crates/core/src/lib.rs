@@ -37,7 +37,7 @@ mod txn;
 
 pub use algorithm::{CcAlgorithm, VictimPolicy};
 pub use arena::{TxnArena, TxnRec};
-pub use budget::{BudgetKind, RunBudget, RunError};
+pub use budget::{BudgetKind, EventPool, RunBudget, RunError};
 pub use config::{MetricsConfig, SimConfig};
 pub use engine::{
     run, run_collecting, run_with_history, run_with_perf, run_with_trace, PerfStats, RunOutcome,

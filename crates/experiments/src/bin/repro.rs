@@ -18,31 +18,48 @@
 //!                   journal completed runs to <dir>/<id>.manifest.jsonl
 //!   --resume        skip runs already journaled in the checkpoint manifest
 //!                   (requires --out); the final output is byte-identical
-//!                   to an uninterrupted run
-//!   --retry-quick   retry each failed run once at quick fidelity so the
-//!                   hole carries a degraded measurement (the failure stays
-//!                   on record and still fails the command)
+//!                   to an uninterrupted run. A final manifest line cut
+//!                   short by a crash is discarded with a warning and its
+//!                   run re-executed
+//!   --retries <n>   attempt each grid point up to n times at full fidelity
+//!                   with deterministic exponential backoff; a recovery is
+//!                   journaled and does not fail the command's measurements
+//!   --backoff-ms <ms>  base backoff before the first retry (default 50;
+//!                   doubles per attempt, capped at 2000, plus jitter)
+//!   --retry-quick   after full-fidelity attempts are exhausted, retry once
+//!                   at quick fidelity so the hole carries a degraded
+//!                   measurement (the failure stays on record and still
+//!                   fails the command)
 //!   --md <path>     write a combined markdown results appendix
 //!   --chart         print an ASCII throughput chart per experiment
+//!   --submit <addr> do not run locally: submit each experiment to a
+//!                   running `ccsim-serve` daemon at HOST:PORT and relay
+//!                   its event stream (ack, per-point progress, done) to
+//!                   stdout. Local-output flags (--out, --md, --chart,
+//!                   --resume, --threads) do not apply; the daemon owns
+//!                   checkpointing, retries, and the result archive
 //! ```
 //!
 //! A failed run (panic, budget exhaustion, invalid configuration) never
 //! aborts the sweep: it is reported as an explicit hole and the command
-//! exits non-zero. SIGINT lets in-flight runs finish and be journaled,
-//! then exits 130 with a `--resume` hint.
+//! exits non-zero. SIGINT and SIGTERM both request a cooperative shutdown:
+//! in-flight runs finish and are journaled, then the command exits 130
+//! with a `--resume` hint — so a service manager's stop signal checkpoints
+//! exactly like a ctrl-C.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ccsim_experiments::{
     catalog, checks, json, md, report, run_experiment_supervised, write_atomic, ExperimentSpec,
-    Fidelity, RunOptions, SweepControl,
+    Fidelity, RetryPolicy, RunOptions, SweepControl,
 };
 
-/// Cooperative SIGINT flag, installed via the raw C `signal` interface so
-/// no extra dependency is needed. The handler only flips an atomic; the
-/// supervisor notices between run completions.
-mod sigint {
+/// Cooperative shutdown flag, set by SIGINT *and* SIGTERM and installed
+/// via the raw C `signal` interface so no extra dependency is needed. The
+/// handlers only flip an atomic; the supervisor notices between run
+/// completions.
+mod shutdown {
     use std::sync::atomic::AtomicBool;
 
     pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
@@ -50,20 +67,69 @@ mod sigint {
     #[cfg(unix)]
     pub fn install() {
         use std::sync::atomic::Ordering;
-        extern "C" fn on_sigint(_sig: i32) {
+        extern "C" fn on_signal(_sig: i32) {
             INTERRUPTED.store(true, Ordering::Relaxed);
         }
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
         }
         const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
         unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
         }
     }
 
     #[cfg(not(unix))]
     pub fn install() {}
+}
+
+/// Client mode for a `ccsim-serve` daemon: build the wire spec, submit
+/// it, and relay the event stream. Lives here (not in `ccsim-serve`)
+/// so `repro --submit` needs nothing beyond the standard library — the
+/// protocol is plain line-delimited JSON over TCP.
+mod service {
+    use std::fmt::Write as _;
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    use ccsim_experiments::{json, RunOptions};
+
+    /// The `submit` request line for one experiment under these options.
+    pub fn submit_request(spec_id: &str, opts: &RunOptions) -> String {
+        let mut out =
+            String::from("{\"op\":\"submit\",\"spec\":{\"client\":\"repro\",\"experiment\":");
+        json::escape(spec_id, &mut out);
+        let _ = write!(
+            out,
+            ",\"fidelity\":\"{}\",\"seed\":{},\"replications\":{},\"audit\":{}}}}}",
+            opts.fidelity.token(),
+            opts.base_seed,
+            opts.replications.max(1),
+            opts.audit
+        );
+        out
+    }
+
+    /// Send one request and print every event line; returns `true` when
+    /// the stream ended with a `done` event.
+    pub fn relay(addr: &str, request: &str) -> Result<bool, String> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let reader = BufReader::new(stream);
+        let mut completed = false;
+        for line in reader.lines() {
+            let line = line.map_err(|e| format!("connection lost: {e}"))?;
+            println!("{line}");
+            completed = line.starts_with("{\"event\":\"done\"");
+        }
+        Ok(completed)
+    }
 }
 
 struct Cli {
@@ -73,6 +139,7 @@ struct Cli {
     md_out: Option<PathBuf>,
     chart: bool,
     resume: bool,
+    submit: Option<String>,
 }
 
 fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
@@ -82,6 +149,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut md_out = None;
     let mut chart = false;
     let mut resume = false;
+    let mut submit = None;
     let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -89,7 +157,30 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             "--audit" => opts.audit = true,
             "--chart" => chart = true,
             "--resume" => resume = true,
-            "--retry-quick" => opts.retry_quick = true,
+            "--retry-quick" => opts.retry.degrade_to_quick = true,
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a value")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|e| format!("bad retry count {v:?}: {e}"))?;
+                if n == 0 {
+                    return Err("--retries must be at least 1".to_string());
+                }
+                // Only fill in backoff defaults that weren't set
+                // explicitly, so flag order doesn't matter.
+                let defaults = RetryPolicy::retries(n);
+                opts.retry.max_attempts = n;
+                if opts.retry.base_backoff_ms == 0 {
+                    opts.retry.base_backoff_ms = defaults.base_backoff_ms;
+                }
+                opts.retry.max_backoff_ms = defaults.max_backoff_ms;
+                opts.retry.jitter_seed = defaults.jitter_seed;
+            }
+            "--backoff-ms" => {
+                let v = args.next().ok_or("--backoff-ms needs a value")?;
+                opts.retry.base_backoff_ms =
+                    v.parse().map_err(|e| format!("bad backoff {v:?}: {e}"))?;
+            }
             "--list" => targets.push("list".to_string()),
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -118,12 +209,23 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                 let v = args.next().ok_or("--md needs a file path")?;
                 md_out = Some(PathBuf::from(v));
             }
+            "--submit" => {
+                let v = args.next().ok_or("--submit needs HOST:PORT")?;
+                submit = Some(v);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             target => targets.push(target.to_string()),
         }
     }
     if resume && out.is_none() {
         return Err("--resume needs --out <dir> (the manifest lives there)".to_string());
+    }
+    if submit.is_some() && (resume || chart || out.is_some() || md_out.is_some()) {
+        return Err(
+            "--submit delegates the sweep to the daemon; it cannot combine with \
+             --out, --md, --chart, or --resume"
+                .to_string(),
+        );
     }
     if targets.is_empty() {
         targets.push("list".to_string());
@@ -135,6 +237,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         md_out,
         chart,
         resume,
+        submit,
     })
 }
 
@@ -203,6 +306,26 @@ fn main() {
         }
     };
 
+    if let Some(addr) = &cli.submit {
+        let mut incomplete = 0usize;
+        for spec in &specs {
+            eprintln!(">> submitting {} to {addr}...", spec.id);
+            match service::relay(addr, &service::submit_request(spec.id, &cli.opts)) {
+                Ok(true) => {}
+                Ok(false) => incomplete += 1,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", spec.id);
+                    std::process::exit(1);
+                }
+            }
+        }
+        if incomplete > 0 {
+            eprintln!("{incomplete} submission(s) did not complete (rejected, paused, or failed)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if let Some(dir) = &cli.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
@@ -219,7 +342,7 @@ fn main() {
         }
     };
 
-    sigint::install();
+    shutdown::install();
 
     let mut failures = 0usize;
     let mut collected = Vec::new();
@@ -241,8 +364,9 @@ fn main() {
         let ctl = SweepControl {
             checkpoint: manifest_path.as_deref(),
             resume: cli.resume,
-            interrupt: Some(&sigint::INTERRUPTED),
+            interrupt: Some(&shutdown::INTERRUPTED),
             stop_after: None,
+            progress: None,
             #[cfg(feature = "chaos")]
             chaos,
         };
@@ -254,6 +378,9 @@ fn main() {
             }
         };
         let elapsed = started.elapsed();
+        for w in &result.warnings {
+            eprintln!("warning: {}: {w}", spec.id);
+        }
 
         if result.interrupted {
             // Partial results are not written (a stale complete .json must
@@ -356,7 +483,7 @@ mod tests {
         assert_eq!(cli.targets, vec!["list"]);
         assert!(!cli.opts.audit);
         assert!(!cli.resume);
-        assert!(!cli.opts.retry_quick);
+        assert_eq!(cli.opts.retry, RetryPolicy::none());
         assert!(resolve_specs(&cli.targets).expect("resolves").is_none());
     }
 
@@ -384,9 +511,29 @@ mod tests {
         assert_eq!(cli.opts.base_seed, 9);
         assert_eq!(cli.opts.replications, 3);
         assert_eq!(cli.opts.threads, 2);
-        assert!(cli.opts.retry_quick);
+        assert!(cli.opts.retry.degrade_to_quick);
         assert!(cli.resume);
         assert_eq!(cli.out.as_deref(), Some(std::path::Path::new("results")));
+    }
+
+    #[test]
+    fn retry_flags_compose_in_any_order() {
+        let cli = parse(&["exp3", "--retries", "3"]).expect("parses");
+        assert_eq!(cli.opts.retry.max_attempts, 3);
+        assert_eq!(cli.opts.retry.base_backoff_ms, 50);
+        assert_eq!(cli.opts.retry.max_backoff_ms, 2_000);
+        assert!(!cli.opts.retry.degrade_to_quick);
+        // Explicit backoff survives regardless of flag order.
+        let a = parse(&["exp3", "--backoff-ms", "10", "--retries", "3"]).expect("parses");
+        let b = parse(&["exp3", "--retries", "3", "--backoff-ms", "10"]).expect("parses");
+        assert_eq!(a.opts.retry, b.opts.retry);
+        assert_eq!(a.opts.retry.base_backoff_ms, 10);
+        // --retry-quick composes with full-fidelity retries.
+        let c = parse(&["exp3", "--retry-quick", "--retries", "2"]).expect("parses");
+        assert_eq!(c.opts.retry.max_attempts, 2);
+        assert!(c.opts.retry.degrade_to_quick);
+        assert!(parse(&["exp3", "--retries", "0"]).is_err());
+        assert!(parse(&["exp3", "--backoff-ms", "x"]).is_err());
     }
 
     #[test]
@@ -406,6 +553,34 @@ mod tests {
     fn resume_requires_out() {
         assert!(parse(&["exp3", "--resume"]).is_err());
         assert!(parse(&["exp3", "--resume", "--out", "r"]).is_ok());
+    }
+
+    #[test]
+    fn submit_mode_excludes_local_output_flags() {
+        let cli = parse(&[
+            "exp3",
+            "--submit",
+            "127.0.0.1:7077",
+            "--quick",
+            "--seed",
+            "9",
+        ])
+        .expect("parses");
+        assert_eq!(cli.submit.as_deref(), Some("127.0.0.1:7077"));
+        assert_eq!(
+            service::submit_request("exp3", &cli.opts),
+            "{\"op\":\"submit\",\"spec\":{\"client\":\"repro\",\"experiment\":\"exp3\",\
+             \"fidelity\":\"quick\",\"seed\":9,\"replications\":1,\"audit\":false}}"
+        );
+        assert!(parse(&["exp3", "--submit", "a:1"]).is_ok());
+        for conflicting in [
+            vec!["exp3", "--submit", "a:1", "--out", "r"],
+            vec!["exp3", "--submit", "a:1", "--md", "m.md"],
+            vec!["exp3", "--submit", "a:1", "--chart"],
+            vec!["exp3", "--submit", "a:1", "--out", "r", "--resume"],
+        ] {
+            assert!(parse(&conflicting).is_err(), "{conflicting:?}");
+        }
     }
 
     #[test]

@@ -461,6 +461,7 @@ mod tests {
             audit_failures: Vec::new(),
             failures: Vec::new(),
             interrupted: false,
+            warnings: Vec::new(),
         }
     }
 

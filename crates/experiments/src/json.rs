@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use crate::spec::{DataPoint, ExperimentResult};
 
 /// Escape a string per RFC 8259.
-pub(crate) fn escape(s: &str, out: &mut String) {
+pub fn escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -144,6 +144,7 @@ pub fn to_json(result: &ExperimentResult) -> String {
             escape(&f.detail, &mut out);
             out.push_str(",\"retry\":");
             escape(f.retry.token(), &mut out);
+            let _ = write!(out, ",\"retry_attempts\":{}", f.retry.attempts());
             out.push('}');
         }
         out.push(']');
@@ -217,8 +218,8 @@ impl Value {
         }
     }
 
-    #[cfg(test)]
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
             _ => None,
@@ -489,6 +490,7 @@ mod tests {
             audit_failures: Vec::new(),
             failures: Vec::new(),
             interrupted: false,
+            warnings: Vec::new(),
         }
     }
 
@@ -577,14 +579,14 @@ mod tests {
             rep: 1,
             kind: FailureKind::Panic,
             detail: "chaos: injected panic".into(),
-            retry: RetryOutcome::Failed,
+            retry: RetryOutcome::Failed { attempts: 3 },
         });
         r.interrupted = true;
         let j = to_json(&r);
         assert!(j.contains(
             "\"failures\":[{\"series\":\"optimistic\",\"mpl\":25,\"rep\":1,\
              \"kind\":\"panic\",\"detail\":\"chaos: injected panic\",\
-             \"retry\":\"failed\"}]"
+             \"retry\":\"failed\",\"retry_attempts\":3}]"
         ));
         assert!(j.ends_with(",\"interrupted\":true}"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
@@ -597,6 +599,35 @@ mod tests {
             Some("panic")
         );
         assert_eq!(v.get("interrupted").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn retry_outcomes_round_trip_through_json() {
+        use crate::spec::{FailureKind, PointFailure, RetryOutcome};
+        for retry in [
+            RetryOutcome::NotAttempted,
+            RetryOutcome::Degraded { attempts: 2 },
+            RetryOutcome::Recovered { attempts: 3 },
+            RetryOutcome::Failed { attempts: 4 },
+        ] {
+            let mut r = tiny_result();
+            r.failures.push(PointFailure {
+                series: "blocking".into(),
+                mpl: 5,
+                rep: 0,
+                kind: FailureKind::Budget,
+                detail: "d".into(),
+                retry,
+            });
+            let v = parse(&to_json(&r)).expect("parses");
+            let f = &v.get("failures").and_then(Value::as_arr).expect("array")[0];
+            let token = f.get("retry").and_then(Value::as_str).expect("token");
+            let attempts = f
+                .get("retry_attempts")
+                .and_then(Value::as_u64)
+                .expect("attempts") as u32;
+            assert_eq!(RetryOutcome::from_parts(token, attempts), Some(retry));
+        }
     }
 
     #[test]

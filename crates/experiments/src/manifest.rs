@@ -95,6 +95,7 @@ pub struct Manifest {
     path: PathBuf,
     header: String,
     entries: Vec<ManifestEntry>,
+    warnings: Vec<String>,
 }
 
 impl Manifest {
@@ -102,6 +103,14 @@ impl Manifest {
     /// `resume` set and an existing file, the header is validated against
     /// the sweep and completed entries are loaded; otherwise a fresh
     /// manifest (header only) replaces whatever was there.
+    ///
+    /// A *final* entry line that fails to parse is tolerated: it is the
+    /// signature of a crash mid-append (a writer that died between write
+    /// and rename, or an appending journal cut short), so the partial
+    /// record is discarded with a note in [`Manifest::warnings`] and the
+    /// run it described is simply re-run. Corruption anywhere *before* the
+    /// last line is still a hard [`ManifestError::Corrupt`] — that is not
+    /// what a crash produces.
     ///
     /// # Errors
     /// [`ManifestError::Mismatch`] when resuming a manifest recorded for a
@@ -118,6 +127,7 @@ impl Manifest {
             path: path.to_path_buf(),
             header,
             entries: Vec::new(),
+            warnings: Vec::new(),
         };
         if resume && path.exists() {
             let text = std::fs::read_to_string(path)?;
@@ -133,10 +143,21 @@ impl Manifest {
                     manifest.header
                 )));
             }
-            for (i, line) in lines.enumerate() {
-                let entry = parse_entry(line)
-                    .map_err(|e| ManifestError::Corrupt(format!("entry {}: {e}", i + 1)))?;
-                manifest.entries.push(entry);
+            let lines: Vec<&str> = lines.collect();
+            for (i, line) in lines.iter().enumerate() {
+                match parse_entry(line) {
+                    Ok(entry) => manifest.entries.push(entry),
+                    Err(e) if i + 1 == lines.len() => {
+                        manifest.warnings.push(format!(
+                            "discarded truncated final manifest entry {} ({e}); \
+                             its run will be re-executed",
+                            i + 1
+                        ));
+                    }
+                    Err(e) => {
+                        return Err(ManifestError::Corrupt(format!("entry {}: {e}", i + 1)));
+                    }
+                }
             }
         } else {
             manifest.flush()?;
@@ -177,6 +198,14 @@ impl Manifest {
             .iter()
             .map(|e| (e.series_ix, e.mpl, e.rep))
             .collect()
+    }
+
+    /// Non-fatal anomalies noticed while replaying the manifest (for now:
+    /// a discarded truncated final entry). Callers should surface these to
+    /// the user.
+    #[must_use]
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
     }
 }
 
@@ -539,7 +568,7 @@ mod tests {
         // Different seed...
         let other = RunOptions {
             base_seed: 7,
-            ..opts
+            ..opts.clone()
         };
         assert!(matches!(
             Manifest::open(&path, &spec, &other, true),
@@ -548,7 +577,7 @@ mod tests {
         // ...different fidelity...
         let other = RunOptions {
             fidelity: Fidelity::Quick,
-            ..opts
+            ..opts.clone()
         };
         assert!(matches!(
             Manifest::open(&path, &spec, &other, true),
@@ -565,20 +594,74 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_are_rejected() {
+    fn corrupt_interior_entries_are_rejected() {
         let dir = tmpdir("corrupt");
         let path = dir.join("exp3.manifest.jsonl");
         let spec = catalog::exp3();
         let opts = RunOptions::default();
-        let m = Manifest::open(&path, &spec, &opts, false).expect("fresh manifest");
+        let mut m = Manifest::open(&path, &spec, &opts, false).expect("fresh manifest");
+        m.record(ManifestEntry {
+            series_ix: 0,
+            mpl: 5,
+            rep: 0,
+            audit: Vec::new(),
+            report: sample_report(1.0),
+        })
+        .expect("record");
         drop(m);
-        let mut text = std::fs::read_to_string(&path).expect("read");
-        text.push_str("{\"series\":0,\"mpl\":5}\n");
-        std::fs::write(&path, text).expect("write");
+        // A bad line *followed by* a good one is corruption, not a crash
+        // artifact: reject it.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(1, "{\"series\":0,\"mpl\":5}");
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write");
         assert!(matches!(
             Manifest::open(&path, &spec, &opts, true),
             Err(ManifestError::Corrupt(_))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_final_entry_is_discarded_with_a_warning() {
+        let dir = tmpdir("torn-tail");
+        let path = dir.join("exp3.manifest.jsonl");
+        let spec = catalog::exp3();
+        let opts = RunOptions::default();
+        let mut m = Manifest::open(&path, &spec, &opts, false).expect("fresh manifest");
+        m.record(ManifestEntry {
+            series_ix: 0,
+            mpl: 5,
+            rep: 0,
+            audit: Vec::new(),
+            report: sample_report(1.0),
+        })
+        .expect("record");
+        m.record(ManifestEntry {
+            series_ix: 1,
+            mpl: 25,
+            rep: 0,
+            audit: Vec::new(),
+            report: sample_report(2.0),
+        })
+        .expect("record");
+        drop(m);
+        // Simulate a crash mid-append: cut the final line short.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let cut = text.trim_end().len() - 40;
+        std::fs::write(&path, &text[..cut]).expect("write");
+        let re = Manifest::open(&path, &spec, &opts, true).expect("tolerant resume");
+        assert_eq!(re.entries().len(), 1, "intact entry survives");
+        assert_eq!(re.completed(), HashSet::from([(0, 5, 0)]));
+        assert_eq!(re.warnings().len(), 1);
+        assert!(
+            re.warnings()[0].contains("truncated final manifest entry"),
+            "{:?}",
+            re.warnings()
+        );
+        // An untampered manifest reports no warnings.
+        let clean = Manifest::open(&path, &spec, &opts, false).expect("fresh");
+        assert!(clean.warnings().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

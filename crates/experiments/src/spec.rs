@@ -195,17 +195,33 @@ impl std::fmt::Display for FailureKind {
     }
 }
 
-/// Whether the supervisor's one-shot quick-fidelity retry ran, and how it
-/// went (see [`crate::RunOptions::retry_quick`]).
+/// How the supervisor's per-point retries went (see
+/// [`crate::RetryPolicy`]). `attempts` counts every attempt made on the
+/// point, including the first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryOutcome {
-    /// Retry was not enabled (or not applicable).
+    /// Retries were not enabled (or not applicable).
     NotAttempted,
-    /// The retry produced a degraded (quick-fidelity) report that fills
-    /// the hole; the original failure is still recorded.
-    Succeeded,
-    /// The retry failed too; the hole stands.
-    Failed,
+    /// A retry at degraded (quick) fidelity produced a report that fills
+    /// the hole; the original failure is still recorded and the point is
+    /// not journaled, so a resumed sweep re-attempts it at full fidelity.
+    Degraded {
+        /// Total attempts, including the first failed one.
+        attempts: u32,
+    },
+    /// A retry at *full* fidelity recovered the point. The report is
+    /// bit-identical to one from an untroubled first attempt (seeds are
+    /// coordinate-derived), so it is journaled and cacheable; the earlier
+    /// failures stay on record here.
+    Recovered {
+        /// Total attempts, including the failed ones.
+        attempts: u32,
+    },
+    /// Every attempt failed; the hole stands.
+    Failed {
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl RetryOutcome {
@@ -214,8 +230,35 @@ impl RetryOutcome {
     pub fn token(self) -> &'static str {
         match self {
             RetryOutcome::NotAttempted => "not-attempted",
-            RetryOutcome::Succeeded => "succeeded",
-            RetryOutcome::Failed => "failed",
+            RetryOutcome::Degraded { .. } => "degraded",
+            RetryOutcome::Recovered { .. } => "recovered",
+            RetryOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// Total attempts made on the point (0 for [`RetryOutcome::NotAttempted`],
+    /// where only the single implicit attempt ran).
+    #[must_use]
+    pub fn attempts(self) -> u32 {
+        match self {
+            RetryOutcome::NotAttempted => 0,
+            RetryOutcome::Degraded { attempts }
+            | RetryOutcome::Recovered { attempts }
+            | RetryOutcome::Failed { attempts } => attempts,
+        }
+    }
+
+    /// Rebuild an outcome from its JSON parts: the token written by
+    /// [`RetryOutcome::token`] plus the `retry_attempts` count (ignored
+    /// for `"not-attempted"`). `None` for an unknown token.
+    #[must_use]
+    pub fn from_parts(token: &str, attempts: u32) -> Option<Self> {
+        match token {
+            "not-attempted" => Some(RetryOutcome::NotAttempted),
+            "degraded" => Some(RetryOutcome::Degraded { attempts }),
+            "recovered" => Some(RetryOutcome::Recovered { attempts }),
+            "failed" => Some(RetryOutcome::Failed { attempts }),
+            _ => None,
         }
     }
 }
@@ -247,8 +290,15 @@ impl std::fmt::Display for PointFailure {
         )?;
         match self.retry {
             RetryOutcome::NotAttempted => Ok(()),
-            RetryOutcome::Succeeded => write!(f, " (quick retry filled the hole)"),
-            RetryOutcome::Failed => write!(f, " (quick retry failed too)"),
+            RetryOutcome::Degraded { attempts } => {
+                write!(f, " (quick retry filled the hole on attempt {attempts})")
+            }
+            RetryOutcome::Recovered { attempts } => {
+                write!(f, " (recovered at full fidelity on attempt {attempts})")
+            }
+            RetryOutcome::Failed { attempts } => {
+                write!(f, " (all {attempts} attempts failed)")
+            }
         }
     }
 }
@@ -271,6 +321,12 @@ pub struct ExperimentResult {
     /// True when the sweep was stopped early (ctrl-C or a supervisor stop
     /// request) — remaining points were never attempted.
     pub interrupted: bool,
+    /// Non-fatal anomalies noticed by the supervisor (for now: a
+    /// discarded truncated checkpoint-manifest entry). Advisory only —
+    /// deliberately **not** serialized by [`crate::json::to_json`], so a
+    /// resumed sweep's output stays byte-identical to an uninterrupted
+    /// one. Callers should surface these to the user.
+    pub warnings: Vec<String>,
 }
 
 impl ExperimentResult {
@@ -327,6 +383,23 @@ impl ExperimentResult {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty() && !self.interrupted
+    }
+
+    /// True when every grid point carries a full-fidelity measurement:
+    /// the sweep ran to the end of its grid, there are no holes, and any
+    /// recorded failures were [`RetryOutcome::Recovered`] at full
+    /// fidelity (whose reports are bit-identical to untroubled runs).
+    /// This is the cacheability criterion used by the sweep service — a
+    /// degraded (quick-retry) fill or a standing hole is real data but
+    /// not the sweep's canonical answer.
+    #[must_use]
+    pub fn fully_measured(&self) -> bool {
+        !self.interrupted
+            && self.holes().is_empty()
+            && self
+                .failures
+                .iter()
+                .all(|f| matches!(f.retry, RetryOutcome::Recovered { .. }))
     }
 
     /// `(series, mpl)` coordinates that have no data point at all — every
@@ -413,6 +486,7 @@ mod tests {
             spec: demo_spec(),
             points: vec![],
             audit_failures: vec![],
+            warnings: vec![],
             failures: vec![
                 PointFailure {
                     series: "blocking".into(),
@@ -428,7 +502,7 @@ mod tests {
                     rep: 1,
                     kind: FailureKind::Budget,
                     detail: "over".into(),
-                    retry: RetryOutcome::Failed,
+                    retry: RetryOutcome::Failed { attempts: 3 },
                 },
             ],
             interrupted: false,
@@ -437,6 +511,91 @@ mod tests {
         assert_eq!(result.holes(), vec![("blocking".to_string(), 10)]);
         let shown = result.failures[0].to_string();
         assert!(shown.contains("blocking@10 rep 0 [panic] boom"), "{shown}");
+    }
+
+    #[test]
+    fn retry_outcomes_round_trip_their_parts() {
+        for o in [
+            RetryOutcome::NotAttempted,
+            RetryOutcome::Degraded { attempts: 2 },
+            RetryOutcome::Recovered { attempts: 4 },
+            RetryOutcome::Failed { attempts: 3 },
+        ] {
+            assert_eq!(RetryOutcome::from_parts(o.token(), o.attempts()), Some(o));
+        }
+        assert_eq!(RetryOutcome::from_parts("bogus", 1), None);
+        assert_eq!(RetryOutcome::NotAttempted.attempts(), 0);
+    }
+
+    #[test]
+    fn fully_measured_accepts_recovered_but_not_degraded_failures() {
+        let report = Report {
+            throughput: ccsim_core::Estimate {
+                mean: 1.0,
+                half_width: 0.1,
+            },
+            throughput_per_batch: vec![1.0],
+            throughput_lag1: 0.0,
+            response_time_mean: 1.0,
+            response_time_std: 0.5,
+            response_time_max: 2.0,
+            response_time_p50: 1.0,
+            response_time_p95: 1.5,
+            response_time_p99: 1.9,
+            block_ratio: 0.0,
+            restart_ratio: 0.0,
+            disk_util_total: ccsim_core::Estimate {
+                mean: 0.5,
+                half_width: 0.0,
+            },
+            disk_util_useful: ccsim_core::Estimate {
+                mean: 0.5,
+                half_width: 0.0,
+            },
+            cpu_util_total: ccsim_core::Estimate {
+                mean: 0.5,
+                half_width: 0.0,
+            },
+            cpu_util_useful: ccsim_core::Estimate {
+                mean: 0.5,
+                half_width: 0.0,
+            },
+            avg_active: 1.0,
+            class_reports: vec![],
+            commits: 10,
+            blocks: 0,
+            restarts: 0,
+            deadlocks: 0,
+        };
+        let mut result = ExperimentResult {
+            spec: demo_spec(),
+            points: vec![DataPoint::single("blocking".into(), 10, report)],
+            audit_failures: vec![],
+            warnings: vec![],
+            failures: vec![],
+            interrupted: false,
+        };
+        assert!(result.fully_measured());
+        result.failures.push(PointFailure {
+            series: "blocking".into(),
+            mpl: 10,
+            rep: 0,
+            kind: FailureKind::Panic,
+            detail: "boom".into(),
+            retry: RetryOutcome::Recovered { attempts: 2 },
+        });
+        // A recovered failure leaves no hole (its report landed) and the
+        // report is full fidelity: still canonical.
+        assert!(!result.is_clean());
+        assert!(result.fully_measured());
+        result.failures[0].retry = RetryOutcome::Degraded { attempts: 2 };
+        assert!(!result.fully_measured(), "degraded fill is not canonical");
+        result.failures[0].retry = RetryOutcome::Failed { attempts: 2 };
+        result.points.clear();
+        assert!(!result.fully_measured(), "a standing hole is not canonical");
+        result.failures.clear();
+        result.interrupted = true;
+        assert!(!result.fully_measured());
     }
 
     #[test]

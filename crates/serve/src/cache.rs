@@ -1,0 +1,96 @@
+//! The result cache: finished, fully-measured, audit-clean sweep results
+//! keyed by the canonical config hash.
+//!
+//! A cache hit means a repeated what-if costs zero simulated events — the
+//! daemon streams the archived JSON straight back. Only *trustworthy*
+//! results are admitted (no holes, no degraded fills, no audit failures,
+//! not interrupted); anything less is written to the results directory
+//! but never served as a hit, so a tenant whose budget punched holes in a
+//! sweep does not poison the answer for everyone else.
+//!
+//! Reads validate: a file that no longer parses as JSON (torn write,
+//! disk corruption) is deleted and treated as a miss, so the worst case
+//! is re-simulation, never a corrupt answer.
+
+use std::path::{Path, PathBuf};
+
+use ccsim_experiments::json;
+use ccsim_experiments::write_atomic;
+
+/// On-disk result cache, one `<hash>.json` per entry.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating) the cache directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The path an entry for `hash` lives at (whether or not it exists).
+    #[must_use]
+    pub fn path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.json"))
+    }
+
+    /// Fetch a cached result, validating it parses. A corrupt entry is
+    /// removed and reported as a miss.
+    #[must_use]
+    pub fn get(&self, hash: u64) -> Option<String> {
+        let path = self.path(hash);
+        let text = std::fs::read_to_string(&path).ok()?;
+        if json::parse(&text).is_ok() {
+            Some(text)
+        } else {
+            // Torn or corrupted entry: evict so the job re-simulates.
+            let _ = std::fs::remove_file(&path);
+            None
+        }
+    }
+
+    /// Store a result atomically.
+    ///
+    /// # Errors
+    /// Propagates write failures.
+    pub fn put(&self, hash: u64, json_text: &str) -> std::io::Result<()> {
+        let path = self.path(hash);
+        crate::chaos::maybe_tear_cache_write(&path, json_text);
+        write_atomic(&path, json_text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccsim-serve-cache-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = ResultCache::open(&tmp("roundtrip")).unwrap();
+        assert!(cache.get(7).is_none());
+        cache.put(7, "{\"a\":1}").unwrap();
+        assert_eq!(cache.get(7).as_deref(), Some("{\"a\":1}"));
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_not_served() {
+        let cache = ResultCache::open(&tmp("corrupt")).unwrap();
+        cache.put(9, "{\"a\":1}").unwrap();
+        std::fs::write(cache.path(9), "{\"a\":1").unwrap();
+        assert!(cache.get(9).is_none(), "torn entry must miss");
+        assert!(!cache.path(9).exists(), "torn entry must be evicted");
+    }
+}

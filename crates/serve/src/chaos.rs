@@ -1,0 +1,90 @@
+//! Daemon-level fault injection, compiled only with the `chaos` feature
+//! and armed only when `CCSIM_SERVE_CHAOS` is set. Production builds
+//! compile every hook to an empty inline stub.
+//!
+//! Modes (the env var holds exactly one):
+//!
+//! - `die-after-points:N` — abort the whole process after `N` freshly
+//!   simulated points have been streamed. The deterministic `kill -9
+//!   mid-sweep` used by the resume tests and the `serve-chaos` CI job.
+//! - `truncate-journal` — on the next job-journal persist, write the
+//!   first half of the snapshot *directly* (bypassing temp-then-rename)
+//!   and abort: a torn journal tail for the recovery path to discard.
+//! - `torn-cache-write` — likewise for the next result-cache store: a
+//!   half-written cache entry the validating read must evict.
+
+#![allow(dead_code)]
+
+#[cfg(feature = "chaos")]
+use std::path::Path;
+#[cfg(feature = "chaos")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable naming the armed fault.
+pub const ENV: &str = "CCSIM_SERVE_CHAOS";
+
+#[cfg(feature = "chaos")]
+fn mode() -> Option<String> {
+    std::env::var(ENV).ok().filter(|s| !s.is_empty())
+}
+
+/// `die-after-points:N` budget: how many fresh points may stream before
+/// the process aborts. `None` when unarmed.
+#[cfg(feature = "chaos")]
+#[must_use]
+pub fn die_after_points() -> Option<u64> {
+    let m = mode()?;
+    let n = m.strip_prefix("die-after-points:")?;
+    n.parse().ok()
+}
+
+/// See [`die_after_points`] (chaos feature disabled: always unarmed).
+#[cfg(not(feature = "chaos"))]
+#[must_use]
+#[inline]
+pub fn die_after_points() -> Option<u64> {
+    None
+}
+
+/// Count a freshly simulated point against the `die-after-points`
+/// budget, aborting the process when it is spent.
+#[cfg(feature = "chaos")]
+pub fn count_point(counter: &AtomicU64, budget: u64) {
+    let seen = counter.fetch_add(1, Ordering::SeqCst) + 1;
+    if seen >= budget {
+        eprintln!("chaos: aborting after {seen} streamed points");
+        std::process::abort();
+    }
+}
+
+/// If `truncate-journal` is armed, tear the journal write in half and
+/// abort. Called just before the atomic persist.
+#[cfg(feature = "chaos")]
+pub fn maybe_tear_journal(path: &Path, contents: &str) {
+    if mode().as_deref() == Some("truncate-journal") {
+        let _ = std::fs::write(path, &contents.as_bytes()[..contents.len() / 2]);
+        eprintln!("chaos: tore journal write at {}", path.display());
+        std::process::abort();
+    }
+}
+
+/// See [`maybe_tear_journal`] (chaos feature disabled: no-op).
+#[cfg(not(feature = "chaos"))]
+#[inline]
+pub fn maybe_tear_journal(_path: &std::path::Path, _contents: &str) {}
+
+/// If `torn-cache-write` is armed, tear the cache store in half and
+/// abort. Called just before the atomic persist.
+#[cfg(feature = "chaos")]
+pub fn maybe_tear_cache_write(path: &Path, contents: &str) {
+    if mode().as_deref() == Some("torn-cache-write") {
+        let _ = std::fs::write(path, &contents.as_bytes()[..contents.len() / 2]);
+        eprintln!("chaos: tore cache write at {}", path.display());
+        std::process::abort();
+    }
+}
+
+/// See [`maybe_tear_cache_write`] (chaos feature disabled: no-op).
+#[cfg(not(feature = "chaos"))]
+#[inline]
+pub fn maybe_tear_cache_write(_path: &std::path::Path, _contents: &str) {}

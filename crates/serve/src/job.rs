@@ -1,0 +1,290 @@
+//! Job specifications: what a client asks the daemon to sweep, in a
+//! canonical form that hashes stably.
+//!
+//! Two submissions that describe the same measurement — same experiment,
+//! grid, fidelity, seed, replications, audit flag — must collide on the
+//! same [`JobSpec::hash`] no matter how they were phrased (field order,
+//! defaulted vs. explicit grid), because that hash keys the result cache
+//! and the checkpoint manifest. The client name is deliberately *not*
+//! part of the hash: a result is a pure function of the configuration, so
+//! tenants share the cache; the name only scopes budgets.
+
+use std::fmt::Write as _;
+
+use ccsim_experiments::json::{self, Value};
+use ccsim_experiments::{catalog, ExperimentSpec, Fidelity, RunOptions};
+
+/// One sweep request, as journaled and hashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Tenant name; scopes the event-pool budget, not the cache.
+    pub client: String,
+    /// Catalog experiment id (e.g. `exp3`).
+    pub experiment: String,
+    /// Sweep fidelity.
+    pub fidelity: Fidelity,
+    /// Base seed for the sweep.
+    pub base_seed: u64,
+    /// Replications per grid point.
+    pub replications: u32,
+    /// Attach the invariant auditor to every run.
+    pub audit: bool,
+    /// Multiprogramming levels; `None` uses the experiment's own grid.
+    pub mpls: Option<Vec<u32>>,
+}
+
+impl JobSpec {
+    /// A quick-fidelity spec with defaults for everything optional.
+    #[must_use]
+    pub fn quick(experiment: &str) -> JobSpec {
+        JobSpec {
+            client: "anon".to_string(),
+            experiment: experiment.to_string(),
+            fidelity: Fidelity::Quick,
+            base_seed: RunOptions::default().base_seed,
+            replications: 1,
+            audit: false,
+            mpls: None,
+        }
+    }
+
+    /// Resolve against the experiment catalog into the spec/options pair
+    /// the runner consumes (no event pool attached; the daemon adds the
+    /// tenant's pool).
+    ///
+    /// # Errors
+    /// Returns a description when the experiment id is unknown or the mpl
+    /// override is empty.
+    pub fn resolve(&self) -> Result<(ExperimentSpec, RunOptions), String> {
+        let mut spec = catalog::by_id(&self.experiment)
+            .ok_or_else(|| format!("unknown experiment {:?}", self.experiment))?;
+        if let Some(mpls) = &self.mpls {
+            if mpls.is_empty() {
+                return Err("mpls override must not be empty".to_string());
+            }
+            spec.mpls.clone_from(mpls);
+        }
+        let opts = RunOptions {
+            fidelity: self.fidelity,
+            base_seed: self.base_seed,
+            replications: self.replications.max(1),
+            audit: self.audit,
+            ..RunOptions::default()
+        };
+        Ok((spec, opts))
+    }
+
+    /// The canonical serialized form: fixed key order, grid always
+    /// materialized from the catalog so a defaulted grid and an explicit
+    /// identical one canonicalize the same. Excludes the client (see the
+    /// module docs).
+    ///
+    /// # Errors
+    /// Propagates [`JobSpec::resolve`] errors — an unresolvable spec has
+    /// no canonical form.
+    pub fn canonical(&self) -> Result<String, String> {
+        let (spec, _) = self.resolve()?;
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"audit\":{},\"experiment\":", self.audit);
+        json::escape(&self.experiment, &mut out);
+        let _ = write!(
+            out,
+            ",\"fidelity\":\"{}\",\"mpls\":[",
+            self.fidelity.token()
+        );
+        for (i, m) in spec.mpls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{m}");
+        }
+        let _ = write!(
+            out,
+            "],\"replications\":{},\"seed\":{}}}",
+            self.replications.max(1),
+            self.base_seed
+        );
+        Ok(out)
+    }
+
+    /// FNV-1a hash of the canonical form — the cache and manifest key.
+    ///
+    /// # Errors
+    /// Propagates [`JobSpec::canonical`] errors.
+    pub fn hash(&self) -> Result<u64, String> {
+        Ok(fnv1a(self.canonical()?.as_bytes()))
+    }
+
+    /// Serialize for the job journal and the wire (includes the client).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"client\":");
+        json::escape(&self.client, &mut out);
+        out.push_str(",\"experiment\":");
+        json::escape(&self.experiment, &mut out);
+        let _ = write!(
+            out,
+            ",\"fidelity\":\"{}\",\"seed\":{},\"replications\":{},\"audit\":{}",
+            self.fidelity.token(),
+            self.base_seed,
+            self.replications,
+            self.audit
+        );
+        if let Some(mpls) = &self.mpls {
+            out.push_str(",\"mpls\":[");
+            for (i, m) in mpls.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{m}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a spec from a wire/journal JSON object. Unknown fields are
+    /// ignored; only `experiment` is required.
+    ///
+    /// # Errors
+    /// Returns a description of the missing or ill-typed field.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let experiment = v
+            .get("experiment")
+            .and_then(Value::as_str)
+            .ok_or("spec needs an \"experiment\" id")?
+            .to_string();
+        let mut spec = JobSpec::quick(&experiment);
+        if let Some(c) = v.get("client") {
+            spec.client = c.as_str().ok_or("client must be a string")?.to_string();
+        }
+        if let Some(f) = v.get("fidelity") {
+            spec.fidelity = match f.as_str() {
+                Some("quick") => Fidelity::Quick,
+                Some("paper") => Fidelity::Paper,
+                _ => return Err("fidelity must be \"quick\" or \"paper\"".to_string()),
+            };
+        }
+        if let Some(s) = v.get("seed") {
+            spec.base_seed = s.as_u64().ok_or("seed must be a u64")?;
+        }
+        if let Some(r) = v.get("replications") {
+            spec.replications = u32::try_from(r.as_u64().ok_or("replications must be a u32")?)
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(a) = v.get("audit") {
+            spec.audit = a.as_bool().ok_or("audit must be a bool")?;
+        }
+        if let Some(m) = v.get("mpls") {
+            let arr = m.as_arr().ok_or("mpls must be an array")?;
+            let mut mpls = Vec::with_capacity(arr.len());
+            for x in arr {
+                mpls.push(
+                    u32::try_from(x.as_u64().ok_or("mpl must be a u32")?)
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            spec.mpls = Some(mpls);
+        }
+        Ok(spec)
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a persistent cache key needs (this is not a defense
+/// against adversarial collisions; the cache validates by re-parsing).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaulted_grid_hashes_like_the_explicit_identical_grid() {
+        let defaulted = JobSpec::quick("exp3");
+        let explicit = JobSpec {
+            mpls: Some(catalog::by_id("exp3").unwrap().mpls),
+            ..JobSpec::quick("exp3")
+        };
+        assert_eq!(defaulted.hash().unwrap(), explicit.hash().unwrap());
+        assert_eq!(
+            defaulted.canonical().unwrap(),
+            explicit.canonical().unwrap()
+        );
+    }
+
+    #[test]
+    fn hash_tracks_every_measurement_field_but_not_the_client() {
+        let base = JobSpec {
+            mpls: Some(vec![5, 25]),
+            ..JobSpec::quick("exp3")
+        };
+        let h = base.hash().unwrap();
+        let mut other = base.clone();
+        other.client = "someone-else".to_string();
+        assert_eq!(other.hash().unwrap(), h, "client must not affect the hash");
+        for f in [
+            &mut |s: &mut JobSpec| s.base_seed += 1,
+            &mut |s: &mut JobSpec| s.replications = 2,
+            &mut |s: &mut JobSpec| s.audit = true,
+            &mut |s: &mut JobSpec| s.fidelity = Fidelity::Paper,
+            &mut |s: &mut JobSpec| s.mpls = Some(vec![5]),
+        ] as [&mut dyn FnMut(&mut JobSpec); 5]
+        {
+            let mut changed = base.clone();
+            f(&mut changed);
+            assert_ne!(changed.hash().unwrap(), h, "{changed:?} should differ");
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_spec() {
+        let spec = JobSpec {
+            client: "ci \"bot\"".to_string(),
+            experiment: "exp3".to_string(),
+            fidelity: Fidelity::Paper,
+            base_seed: 77,
+            replications: 3,
+            audit: true,
+            mpls: Some(vec![10, 50]),
+        };
+        let v = json::parse(&spec.to_json()).expect("parses");
+        assert_eq!(JobSpec::from_value(&v).expect("valid"), spec);
+        // Defaults apply when fields are absent.
+        let v = json::parse("{\"experiment\":\"exp3\"}").expect("parses");
+        assert_eq!(
+            JobSpec::from_value(&v).expect("valid"),
+            JobSpec::quick("exp3")
+        );
+    }
+
+    #[test]
+    fn bogus_specs_are_rejected() {
+        assert!(JobSpec::quick("nope").resolve().is_err());
+        assert!(JobSpec::quick("nope").hash().is_err());
+        let empty = JobSpec {
+            mpls: Some(vec![]),
+            ..JobSpec::quick("exp3")
+        };
+        assert!(empty.resolve().is_err());
+        let v = json::parse("{\"client\":\"x\"}").expect("parses");
+        assert!(JobSpec::from_value(&v).is_err(), "experiment is required");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,0 +1,347 @@
+//! The durable job journal: every accepted job is persisted *before* the
+//! daemon acknowledges it, so a `kill -9` at any instant loses nothing
+//! that was acked.
+//!
+//! The journal is a JSONL file (`jobs.jsonl`): a header line followed by
+//! one record per job. Every mutation rewrites the whole file through
+//! [`write_atomic`] (temp-then-rename) — job counts are small (this is a
+//! capacity-planning queue, not an OLTP log), and full rewrite keeps the
+//! invariant trivial: the file on disk is always a complete, valid
+//! snapshot. A *truncated final line* can therefore only appear when
+//! something tore a write out from under us (chaos does this
+//! deliberately); like the checkpoint manifest, recovery discards the
+//! partial record with a warning instead of refusing to start. Interior
+//! corruption is not a crash signature and stays a hard error.
+
+use std::path::{Path, PathBuf};
+
+use ccsim_experiments::json::{self, Value};
+use ccsim_experiments::write_atomic;
+
+use crate::job::JobSpec;
+
+/// Journal format version, written in the header line.
+const VERSION: u64 = 1;
+
+/// Lifecycle of a journaled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for the scheduler.
+    Queued,
+    /// Picked up by the scheduler. A job found in this state at startup
+    /// was interrupted (crash or drain) and is re-enqueued; its checkpoint
+    /// manifest makes the re-run resume instead of restart.
+    Running,
+    /// Finished — result (or terminal error) recorded on disk.
+    Done,
+}
+
+impl JobState {
+    fn token(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+
+    fn from_token(s: &str) -> Result<JobState, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            other => Err(format!("unknown job state {other:?}")),
+        }
+    }
+}
+
+/// One journaled job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Monotonic id, unique within one journal.
+    pub id: u64,
+    /// Canonical config hash (cache and manifest key).
+    pub hash: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The submitted spec.
+    pub spec: JobSpec,
+}
+
+impl JobRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"id\":{},\"hash\":\"{:016x}\",\"state\":\"{}\",\"spec\":{}}}",
+            self.id,
+            self.hash,
+            self.state.token(),
+            self.spec.to_json()
+        )
+    }
+
+    fn from_line(line: &str) -> Result<JobRecord, String> {
+        let v = json::parse(line)?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or("record needs an id")?;
+        let hash = v
+            .get("hash")
+            .and_then(Value::as_str)
+            .ok_or("record needs a hash")
+            .and_then(|h| u64::from_str_radix(h, 16).map_err(|_| "bad hash hex"))?;
+        let state = JobState::from_token(
+            v.get("state")
+                .and_then(Value::as_str)
+                .ok_or("record needs a state")?,
+        )?;
+        let spec = JobSpec::from_value(v.get("spec").ok_or("record needs a spec")?)?;
+        Ok(JobRecord {
+            id,
+            hash,
+            state,
+            spec,
+        })
+    }
+}
+
+/// The durable queue. All mutators persist before returning.
+#[derive(Debug)]
+pub struct JobJournal {
+    path: PathBuf,
+    records: Vec<JobRecord>,
+    warnings: Vec<String>,
+}
+
+impl JobJournal {
+    /// Open (or create) the journal at `path`. A missing file is an empty
+    /// journal; a truncated final record is discarded with a warning.
+    ///
+    /// # Errors
+    /// Returns a description when the header is wrong or an interior
+    /// record is corrupt.
+    pub fn open(path: &Path) -> Result<JobJournal, String> {
+        let mut journal = JobJournal {
+            path: path.to_path_buf(),
+            records: Vec::new(),
+            warnings: Vec::new(),
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(journal),
+            Err(e) => return Err(format!("cannot read job journal {}: {e}", path.display())),
+        };
+        let mut lines = text.lines().enumerate();
+        let Some((_, header)) = lines.next() else {
+            return Ok(journal);
+        };
+        let hv = json::parse(header).map_err(|e| format!("bad journal header: {e}"))?;
+        match hv.get("ccsim_serve_journal").and_then(Value::as_u64) {
+            Some(VERSION) => {}
+            Some(v) => return Err(format!("unsupported journal version {v}")),
+            None => return Err("not a ccsim-serve job journal".to_string()),
+        }
+        let body: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+        for (i, (lineno, line)) in body.iter().enumerate() {
+            match JobRecord::from_line(line) {
+                Ok(rec) => journal.records.push(rec),
+                Err(e) if i + 1 == body.len() => {
+                    // Torn final write: recover what was complete.
+                    journal.warnings.push(format!(
+                        "discarded truncated final journal record at line {} ({e})",
+                        lineno + 1
+                    ));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "corrupt job journal {} line {}: {e}",
+                        path.display(),
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(journal)
+    }
+
+    /// All records, in submission order.
+    #[must_use]
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Recovery warnings from [`JobJournal::open`].
+    #[must_use]
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The id the next appended job will get.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.records.iter().map(|r| r.id + 1).max().unwrap_or(1)
+    }
+
+    /// A queued or running record with this hash, if any (used to dedupe
+    /// concurrent identical submissions).
+    #[must_use]
+    pub fn find_active(&self, hash: u64) -> Option<&JobRecord> {
+        self.records
+            .iter()
+            .find(|r| r.hash == hash && r.state != JobState::Done)
+    }
+
+    /// Look up a record by id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Jobs queued ahead of the scheduler (used for load shedding).
+    #[must_use]
+    pub fn queued_depth(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.state == JobState::Queued)
+            .count()
+    }
+
+    /// Append a new queued job and persist. Returns the assigned id.
+    ///
+    /// # Errors
+    /// Returns a description when the journal cannot be written — the job
+    /// is **not** recorded in memory either (no ack without durability).
+    pub fn append(&mut self, spec: JobSpec, hash: u64) -> Result<u64, String> {
+        let id = self.next_id();
+        self.records.push(JobRecord {
+            id,
+            hash,
+            state: JobState::Queued,
+            spec,
+        });
+        if let Err(e) = self.persist() {
+            self.records.pop();
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Move a job to `state` and persist.
+    ///
+    /// # Errors
+    /// Returns a description for an unknown id or a failed write.
+    pub fn set_state(&mut self, id: u64, state: JobState) -> Result<(), String> {
+        let rec = self
+            .records
+            .iter_mut()
+            .find(|r| r.id == id)
+            .ok_or_else(|| format!("no journaled job {id}"))?;
+        let prev = rec.state;
+        rec.state = state;
+        if let Err(e) = self.persist() {
+            if let Some(r) = self.records.iter_mut().find(|r| r.id == id) {
+                r.state = prev;
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn persist(&self) -> Result<(), String> {
+        let mut out = format!("{{\"ccsim_serve_journal\":{VERSION}}}\n");
+        for rec in &self.records {
+            out.push_str(&rec.to_line());
+            out.push('\n');
+        }
+        crate::chaos::maybe_tear_journal(&self.path, &out);
+        write_atomic(&self.path, out.as_bytes())
+            .map_err(|e| format!("cannot write job journal {}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccsim-serve-journal-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("jobs.jsonl")
+    }
+
+    #[test]
+    fn append_and_state_changes_survive_reopen() {
+        let path = tmp("roundtrip");
+        let mut j = JobJournal::open(&path).unwrap();
+        assert_eq!(j.next_id(), 1);
+        let spec = JobSpec::quick("exp3");
+        let hash = spec.hash().unwrap();
+        let id = j.append(spec.clone(), hash).unwrap();
+        assert_eq!(id, 1);
+        j.set_state(id, JobState::Running).unwrap();
+        let j2 = JobJournal::open(&path).unwrap();
+        assert!(j2.warnings().is_empty());
+        assert_eq!(j2.records().len(), 1);
+        assert_eq!(j2.records()[0].state, JobState::Running);
+        assert_eq!(j2.records()[0].spec, spec);
+        assert_eq!(j2.records()[0].hash, hash);
+        assert_eq!(j2.next_id(), 2);
+    }
+
+    #[test]
+    fn truncated_final_record_is_discarded_with_a_warning() {
+        let path = tmp("torn");
+        let mut j = JobJournal::open(&path).unwrap();
+        let spec = JobSpec::quick("exp3");
+        let hash = spec.hash().unwrap();
+        j.append(spec.clone(), hash).unwrap();
+        let mut other = JobSpec::quick("exp3");
+        other.base_seed = 9;
+        let h2 = other.hash().unwrap();
+        j.append(other, h2).unwrap();
+        // Tear the tail off the final record, as a mid-write crash would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+        let j2 = JobJournal::open(&path).unwrap();
+        assert_eq!(j2.records().len(), 1, "complete record survives");
+        assert_eq!(j2.records()[0].hash, hash);
+        assert_eq!(j2.warnings().len(), 1);
+        assert!(j2.warnings()[0].contains("truncated final journal record"));
+        // The discarded id is reused — the job was never acked as durable.
+        assert_eq!(j2.next_id(), 2);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error() {
+        let path = tmp("interior");
+        let mut j = JobJournal::open(&path).unwrap();
+        let spec = JobSpec::quick("exp3");
+        let hash = spec.hash().unwrap();
+        j.append(spec.clone(), hash).unwrap();
+        let mut other = JobSpec::quick("exp3");
+        other.base_seed = 9;
+        let h2 = other.hash().unwrap();
+        j.append(other, h2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"id\":not json";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = JobJournal::open(&path).unwrap_err();
+        assert!(err.contains("corrupt job journal"), "{err}");
+    }
+
+    #[test]
+    fn dedupe_finds_active_but_not_done_jobs() {
+        let path = tmp("dedupe");
+        let mut j = JobJournal::open(&path).unwrap();
+        let spec = JobSpec::quick("exp3");
+        let hash = spec.hash().unwrap();
+        let id = j.append(spec.clone(), hash).unwrap();
+        assert_eq!(j.find_active(hash).map(|r| r.id), Some(id));
+        assert_eq!(j.queued_depth(), 1);
+        j.set_state(id, JobState::Done).unwrap();
+        assert!(j.find_active(hash).is_none());
+        assert_eq!(j.queued_depth(), 0);
+    }
+}

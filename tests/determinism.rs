@@ -7,7 +7,7 @@ use ccsim_core::{
     SimConfig,
 };
 use ccsim_des::SimDuration;
-use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RunOptions};
+use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RetryPolicy, RunOptions};
 
 fn quick() -> MetricsConfig {
     MetricsConfig {
@@ -43,7 +43,8 @@ fn experiment_results_and_json_replay_exactly() {
         threads: 1,
         replications: 1,
         audit: false,
-        retry_quick: false,
+        retry: RetryPolicy::none(),
+        event_pool: None,
     };
     let a = run_experiment(&spec, &opts).expect("sweep completes");
     let b = run_experiment(&spec, &opts).expect("sweep completes");
@@ -130,7 +131,7 @@ fn scale_point_is_deterministic_under_observation_and_calendar_choice() {
                 batch_time: SimDuration::from_millis(250),
                 confidence: Confidence::Ninety,
             })
-            .with_seed(0x5CA1E_D)
+            .with_seed(0x5CA1ED)
             .with_budget(RunBudget::unlimited().with_max_events(300_000))
     };
     let base = run_collecting(mk()).unwrap();
@@ -197,7 +198,7 @@ fn modern_scale_points_are_deterministic_under_toggles() {
                     batch_time: SimDuration::from_millis(250),
                     confidence: Confidence::Ninety,
                 })
-                .with_seed(0x5CA1E_D)
+                .with_seed(0x5CA1ED)
                 .with_budget(RunBudget::unlimited().with_max_events(200_000))
         };
         let base = run_collecting(mk()).unwrap();

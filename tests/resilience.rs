@@ -17,7 +17,8 @@ use std::path::PathBuf;
 
 use ccsim_experiments::{
     catalog, json, run_experiment, run_experiment_supervised, ChaosKind, ChaosPoint,
-    ExperimentSpec, FailureKind, Fidelity, RetryOutcome, RunOptions, SweepControl, SweepError,
+    ExperimentSpec, FailureKind, Fidelity, RetryOutcome, RetryPolicy, RunOptions, SweepControl,
+    SweepError,
 };
 
 fn tiny_spec() -> ExperimentSpec {
@@ -33,7 +34,8 @@ fn tiny_opts() -> RunOptions {
         threads: 0,
         replications: 1,
         audit: false,
-        retry_quick: false,
+        retry: RetryPolicy::none(),
+        event_pool: None,
     }
 }
 
@@ -67,6 +69,7 @@ fn chaos_panic_is_isolated_to_one_hole() {
             mpl: 25,
             rep: 0,
             kind: ChaosKind::Panic,
+            fail_attempts: 1,
         }),
         ..SweepControl::default()
     };
@@ -104,6 +107,7 @@ fn chaos_budget_exhaustion_is_a_typed_budget_hole() {
             mpl: 5,
             rep: 0,
             kind: ChaosKind::BudgetExhaust,
+            fail_attempts: 1,
         }),
         ..SweepControl::default()
     };
@@ -129,11 +133,12 @@ fn retry_quick_fills_the_hole_and_keeps_the_failure_on_record() {
             mpl: 5,
             rep: 0,
             kind: ChaosKind::Panic,
+            fail_attempts: 1,
         }),
         ..SweepControl::default()
     };
     let opts = RunOptions {
-        retry_quick: true,
+        retry: RetryPolicy::quick_once(),
         ..tiny_opts()
     };
     let result = run_experiment_supervised(&spec, &opts, &ctl).expect("sweep survives");
@@ -142,7 +147,10 @@ fn retry_quick_fills_the_hole_and_keeps_the_failure_on_record() {
     assert!(result.holes().is_empty());
     // ...but the failure is still recorded, marked as retried.
     assert_eq!(result.failures.len(), 1);
-    assert_eq!(result.failures[0].retry, RetryOutcome::Succeeded);
+    assert_eq!(
+        result.failures[0].retry,
+        RetryOutcome::Degraded { attempts: 2 }
+    );
     assert!(!result.is_clean());
 }
 
@@ -233,6 +241,7 @@ fn resume_after_chaos_panic_converges_on_the_clean_result() {
                 mpl: 25,
                 rep: 0,
                 kind: ChaosKind::Panic,
+                fail_attempts: 1,
             }),
             ..SweepControl::default()
         },
@@ -291,4 +300,192 @@ fn foreign_manifest_is_rejected_on_resume() {
         "unexpected error: {err}"
     );
     assert!(err.to_string().contains("seed") || err.to_string().contains("manifest"));
+}
+
+#[test]
+fn retry_recovers_on_the_attempt_after_chaos_stops_failing() {
+    // Chaos fails the first 2 attempts; a 3-attempt policy recovers on
+    // attempt 3 with the full-fidelity report — the result is bit-identical
+    // to a clean sweep, with the failure (and its attempt count) on record.
+    let spec = tiny_spec();
+    let clean = run_experiment(&spec, &tiny_opts()).expect("clean sweep");
+    let opts = RunOptions {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1, // keep the test fast; determinism is tested elsewhere
+            max_backoff_ms: 2,
+            jitter_seed: 9,
+            degrade_to_quick: false,
+        },
+        ..tiny_opts()
+    };
+    let ctl = SweepControl {
+        chaos: Some(ChaosPoint {
+            series_ix: 1,
+            mpl: 5,
+            rep: 0,
+            kind: ChaosKind::Panic,
+            fail_attempts: 2,
+        }),
+        ..SweepControl::default()
+    };
+    let result = run_experiment_supervised(&spec, &opts, &ctl).expect("sweep survives");
+    assert!(result.holes().is_empty());
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(
+        result.failures[0].retry,
+        RetryOutcome::Recovered { attempts: 3 }
+    );
+    assert_eq!(result.failures[0].kind, FailureKind::Panic);
+    assert!(result.fully_measured(), "a recovered sweep is canonical");
+    // Recovery is invisible in the measurements: every point matches the
+    // clean sweep bit for bit.
+    assert_eq!(result.points.len(), clean.points.len());
+    for (p, c) in result.points.iter().zip(clean.points.iter()) {
+        assert_eq!(
+            p.report, c.report,
+            "{}@{} perturbed by retry",
+            p.series, p.mpl
+        );
+    }
+}
+
+#[test]
+fn retry_attempts_are_capped_by_the_policy() {
+    // Chaos outlasts the policy: 2 attempts allowed, first 5 fail.
+    let spec = tiny_spec();
+    let opts = RunOptions {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 1,
+            max_backoff_ms: 2,
+            jitter_seed: 9,
+            degrade_to_quick: false,
+        },
+        ..tiny_opts()
+    };
+    let ctl = SweepControl {
+        chaos: Some(ChaosPoint {
+            series_ix: 0,
+            mpl: 25,
+            rep: 0,
+            kind: ChaosKind::Panic,
+            fail_attempts: 5,
+        }),
+        ..SweepControl::default()
+    };
+    let result = run_experiment_supervised(&spec, &opts, &ctl).expect("sweep survives");
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(
+        result.failures[0].retry,
+        RetryOutcome::Failed { attempts: 2 }
+    );
+    assert_eq!(result.holes(), vec![("blocking".to_string(), 25)]);
+    assert!(!result.fully_measured());
+}
+
+#[test]
+fn recovered_points_are_journaled_so_resume_skips_them() {
+    // A chaos-hit point that recovers on attempt 2 is checkpointed like a
+    // clean run; resuming the manifest re-runs nothing and the output is
+    // byte-identical to an uninterrupted, fault-free sweep.
+    let spec = tiny_spec();
+    let opts = RunOptions {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_seed: 0,
+            degrade_to_quick: false,
+        },
+        ..tiny_opts()
+    };
+    let clean = run_experiment(&spec, &tiny_opts()).expect("clean sweep");
+    let baseline = json::to_json(&clean);
+    let scratch = Scratch::new("recovered-journal.manifest.jsonl");
+    let faulted = run_experiment_supervised(
+        &spec,
+        &opts,
+        &SweepControl {
+            checkpoint: Some(&scratch.0),
+            chaos: Some(ChaosPoint {
+                series_ix: 2,
+                mpl: 25,
+                rep: 0,
+                kind: ChaosKind::BudgetExhaust,
+                fail_attempts: 1,
+            }),
+            ..SweepControl::default()
+        },
+    )
+    .expect("sweep survives");
+    assert_eq!(
+        faulted.failures[0].retry,
+        RetryOutcome::Recovered { attempts: 2 }
+    );
+    // The failure stays on record (so the JSON differs by exactly that),
+    // but every measurement matches the fault-free sweep bit for bit.
+    assert_eq!(faulted.points.len(), clean.points.len());
+    for (p, c) in faulted.points.iter().zip(clean.points.iter()) {
+        assert_eq!(p.report, c.report, "{}@{} perturbed", p.series, p.mpl);
+    }
+
+    let resumed = run_experiment_supervised(
+        &spec,
+        &opts,
+        &SweepControl {
+            checkpoint: Some(&scratch.0),
+            resume: true,
+            ..SweepControl::default()
+        },
+    )
+    .expect("resumed sweep completes");
+    assert!(
+        resumed.is_clean(),
+        "every run was journaled; nothing re-ran"
+    );
+    assert_eq!(json::to_json(&resumed), baseline);
+}
+
+#[test]
+fn truncated_manifest_tail_resumes_with_a_warning() {
+    let spec = tiny_spec();
+    let opts = RunOptions {
+        threads: 1,
+        ..tiny_opts()
+    };
+    let baseline = json::to_json(&run_experiment(&spec, &opts).expect("clean sweep"));
+    let scratch = Scratch::new("torn-tail.manifest.jsonl");
+    run_experiment_supervised(
+        &spec,
+        &opts,
+        &SweepControl {
+            checkpoint: Some(&scratch.0),
+            ..SweepControl::default()
+        },
+    )
+    .expect("checkpointed sweep completes");
+    // Simulate a crash mid-append: cut the final journal line short.
+    let text = std::fs::read_to_string(&scratch.0).expect("read manifest");
+    let cut = text.trim_end().len() - 30;
+    std::fs::write(&scratch.0, &text[..cut]).expect("truncate");
+
+    let resumed = run_experiment_supervised(
+        &spec,
+        &opts,
+        &SweepControl {
+            checkpoint: Some(&scratch.0),
+            resume: true,
+            ..SweepControl::default()
+        },
+    )
+    .expect("tolerant resume");
+    assert_eq!(resumed.warnings.len(), 1, "{:?}", resumed.warnings);
+    assert!(resumed.warnings[0].contains("truncated final manifest entry"));
+    assert!(resumed.is_clean());
+    assert_eq!(
+        json::to_json(&resumed),
+        baseline,
+        "the re-run point must replace the torn record exactly"
+    );
 }
