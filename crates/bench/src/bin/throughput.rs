@@ -12,12 +12,12 @@
 //!
 //! ```text
 //! throughput [--reps 3] [--batches 600] [--mpl 50] [--db 10000]
-//!            [--seed <u64>] [--floor-frac 0.30] [--perf]
+//!            [--seed <u64>] [--floor-frac 0.30] [--perf] [--profile]
 //!            [--scale] [--scale-db 100000000] [--scale-terms 1000000]
 //!            [--scale-mpl 100000] [--scale-events 10000000]
-//!            [--rss-slack 1.5]
-//!            [--out BENCH_6.json] [--check BENCH_6.json]
-//!            [--baseline BENCH_5.json]
+//!            [--scale-floor-min 0] [--rss-slack 1.5]
+//!            [--out BENCH_7.json] [--check BENCH_7.json]
+//!            [--baseline BENCH_6.json] [--stages-from profile.json]
 //! ```
 //!
 //! `--out` archives the measurements as JSON, including a conservative
@@ -31,6 +31,18 @@
 //! counters are always embedded in `--out` JSON. `--baseline <path>`
 //! embeds a comparison block into `--out`: this run's events/sec over
 //! the events/sec archived in a previous benchmark file.
+//!
+//! `--profile` (requires a build with the `profile` feature, which turns
+//! on `ccsim-core/stage-profiler`) additionally runs each measured point
+//! once more with the in-engine stage profiler and prints the per-stage
+//! cycle breakdown; the scale point's breakdown is embedded into `--out`
+//! JSON. Because the instrumented build pays a timestamp per stage
+//! switch, archives meant to carry *floors* should be produced by the
+//! default build and given the breakdown via `--stages-from <path>`,
+//! which copies the `"stages"` block out of a profile-build archive.
+//! `--scale-floor-min <r>` raises the archived scale floor to at least
+//! `r` events/sec (used to encode a required speedup over a previous
+//! benchmark generation into the archive itself).
 //!
 //! `--scale` adds the million-scale regime (the `exp-scale` catalog
 //! point: a 10^8-page database, 10^6 terminals, mpl 10^5, infinite
@@ -56,7 +68,7 @@ use std::process::ExitCode;
 
 use ccsim_core::{
     run_collecting, run_with_perf, CcAlgorithm, MetricsConfig, Params, PerfStats, Report,
-    RunBudget, RunOutcome, SimConfig, StreamingQuantiles,
+    RunBudget, RunOutcome, SimConfig, StageProfile, StreamingQuantiles, STAGE_PROFILER_COMPILED,
 };
 use ccsim_des::{CalendarStats, SimDuration};
 use ccsim_experiments::json;
@@ -70,15 +82,18 @@ struct Cli {
     seed: u64,
     floor_frac: f64,
     perf: bool,
+    profile: bool,
     scale: bool,
     scale_db: u64,
     scale_terms: u32,
     scale_mpl: u32,
     scale_events: u64,
+    scale_floor_min: f64,
     rss_slack: f64,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    stages_from: Option<PathBuf>,
 }
 
 /// One algorithm's median-of-reps measurement.
@@ -106,15 +121,18 @@ fn parse_args() -> Result<Cli, String> {
         seed: 0xCC85,
         floor_frac: 0.30,
         perf: false,
+        profile: false,
         scale: false,
         scale_db: 100_000_000,
         scale_terms: 1_000_000,
         scale_mpl: 100_000,
         scale_events: 10_000_000,
+        scale_floor_min: 0.0,
         rss_slack: 1.5,
         out: None,
         check: None,
         baseline: None,
+        stages_from: None,
     };
     let mut args = std::env::args().skip(1);
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -131,6 +149,7 @@ fn parse_args() -> Result<Cli, String> {
                 cli.floor_frac = parse_num(&next_val(&mut args, "--floor-frac")?)?;
             }
             "--perf" => cli.perf = true,
+            "--profile" => cli.profile = true,
             "--scale" => cli.scale = true,
             "--scale-db" => cli.scale_db = parse_num(&next_val(&mut args, "--scale-db")?)?,
             "--scale-terms" => {
@@ -140,11 +159,17 @@ fn parse_args() -> Result<Cli, String> {
             "--scale-events" => {
                 cli.scale_events = parse_num(&next_val(&mut args, "--scale-events")?)?;
             }
+            "--scale-floor-min" => {
+                cli.scale_floor_min = parse_num(&next_val(&mut args, "--scale-floor-min")?)?;
+            }
             "--rss-slack" => cli.rss_slack = parse_num(&next_val(&mut args, "--rss-slack")?)?,
             "--out" => cli.out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check" => cli.check = Some(PathBuf::from(next_val(&mut args, "--check")?)),
             "--baseline" => {
                 cli.baseline = Some(PathBuf::from(next_val(&mut args, "--baseline")?));
+            }
+            "--stages-from" => {
+                cli.stages_from = Some(PathBuf::from(next_val(&mut args, "--stages-from")?));
             }
             other => return Err(format!("unknown flag {other} (see --help in the source)")),
         }
@@ -163,6 +188,19 @@ fn parse_args() -> Result<Cli, String> {
     }
     if cli.baseline.is_some() && cli.out.is_none() {
         return Err("--baseline requires --out (it is embedded in the archive)".to_string());
+    }
+    if cli.stages_from.is_some() && cli.out.is_none() {
+        return Err("--stages-from requires --out (it is embedded in the archive)".to_string());
+    }
+    if cli.scale_floor_min < 0.0 {
+        return Err("--scale-floor-min must be non-negative".to_string());
+    }
+    if cli.profile && !STAGE_PROFILER_COMPILED {
+        return Err(
+            "the stage profiler is not compiled into this binary; rebuild with \
+             `cargo run --release -p ccsim-bench --features profile --bin throughput`"
+                .to_string(),
+        );
     }
     Ok(cli)
 }
@@ -221,6 +259,25 @@ fn measure(cli: &Cli, algo: CcAlgorithm) -> Result<Measurement, String> {
     })
 }
 
+/// Min / median / max of a set of repetition rates. The median is the
+/// headline number; the endpoints quantify the wall-clock noise the
+/// repetition scheme is fighting, so archives record all three.
+#[derive(Clone, Copy)]
+struct Spread {
+    min: f64,
+    median: f64,
+    max: f64,
+}
+
+fn spread(mut rates: Vec<f64>) -> Spread {
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rate is finite"));
+    Spread {
+        min: rates[0],
+        median: rates[rates.len() / 2],
+        max: *rates.last().expect("at least one rep"),
+    }
+}
+
 /// The million-scale measurement: the elide-on point (floor source) plus
 /// the elide-off ablation at the identical configuration.
 struct ScaleMeasurement {
@@ -244,14 +301,26 @@ struct ScaleMeasurement {
     /// its wall clock is dominated by paging the ~600 MiB working set —
     /// while the derived point still packs hundreds of events per lane
     /// bucket and a six-figure calendar.
+    ///
+    /// The two arms are *interleaved* (fast, stripped, fast, stripped, …)
+    /// rather than run as consecutive blocks, so slow machine drift —
+    /// thermal throttling, a noisy CI neighbor arriving mid-benchmark —
+    /// lands on both arms equally instead of biasing whichever block ran
+    /// second; the speedup is the ratio of medians, with each arm's
+    /// min/median/max archived so the residual noise is visible.
     ablation_terms: u32,
     ablation_mpl: u32,
     ablation_events: u64,
-    fast_events_per_sec: f64,
-    baseline_events_per_sec: f64,
+    fast: Spread,
+    stripped: Spread,
     fastpath_speedup: f64,
     /// Process peak RSS after both runs (`VmHWM`; `None` off Linux).
     peak_rss_bytes: Option<u64>,
+    /// Per-stage breakdown of the full point's median rep (profile builds
+    /// only — `None` when the stage profiler is compiled out).
+    stages: Option<StageProfile>,
+    /// Wall time of the profiled median rep (denominator for coverage).
+    profiled_wall: std::time::Duration,
 }
 
 fn scale_config(cli: &Cli, terms: u32, mpl: u32, max_events: u64, fast_paths: bool) -> SimConfig {
@@ -298,11 +367,21 @@ fn measure_scale(cli: &Cli) -> Result<ScaleMeasurement, String> {
     let ab_terms = (cli.scale_terms / 5).max(1);
     let ab_mpl = (cli.scale_mpl / 5).max(1).min(ab_terms);
     let ab_events = (cli.scale_events / 2).max(1);
-    let fast = run_point(ab_terms, ab_mpl, ab_events, true)?;
-    let stripped = run_point(ab_terms, ab_mpl, ab_events, false)?;
-    debug_assert_eq!(fast.perf.events, stripped.perf.events);
-    let fast_rate = fast.perf.events_per_sec();
-    let stripped_rate = stripped.perf.events_per_sec();
+    // Interleave the ablation arms rep by rep (fast, stripped, fast, …) so
+    // machine drift during the benchmark hits both arms symmetrically.
+    let mut fast_rates = Vec::with_capacity(cli.reps as usize);
+    let mut stripped_rates = Vec::with_capacity(cli.reps as usize);
+    for _ in 0..cli.reps {
+        let fast = run_collecting(scale_config(cli, ab_terms, ab_mpl, ab_events, true))
+            .map_err(|e| format!("scale ablation: {e}"))?;
+        let stripped = run_collecting(scale_config(cli, ab_terms, ab_mpl, ab_events, false))
+            .map_err(|e| format!("scale ablation: {e}"))?;
+        debug_assert_eq!(fast.perf.events, stripped.perf.events);
+        fast_rates.push(fast.perf.events_per_sec());
+        stripped_rates.push(stripped.perf.events_per_sec());
+    }
+    let fast = spread(fast_rates);
+    let stripped = spread(stripped_rates);
     let secs = full.perf.wall.as_secs_f64();
     Ok(ScaleMeasurement {
         events_per_sec: full.perf.events_per_sec(),
@@ -320,14 +399,16 @@ fn measure_scale(cli: &Cli) -> Result<ScaleMeasurement, String> {
         ablation_terms: ab_terms,
         ablation_mpl: ab_mpl,
         ablation_events: ab_events,
-        fast_events_per_sec: fast_rate,
-        baseline_events_per_sec: stripped_rate,
-        fastpath_speedup: if stripped_rate > 0.0 {
-            fast_rate / stripped_rate
+        fast,
+        stripped,
+        fastpath_speedup: if stripped.median > 0.0 {
+            fast.median / stripped.median
         } else {
             0.0
         },
         peak_rss_bytes: peak_rss_bytes(),
+        stages: full.stages,
+        profiled_wall: full.perf.wall,
     })
 }
 
@@ -396,10 +477,93 @@ fn baseline_block(path: &PathBuf, results: &[Measurement]) -> Result<String, Str
     Ok(out)
 }
 
+/// Serialize a per-stage breakdown as a JSON block (comma-prefixed, ready
+/// to append inside the scale object).
+fn stages_json(p: &StageProfile, wall: std::time::Duration) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(",\"stages\":[");
+    for (i, st) in p.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cycles\":{},\"enters\":{},\"frac\":{:.4},\"secs\":{:.3}}}",
+            st.name,
+            st.cycles,
+            st.enters,
+            st.frac,
+            p.stage_secs(i)
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"profiled_wall_secs\":{:.3},\"profile_coverage\":{:.3}",
+        p.wall.as_secs_f64(),
+        p.covered_frac(wall)
+    );
+    out
+}
+
+/// Extract the archived `"stages"` block (plus its coverage fields) from a
+/// profile-build archive, re-emitting it for embedding into a new archive.
+/// Lets the floors come from an uninstrumented build while the breakdown
+/// comes from the instrumented companion run.
+fn stages_block_from(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let scale = doc
+        .get("scale")
+        .ok_or_else(|| format!("{}: no \"scale\" block", path.display()))?;
+    let arr = scale
+        .get("stages")
+        .and_then(json::Value::as_arr)
+        .ok_or_else(|| {
+            format!(
+                "{}: no \"stages\" in the scale block (re-archive with a \
+                 --features profile build and --profile)",
+                path.display()
+            )
+        })?;
+    let mut out = String::with_capacity(512);
+    out.push_str(",\"stages\":[");
+    for (i, st) in arr.iter().enumerate() {
+        let field = |key: &str| {
+            st.get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{}: stage missing {key}", path.display()))
+        };
+        let name = st
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("{}: stage missing name", path.display()))?;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cycles\":{:.0},\"enters\":{:.0},\"frac\":{:.4},\"secs\":{:.3}}}",
+            name,
+            field("cycles")?,
+            field("enters")?,
+            field("frac")?,
+            field("secs")?
+        );
+    }
+    out.push(']');
+    for key in ["profiled_wall_secs", "profile_coverage"] {
+        if let Some(v) = scale.get(key).and_then(json::Value::as_f64) {
+            let _ = write!(out, ",\"{key}\":{v:.3}");
+        }
+    }
+    Ok(out)
+}
+
 /// Serialize the scale block for `--out`. Floors follow the small-regime
-/// convention (`floor-frac` x measured); the RSS ceiling goes the other
-/// way (`rss-slack` x measured) because memory regressions grow upward.
-fn scale_json(cli: &Cli, s: &ScaleMeasurement) -> String {
+/// convention (`floor-frac` x measured, raised to at least
+/// `--scale-floor-min`); the RSS ceiling goes the other way (`rss-slack` x
+/// measured) because memory regressions grow upward.
+fn scale_json(cli: &Cli, s: &ScaleMeasurement, extra_stages: Option<&str>) -> String {
     let mut out = String::with_capacity(768);
     let _ = write!(
         out,
@@ -413,7 +577,7 @@ fn scale_json(cli: &Cli, s: &ScaleMeasurement) -> String {
         "\"events_per_sec\":{:.0},\"floor_events_per_sec\":{:.0},\"commits_per_sec\":{:.1},\
          \"events\":{},\"commits\":{},\"peak_calendar\":{},\"peak_lock_table\":{},",
         s.events_per_sec,
-        s.events_per_sec * cli.floor_frac,
+        (s.events_per_sec * cli.floor_frac).max(cli.scale_floor_min),
         s.commits_per_sec,
         s.events,
         s.commits,
@@ -437,13 +601,20 @@ fn scale_json(cli: &Cli, s: &ScaleMeasurement) -> String {
     let _ = write!(
         out,
         "\"ablation\":{{\"num_terms\":{},\"mpl\":{},\"max_events\":{},\
-         \"fast_events_per_sec\":{:.0},\"baseline_events_per_sec\":{:.0},\
+         \"interleaved_reps\":{},\
+         \"fast_events_per_sec\":{:.0},\"fast_min\":{:.0},\"fast_max\":{:.0},\
+         \"baseline_events_per_sec\":{:.0},\"stripped_min\":{:.0},\"stripped_max\":{:.0},\
          \"fastpath_speedup\":{:.3}}}",
         s.ablation_terms,
         s.ablation_mpl,
         s.ablation_events,
-        s.fast_events_per_sec,
-        s.baseline_events_per_sec,
+        cli.reps,
+        s.fast.median,
+        s.fast.min,
+        s.fast.max,
+        s.stripped.median,
+        s.stripped.min,
+        s.stripped.max,
         s.fastpath_speedup
     );
     match s.peak_rss_bytes {
@@ -455,6 +626,11 @@ fn scale_json(cli: &Cli, s: &ScaleMeasurement) -> String {
             );
         }
         None => out.push_str(",\"peak_rss_bytes\":null,\"rss_ceiling_bytes\":null"),
+    }
+    if let Some(p) = &s.stages {
+        out.push_str(&stages_json(p, s.profiled_wall));
+    } else if let Some(block) = extra_stages {
+        out.push_str(block);
     }
     out.push('}');
     out
@@ -524,88 +700,136 @@ fn to_json(
     out
 }
 
+/// One metric's verdict against its archived bound. Every compared metric
+/// produces a line — passes included — so a CI log shows the measured
+/// value next to the archived bound whether or not the gate trips, and a
+/// failure is diagnosable (how far below the floor? which metric?) from
+/// the log alone.
+struct CheckLine {
+    ok: bool,
+    text: String,
+}
+
+impl CheckLine {
+    fn pass(text: String) -> Self {
+        CheckLine { ok: true, text }
+    }
+    fn fail(text: String) -> Self {
+        CheckLine { ok: false, text }
+    }
+    fn bound(label: &str, measured: f64, relation: &str, bound: f64, unit: &str, ok: bool) -> Self {
+        CheckLine {
+            ok,
+            text: format!(
+                "{label}: measured {measured:.0} {unit} {verdict} archived {relation} \
+                 {bound:.0} {unit}",
+                verdict = if ok { "meets" } else { "violates" },
+            ),
+        }
+    }
+}
+
 /// Compare fresh measurements against the floors archived in `path`.
-/// Returns the list of failures (empty = all algorithms at or above floor).
-fn check_floors(path: &PathBuf, results: &[Measurement]) -> Result<Vec<String>, String> {
+/// Returns one line per algorithm (pass or fail).
+fn check_floors(path: &PathBuf, results: &[Measurement]) -> Result<Vec<CheckLine>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let algos = doc
         .get("algorithms")
         .and_then(json::Value::as_arr)
         .ok_or_else(|| format!("{}: missing \"algorithms\" array", path.display()))?;
-    let mut failures = Vec::new();
+    let mut lines = Vec::new();
     for m in results {
         let archived = algos
             .iter()
             .find(|v| v.get("algo").and_then(json::Value::as_str) == Some(m.algo.label()));
         let Some(archived) = archived else {
-            failures.push(format!("{}: no archived floor", m.algo.label()));
+            lines.push(CheckLine::fail(format!(
+                "{}: no archived floor",
+                m.algo.label()
+            )));
             continue;
         };
         let floor = archived
             .get("floor_events_per_sec")
             .and_then(json::Value::as_f64)
             .ok_or_else(|| format!("{}: bad floor for {}", path.display(), m.algo.label()))?;
-        if m.events_per_sec < floor {
-            failures.push(format!(
-                "{}: {:.0} events/sec is below the archived floor {:.0}",
-                m.algo.label(),
-                m.events_per_sec,
-                floor
-            ));
-        }
+        lines.push(CheckLine::bound(
+            m.algo.label(),
+            m.events_per_sec,
+            "floor",
+            floor,
+            "events/sec",
+            m.events_per_sec >= floor,
+        ));
     }
-    Ok(failures)
+    Ok(lines)
 }
 
 /// Compare a fresh scale measurement against the `"scale"` block archived
 /// in `path`: the events/sec floor, the RSS ceiling, and the elision win.
-fn check_scale(path: &PathBuf, s: &ScaleMeasurement) -> Result<Vec<String>, String> {
+fn check_scale(path: &PathBuf, s: &ScaleMeasurement) -> Result<Vec<CheckLine>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let Some(block) = doc.get("scale") else {
-        return Ok(vec![format!(
+        return Ok(vec![CheckLine::fail(format!(
             "scale: {} has no archived scale block (re-archive with --scale --out)",
             path.display()
-        )]);
+        ))]);
     };
-    let mut failures = Vec::new();
+    let mut lines = Vec::new();
     let floor = block
         .get("floor_events_per_sec")
         .and_then(json::Value::as_f64)
         .ok_or_else(|| format!("{}: bad scale floor", path.display()))?;
-    if s.events_per_sec < floor {
-        failures.push(format!(
-            "scale: {:.0} events/sec is below the archived floor {:.0}",
-            s.events_per_sec, floor
-        ));
-    }
-    if s.fastpath_speedup <= 1.0 {
-        failures.push(format!(
-            "scale: fast-path speedup {:.3} is not a win (two-tier+elision {:.0} vs \
-             stripped {:.0} events/sec at terms {}, mpl {})",
-            s.fastpath_speedup,
-            s.fast_events_per_sec,
-            s.baseline_events_per_sec,
-            s.ablation_terms,
-            s.ablation_mpl
-        ));
-    }
+    lines.push(CheckLine::bound(
+        "scale/blocking",
+        s.events_per_sec,
+        "floor",
+        floor,
+        "events/sec",
+        s.events_per_sec >= floor,
+    ));
+    let win = s.fastpath_speedup > 1.0;
+    let spread_note = format!(
+        "two-tier+elision {:.0} [{:.0}..{:.0}] vs stripped {:.0} [{:.0}..{:.0}] events/sec \
+         at terms {}, mpl {}",
+        s.fast.median,
+        s.fast.min,
+        s.fast.max,
+        s.stripped.median,
+        s.stripped.min,
+        s.stripped.max,
+        s.ablation_terms,
+        s.ablation_mpl
+    );
+    lines.push(if win {
+        CheckLine::pass(format!(
+            "scale ablation: fast-path speedup {:.3}x is a win ({spread_note})",
+            s.fastpath_speedup
+        ))
+    } else {
+        CheckLine::fail(format!(
+            "scale ablation: fast-path speedup {:.3}x is not a win ({spread_note})",
+            s.fastpath_speedup
+        ))
+    });
     // The ceiling only binds where VmHWM is measurable (Linux) and was
     // archived from a Linux machine in the first place.
     if let (Some(rss), Some(ceiling)) = (
         s.peak_rss_bytes,
         block.get("rss_ceiling_bytes").and_then(json::Value::as_f64),
     ) {
-        if rss as f64 > ceiling {
-            failures.push(format!(
-                "scale: peak RSS {:.0} MiB exceeds the archived ceiling {:.0} MiB",
-                rss as f64 / (1024.0 * 1024.0),
-                ceiling / (1024.0 * 1024.0)
-            ));
-        }
+        lines.push(CheckLine::bound(
+            "scale RSS",
+            rss as f64 / (1024.0 * 1024.0),
+            "ceiling",
+            ceiling / (1024.0 * 1024.0),
+            "MiB",
+            rss as f64 <= ceiling,
+        ));
     }
-    Ok(failures)
+    Ok(lines)
 }
 
 fn main() -> ExitCode {
@@ -649,6 +873,21 @@ fn main() -> ExitCode {
                         m.elided_disk_hops,
                     );
                 }
+                if cli.profile {
+                    // One extra instrumented run per algorithm; the timed
+                    // reps above stay untouched so their rates remain
+                    // comparable across flag combinations.
+                    match run_collecting(config(&cli, m.algo)) {
+                        Ok(out) => match out.stages {
+                            Some(p) => print!("{}", p.render(out.perf.wall)),
+                            None => eprintln!("warning: profiled run produced no stage report"),
+                        },
+                        Err(e) => {
+                            eprintln!("error: {}: {e}", m.algo.label());
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
                 results.push(m);
             }
             Err(e) => {
@@ -683,21 +922,32 @@ fn main() -> ExitCode {
                     s.quantiles.count,
                 );
                 println!(
-                    "{:<18} fast-path ablation (terms {}, mpl {}, {} events): \
-                     {:.0} vs {:.0} events/sec (two-tier+elision over stripped, \
-                     {:.2}x); peak RSS {}",
+                    "{:<18} fast-path ablation (terms {}, mpl {}, {} events, {} interleaved \
+                     reps): {:.0} [{:.0}..{:.0}] vs {:.0} [{:.0}..{:.0}] events/sec \
+                     (two-tier+elision over stripped, medians, {:.2}x); peak RSS {}",
                     "",
                     s.ablation_terms,
                     s.ablation_mpl,
                     s.ablation_events,
-                    s.fast_events_per_sec,
-                    s.baseline_events_per_sec,
+                    cli.reps,
+                    s.fast.median,
+                    s.fast.min,
+                    s.fast.max,
+                    s.stripped.median,
+                    s.stripped.min,
+                    s.stripped.max,
                     s.fastpath_speedup,
                     match s.peak_rss_bytes {
                         Some(b) => format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)),
                         None => "unavailable".to_string(),
                     },
                 );
+                if cli.profile {
+                    match &s.stages {
+                        Some(p) => print!("{}", p.render(s.profiled_wall)),
+                        None => eprintln!("warning: profiled run produced no stage report"),
+                    }
+                }
                 Some(s)
             }
             Err(e) => {
@@ -719,7 +969,19 @@ fn main() -> ExitCode {
             },
             None => None,
         };
-        let scale_block = scale.as_ref().map(|s| scale_json(&cli, s));
+        let extra_stages = match &cli.stages_from {
+            Some(src) => match stages_block_from(src) {
+                Ok(block) => Some(block),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => None,
+        };
+        let scale_block = scale
+            .as_ref()
+            .map(|s| scale_json(&cli, s, extra_stages.as_deref()));
         let text = to_json(&cli, &results, baseline.as_deref(), scale_block.as_deref());
         if let Err(e) = write_atomic(path, text.as_bytes()) {
             eprintln!("error: writing {}: {e}", path.display());
@@ -728,7 +990,7 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     if let Some(path) = &cli.check {
-        let mut failures = match check_floors(path, &results) {
+        let mut lines = match check_floors(path, &results) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -737,21 +999,26 @@ fn main() -> ExitCode {
         };
         if let Some(s) = &scale {
             match check_scale(path, s) {
-                Ok(f) => failures.extend(f),
+                Ok(f) => lines.extend(f),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             }
         }
-        if failures.is_empty() {
-            println!("perf floors OK ({})", path.display());
-        } else {
-            for f in &failures {
-                eprintln!("FAIL {f}");
+        let mut failed = false;
+        for l in &lines {
+            if l.ok {
+                println!("  ok  {}", l.text);
+            } else {
+                failed = true;
+                eprintln!("FAIL  {}", l.text);
             }
+        }
+        if failed {
             return ExitCode::FAILURE;
         }
+        println!("perf floors OK ({})", path.display());
     }
     ExitCode::SUCCESS
 }

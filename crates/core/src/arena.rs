@@ -20,6 +20,17 @@
 //! region; the spec's own buffers are recycled by the engine through the
 //! generator exactly as before, so the RNG draw sequence — and therefore
 //! every golden trace — is untouched by the layout change.
+//!
+//! Stepping through a program is the single hottest operation in the
+//! engine, and the arithmetic [`Program::step_at`] decode it used to do
+//! per advance is a div/mod chain with data-dependent branches. The arena
+//! therefore keeps a [`ProgramTable`]: every *distinct* program (keyed by
+//! shape, think flag, read count, write count — a few dozen per run) is
+//! decoded once into a shared flat `Vec<Step>`, each record stores its
+//! program's offset, and [`TxnArena::advance`] is a single indexed load.
+//! The table is a pure cache of `step_at`'s output, so the step sequence —
+//! and every simulation output — is byte-identical to the decoded path
+//! (debug builds assert the equivalence on every advance).
 
 use ccsim_des::SimTime;
 use ccsim_workload::{ObjId, TxnId, TxnSpec};
@@ -62,6 +73,9 @@ pub struct TxnRec {
     pub publish_at: Option<SimTime>,
     /// Workload class index (0 = the primary Table-1 class).
     pub class: usize,
+    /// Offset of this record's decoded program in the arena's
+    /// [`ProgramTable`] (`TxnArena::advance` reads `steps[prog_base + pc]`).
+    prog_base: u32,
     /// Readset length (valid prefix of the terminal's `reads` region).
     n_reads: u32,
     /// Write-set length (valid prefix of the `write_objs` region).
@@ -118,11 +132,52 @@ impl TxnRec {
             cc_charged: false,
             publish_at: None,
             class: 0,
+            prog_base: 0,
             n_reads: 0,
             n_writes: 0,
             n_read_times: 0,
             live: false,
         }
+    }
+}
+
+/// Cache of decoded step programs shared by every terminal (see the module
+/// docs). Within one run the shape/think key is constant, so the index is
+/// a dense `(reads, writes)` grid; a key change (tests only) resets it.
+#[derive(Debug, Default)]
+struct ProgramTable {
+    /// Shape/think flag the cached entries were decoded under.
+    key: Option<(ProgramShape, bool)>,
+    /// `(reads, writes) → offset into steps`; `ABSENT` = not yet decoded.
+    index: Vec<u32>,
+    /// Index row width (`cap + 1`: reads and writes both range `0..=cap`).
+    stride: usize,
+    /// Every distinct decoded program, concatenated.
+    steps: Vec<Step>,
+}
+
+impl ProgramTable {
+    const ABSENT: u32 = u32::MAX;
+
+    /// The offset of `program`'s decoded steps, decoding it on first sight.
+    fn ensure(&mut self, shape: ProgramShape, thinks: bool, cap: usize, program: Program) -> u32 {
+        let stride = cap + 1;
+        if self.key != Some((shape, thinks)) || self.stride != stride {
+            self.key = Some((shape, thinks));
+            self.stride = stride;
+            self.index.clear();
+            self.index.resize(stride * stride, Self::ABSENT);
+            self.steps.clear();
+        }
+        let slot = program.num_reads() * stride + program.num_writes();
+        let mut base = self.index[slot];
+        if base == Self::ABSENT {
+            base = u32::try_from(self.steps.len()).expect("program table overflow");
+            self.steps
+                .extend((0..program.len()).map(|pc| program.step_at(pc)));
+            self.index[slot] = base;
+        }
+        base
     }
 }
 
@@ -144,6 +199,8 @@ pub struct TxnArena {
     /// Observed validity bounds (`rts` at read time), parallel to
     /// `read_times`. TicToc only; empty until first use.
     read_auxes: Vec<SimTime>,
+    /// Decoded-program cache backing [`TxnArena::advance`].
+    programs: ProgramTable,
 }
 
 impl TxnArena {
@@ -160,7 +217,24 @@ impl TxnArena {
             lock_plan: Vec::new(),
             read_times: Vec::new(),
             read_auxes: Vec::new(),
+            programs: ProgramTable::default(),
         }
+    }
+
+    /// Advance `term`'s transaction to its next step. Hot-path equivalent
+    /// of [`TxnRec::advance`]: the step comes from the decoded-program
+    /// table as one indexed load instead of the arithmetic decode.
+    #[inline]
+    pub fn advance(&mut self, term: usize) {
+        let rec = &mut self.recs[term];
+        rec.pc += 1;
+        rec.cur = self.programs.steps[rec.prog_base as usize + rec.pc];
+        rec.cc_charged = false;
+        debug_assert_eq!(
+            rec.cur,
+            rec.program.step_at(rec.pc),
+            "program table diverged from step_at"
+        );
     }
 
     /// Number of terminals.
@@ -231,6 +305,7 @@ impl TxnArena {
             plan.sort_unstable_by_key(|&(obj, _)| obj);
         }
         let program = Program::new(shape, thinks, spec.num_reads(), spec.num_writes());
+        let prog_base = self.programs.ensure(shape, thinks, self.cap, program);
         self.recs[term] = TxnRec {
             id,
             program,
@@ -246,6 +321,7 @@ impl TxnArena {
             cc_charged: false,
             publish_at: None,
             class,
+            prog_base,
             n_reads: n as u32,
             n_writes: w as u32,
             n_read_times: 0,
@@ -464,6 +540,51 @@ mod tests {
         assert_eq!(a.reads(0).len(), 2);
         assert_eq!(a.write_objs(0).len(), 0);
         assert_eq!(a.get(0).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn program_table_matches_step_at_for_every_shape() {
+        // Walk an installed transaction to Commit with the table-backed
+        // `TxnArena::advance` and check every decoded step against the
+        // arithmetic reference, across shapes, think flags, and sizes
+        // (including reinstalls that hit and miss the table cache).
+        for shape in [
+            ProgramShape::Dynamic2pl,
+            ProgramShape::Static2pl,
+            ProgramShape::LockFree,
+        ] {
+            for thinks in [false, true] {
+                let mut a = TxnArena::new(1, 6);
+                for reads in 1..=6usize {
+                    for nw in 0..=reads {
+                        let wr: Vec<usize> = (0..nw).collect();
+                        a.install(
+                            0,
+                            TxnId(1),
+                            &spec(reads, &wr),
+                            shape,
+                            thinks,
+                            SimTime::ZERO,
+                            0,
+                            0,
+                        );
+                        let program = a.get(0).unwrap().program;
+                        assert_eq!(a.get(0).unwrap().step(), program.step_at(0));
+                        for pc in 1..program.len() {
+                            a.advance(0);
+                            let rec = a.get(0).unwrap();
+                            assert_eq!(rec.pc, pc);
+                            assert_eq!(
+                                rec.step(),
+                                program.step_at(pc),
+                                "{shape:?} {thinks} {reads} {nw} pc={pc}"
+                            );
+                        }
+                        assert_eq!(a.get(0).unwrap().step(), Step::Commit);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

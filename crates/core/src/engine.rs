@@ -36,6 +36,7 @@ use crate::arena::TxnArena;
 use crate::budget::{BudgetKind, RunError};
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, Report};
+use crate::profiler::{Stage, StageProfile, StageProfiler};
 use crate::sink::{CenterFlow, EventSink, FlowStats};
 use crate::trace::{Trace, TraceEvent};
 use crate::txn::{Step, TxnState};
@@ -204,6 +205,10 @@ pub struct Simulator {
     elided_disk: u64,
     /// Wall-clock time spent in the event loop.
     run_wall: std::time::Duration,
+    /// Per-stage cycle accounting over the event loop. Zero-sized with
+    /// every call site an empty inline body unless the `stage-profiler`
+    /// feature is on, so the steady-state loop normally carries none of it.
+    prof: StageProfiler,
 }
 
 /// Engine-level performance counters for a completed (or budget-stopped)
@@ -329,6 +334,7 @@ impl Simulator {
             elided_cpu: 0,
             elided_disk: 0,
             run_wall: std::time::Duration::ZERO,
+            prof: StageProfiler::new(),
             cfg,
         })
     }
@@ -392,6 +398,7 @@ impl Simulator {
         let mut pool_charged: u64 = 0;
         let started = std::time::Instant::now();
         self.prime();
+        self.prof.start(Stage::Pop);
         let result = loop {
             if self.done {
                 break Ok(());
@@ -444,8 +451,11 @@ impl Simulator {
                 });
             }
             self.now = now;
+            self.prof.switch(Stage::Handle);
             self.handle(now, ev);
+            self.prof.switch(Stage::Pop);
         };
+        self.prof.stop();
         if let Some(p) = &pool {
             // Settle: refund the pre-charged events that never ran (or
             // charge the tail that ran past the last block boundary).
@@ -484,7 +494,16 @@ impl Simulator {
             stopped,
             perf: self.perf_stats(),
             quantiles: self.streaming_quantiles(),
+            stages: self.stage_profile(),
         }
+    }
+
+    /// Per-stage breakdown of the event loop's wall time. `None` unless the
+    /// crate was built with the `stage-profiler` feature (the default build
+    /// compiles the profiler out entirely).
+    #[must_use]
+    pub fn stage_profile(&self) -> Option<StageProfile> {
+        self.prof.report()
     }
 
     /// Performance counters accumulated by the event loop so far.
@@ -601,7 +620,9 @@ impl Simulator {
             Event::InfDone(term, epoch, kind) => self.service_done((term, epoch), kind, now),
             Event::Delay(term, epoch, kind) => self.on_delay_done(term, epoch, kind, now),
         }
+        self.prof.switch(Stage::Dispatch);
         self.drain_work(now);
+        self.prof.switch(Stage::Handle);
     }
 
     /// Mark `term`'s transaction as ready to continue at the current
@@ -642,7 +663,9 @@ impl Simulator {
         // steady-state arrival path allocates nothing.
         let reads = std::mem::take(&mut self.scratch_reads);
         let writes = std::mem::take(&mut self.scratch_writes);
+        self.prof.switch(Stage::Variate);
         let (class, spec) = self.generator.next_spec_with_class_reusing(reads, writes);
+        self.prof.switch(Stage::Handle);
         let thinks = !self.cfg.params.int_think_time.is_zero();
         self.arena.install(
             term,
@@ -728,7 +751,7 @@ impl Simulator {
             DelayKind::IntThink => {
                 debug_assert_eq!(txn.state, TxnState::Thinking);
                 txn.state = TxnState::Running;
-                txn.advance();
+                self.arena.advance(term);
                 self.work.push_back((term, epoch));
             }
             DelayKind::Restart => {
@@ -763,14 +786,14 @@ impl Simulator {
             Step::ReadIo(_) | Step::UpdateIo(_) => {
                 debug_assert_eq!(kind, ServiceKind::Io);
                 txn.usage.add_io(params.obj_io);
-                txn.advance();
+                self.arena.advance(term);
                 self.work.push_back((term, epoch));
             }
             Step::ReadCpu(i) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
                 txn.usage.add_cpu(params.obj_cpu);
                 let snapshot = txn.attempt_start;
-                txn.advance();
+                self.arena.advance(term);
                 match self.cfg.algorithm {
                     // Basic T/O records its reads at the timestamp-check
                     // grant instead (the version is fixed there; a larger-
@@ -817,7 +840,7 @@ impl Simulator {
             Step::WriteCpu(_) => {
                 debug_assert_eq!(kind, ServiceKind::Cpu);
                 txn.usage.add_cpu(params.obj_cpu);
-                txn.advance();
+                self.arena.advance(term);
                 self.work.push_back((term, epoch));
             }
             Step::IntThink | Step::Commit => {
@@ -862,21 +885,36 @@ impl Simulator {
                     } else {
                         LockMode::Read
                     };
-                    match self.cc_request(term, obj, mode, now) {
+                    // Start pulling the object's index line in while the
+                    // request's CC-CPU bookkeeping runs (pure hint; no
+                    // behavioural effect).
+                    self.lockmgr.prefetch(obj);
+                    self.prof.switch(Stage::LockTable);
+                    let act = self.cc_request(term, obj, mode, now);
+                    self.prof.switch(Stage::Dispatch);
+                    match act {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
                 }
                 Step::LockRead(i) => {
                     let obj = self.arena.read_at(term, i);
-                    match self.cc_request(term, obj, LockMode::Read, now) {
+                    self.lockmgr.prefetch(obj);
+                    self.prof.switch(Stage::LockTable);
+                    let act = self.cc_request(term, obj, LockMode::Read, now);
+                    self.prof.switch(Stage::Dispatch);
+                    match act {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
                 }
                 Step::LockWrite(j) => {
                     let obj = self.arena.write_obj_at(term, j);
-                    match self.cc_request(term, obj, LockMode::Write, now) {
+                    self.lockmgr.prefetch(obj);
+                    self.prof.switch(Stage::LockTable);
+                    let act = self.cc_request(term, obj, LockMode::Write, now);
+                    self.prof.switch(Stage::Dispatch);
+                    match act {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
@@ -897,15 +935,17 @@ impl Simulator {
                     return;
                 }
                 Step::IntThink => {
+                    self.prof.switch(Stage::Variate);
                     let d = self.int_think.sample(&mut self.delay_rng);
+                    self.prof.switch(Stage::Dispatch);
+                    if d.is_zero() {
+                        self.arena.advance(term);
+                        continue;
+                    }
                     let txn = self
                         .arena
                         .get_mut(term)
                         .expect("terminal has no active transaction");
-                    if d.is_zero() {
-                        txn.advance();
-                        continue;
-                    }
                     txn.state = TxnState::Thinking;
                     let epoch = txn.epoch;
                     self.cal
@@ -916,7 +956,10 @@ impl Simulator {
                     if self.charge_cc_if_needed(term, now) {
                         return;
                     }
-                    match self.validate(term, now) {
+                    self.prof.switch(Stage::Validate);
+                    let act = self.validate(term, now);
+                    self.prof.switch(Stage::Dispatch);
+                    match act {
                         CcAction::Proceed => continue,
                         CcAction::Suspend => return,
                     }
@@ -987,7 +1030,7 @@ impl Simulator {
         let tid = txn.id;
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
-                txn.advance();
+                self.arena.advance(term);
                 self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
@@ -1018,7 +1061,7 @@ impl Simulator {
         let tid = txn.id;
         match self.lockmgr.try_request(tid, obj, mode) {
             RequestOutcome::Granted => {
-                txn.advance();
+                self.arena.advance(term);
                 self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
@@ -1055,7 +1098,7 @@ impl Simulator {
             .expect("terminal has no active transaction");
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
-                txn.advance();
+                self.arena.advance(term);
                 self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
@@ -1118,7 +1161,7 @@ impl Simulator {
         }
         match self.lockmgr.request(tid, obj, mode) {
             RequestOutcome::Granted => {
-                txn.advance();
+                self.arena.advance(term);
                 self.emit(now, TraceEvent::Acquire(tid, obj, mode));
                 CcAction::Proceed
             }
@@ -1146,7 +1189,7 @@ impl Simulator {
         match mode {
             LockMode::Read => match self.tso.read(tid, obj, ts) {
                 TsoRead::Granted => {
-                    txn.advance();
+                    self.arena.advance(term);
                     if self.history.is_some() {
                         // The version this read observes is decided *now*:
                         // record the grant instant as the read time.
@@ -1169,7 +1212,7 @@ impl Simulator {
             },
             LockMode::Write => match self.tso.prewrite(tid, obj, ts) {
                 TsoWrite::Granted => {
-                    txn.advance();
+                    self.arena.advance(term);
                     CcAction::Proceed
                 }
                 TsoWrite::Reject => {
@@ -1215,11 +1258,7 @@ impl Simulator {
             CcAlgorithm::SiloOcc => self.validate_silo(term, now),
             CcAlgorithm::TicToc => self.validate_tictoc(term, now),
             _ => {
-                let txn = self
-                    .arena
-                    .get_mut(term)
-                    .expect("terminal has no active transaction");
-                txn.advance();
+                self.arena.advance(term);
                 CcAction::Proceed
             }
         }
@@ -1252,7 +1291,7 @@ impl Simulator {
                 .get_mut(term)
                 .expect("terminal has no active transaction");
             txn.publish_at = Some(now);
-            txn.advance();
+            self.arena.advance(term);
             CcAction::Proceed
         }
     }
@@ -1281,7 +1320,7 @@ impl Simulator {
                     .get_mut(term)
                     .expect("terminal has no active transaction");
                 txn.publish_at = Some(now);
-                txn.advance();
+                self.arena.advance(term);
                 CcAction::Proceed
             }
         }
@@ -1318,7 +1357,7 @@ impl Simulator {
             .get_mut(term)
             .expect("terminal has no active transaction");
         txn.publish_at = Some(now);
-        txn.advance();
+        self.arena.advance(term);
         CcAction::Proceed
     }
 
@@ -1360,7 +1399,7 @@ impl Simulator {
                 // the serializability check follows TicToc's timestamp
                 // order rather than physical validation order.
                 txn.publish_at = Some(commit_ts);
-                txn.advance();
+                self.arena.advance(term);
                 CcAction::Proceed
             }
         }
@@ -1594,7 +1633,9 @@ impl Simulator {
         };
 
         // The terminal starts thinking about its next transaction.
+        self.prof.switch(Stage::Variate);
         let think = self.ext_think.sample(&mut self.think_rng);
+        self.prof.switch(Stage::Dispatch);
         self.cal.schedule(now + think, Event::Arrive(term));
 
         self.process_grants(&grants, now);
@@ -1620,7 +1661,7 @@ impl Simulator {
                 Step::PreclaimLock(_) | Step::LockRead(_) | Step::LockWrite(_)
             ));
             txn.state = TxnState::Running;
-            txn.advance();
+            self.arena.advance(term);
             self.emit(now, TraceEvent::Grant(g.txn, g.obj, g.mode));
             self.enqueue_dispatch(term);
         }
@@ -1845,6 +1886,8 @@ pub struct RunOutcome {
     pub perf: PerfStats,
     /// Streaming response quantiles up to the stopping point.
     pub quantiles: crate::metrics::StreamingQuantiles,
+    /// Per-stage wall-time breakdown (`stage-profiler` builds only).
+    pub stages: Option<StageProfile>,
 }
 
 /// Like [`run`], but budget exhaustion salvages the partial run instead of

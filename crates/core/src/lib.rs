@@ -31,6 +31,7 @@ mod budget;
 mod config;
 mod engine;
 mod metrics;
+mod profiler;
 mod sink;
 mod trace;
 mod txn;
@@ -44,6 +45,7 @@ pub use engine::{
     Simulator,
 };
 pub use metrics::{ClassReport, Metrics, Report, StreamingQuantiles};
+pub use profiler::{Stage, StageProfile, StageSample, STAGE_COUNT, STAGE_PROFILER_COMPILED};
 pub use sink::{CenterFlow, EventSink, FlowStats};
 pub use trace::{Trace, TraceEvent};
 pub use txn::{AttemptUsage, Program, ProgramShape, Step, TxnState};

@@ -116,6 +116,18 @@ impl Program {
         false
     }
 
+    /// Number of objects the program reads.
+    #[must_use]
+    pub fn num_reads(&self) -> usize {
+        self.reads
+    }
+
+    /// Number of objects the program writes.
+    #[must_use]
+    pub fn num_writes(&self) -> usize {
+        self.writes
+    }
+
     /// Decode program counter `pc` into a [`Step`].
     ///
     /// # Panics

@@ -126,6 +126,30 @@ impl ExpBlock {
         }
         self.pos = 0;
     }
+
+    /// Batched draw: fill `out` with variates. Equivalent bit-for-bit — in
+    /// values, word consumption, and the buffer state left behind — to
+    /// `out.len()` calls to [`ExpBlock::sample`], but served a buffered run
+    /// at a time instead of one position check per draw.
+    pub fn fill<R: RandomSource>(&mut self, rng: &mut R, out: &mut [SimDuration]) {
+        if self.mean.is_zero() {
+            out.fill(SimDuration::ZERO);
+            return;
+        }
+        let mut out = out;
+        while !out.is_empty() {
+            if self.pos == DIST_BLOCK {
+                self.refill(rng);
+            }
+            let take = (DIST_BLOCK - self.pos).min(out.len());
+            let run = &self.buf[self.pos..self.pos + take];
+            for (o, &v) in out[..take].iter_mut().zip(run) {
+                *o = SimDuration::from_micros(v);
+            }
+            self.pos += take;
+            out = &mut out[take..];
+        }
+    }
 }
 
 /// Batched uniform-integer sampler over `[0, bound)` for a **fixed** bound:
@@ -186,6 +210,16 @@ impl UniformBlock {
             if (m as u64) >= self.threshold {
                 return (m >> 64) as u64;
             }
+        }
+    }
+
+    /// Batched draw: fill `out` with variates, identical to `out.len()`
+    /// calls to [`UniformBlock::sample`]. Rejection makes the per-draw word
+    /// count data-dependent, so this stays a sample loop — the win is the
+    /// block-refilled word stream underneath, not vectorized rejection.
+    pub fn fill<R: RandomSource>(&mut self, rng: &mut R, out: &mut [u64]) {
+        for o in out {
+            *o = self.sample(rng);
         }
     }
 }

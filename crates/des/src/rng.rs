@@ -205,6 +205,34 @@ impl RandomSource for BufferedRng {
         self.pos += 1;
         w
     }
+
+    /// Batched fill that drains the buffer, then generates whole blocks
+    /// straight into `out`, refilling only for the final partial block.
+    ///
+    /// State-equivalent to calling [`RandomSource::next_u64`] `out.len()`
+    /// times: the words, their order, and the buffer/generator state left
+    /// behind are all bit-identical (a full block served through the buffer
+    /// ends with the buffer exhausted, which is indistinguishable from
+    /// having bypassed it).
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        let avail = RNG_BLOCK - self.pos;
+        let take = avail.min(out.len());
+        out[..take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+        self.pos += take;
+        let out = &mut out[take..];
+        let mut chunks = out.chunks_exact_mut(RNG_BLOCK);
+        for chunk in &mut chunks {
+            for w in chunk {
+                *w = self.inner.next_u64();
+            }
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            self.refill();
+            rest.copy_from_slice(&self.buf[..rest.len()]);
+            self.pos = rest.len();
+        }
+    }
 }
 
 /// Derive a seed from a base seed and a hierarchical path of tags

@@ -1,8 +1,8 @@
 //! Property-based tests for the DES engine.
 
 use ccsim_des::{
-    derive_point_seed, derive_seed, sample_distinct, Calendar, SimDuration, SimTime,
-    Xoshiro256StarStar,
+    derive_point_seed, derive_seed, sample_distinct, BufferedRng, Calendar, ExpBlock, RandomSource,
+    SimDuration, SimTime, UniformBlock, Xoshiro256StarStar,
 };
 use proptest::prelude::*;
 
@@ -263,6 +263,91 @@ proptest! {
         // A perfect mixer averages 32 flipped bits; [24, 40] leaves ~5 sigma
         // of slack while catching affine or low-entropy derivations.
         prop_assert!((24.0..=40.0).contains(&mean), "mean hamming {mean}");
+    }
+
+    /// `BufferedRng::fill_u64` emits exactly the inner generator's word
+    /// stream, for any interleaving of bulk fills and single draws and any
+    /// chunk size relative to the 16-word buffer — partial drains, whole
+    /// blocks served directly from the inner generator, and ragged tails
+    /// that straddle a refill seam all included. Sizes 0..=40 span empty
+    /// fills, sub-block, exactly-block, and multi-block-plus-tail requests.
+    #[test]
+    fn buffered_fill_matches_scalar_stream(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0usize..=40, 1..30),
+    ) {
+        let mut buffered = BufferedRng::new(Xoshiro256StarStar::seed_from_u64(seed));
+        let mut reference = Xoshiro256StarStar::seed_from_u64(seed);
+        for size in ops {
+            if size == 0 {
+                // Interleave a scalar draw: the buffer position moves by
+                // one, so subsequent fills start mid-block.
+                prop_assert_eq!(buffered.next_u64(), reference.next_u64());
+            } else {
+                let mut got = vec![0u64; size];
+                buffered.fill_u64(&mut got);
+                let want: Vec<u64> = (0..size).map(|_| reference.next_u64()).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// `ExpBlock::fill` is bit-identical to the same number of scalar
+    /// `sample` calls — values, word consumption, and the buffer state left
+    /// behind — for any interleaving of batched and scalar draws across
+    /// block-size boundaries and refill seams.
+    #[test]
+    fn exp_block_fill_matches_scalar(
+        seed in any::<u64>(),
+        mean_ms in 0u64..100_000,
+        ops in proptest::collection::vec(0usize..=40, 1..30),
+    ) {
+        let mean = SimDuration::from_millis(mean_ms);
+        let mut batched = ExpBlock::new(mean);
+        let mut scalar = ExpBlock::new(mean);
+        let mut rng_a = BufferedRng::new(Xoshiro256StarStar::seed_from_u64(seed));
+        let mut rng_b = BufferedRng::new(Xoshiro256StarStar::seed_from_u64(seed));
+        for size in ops {
+            if size == 0 {
+                // Interleaved scalar draw on both sides keeps the streams
+                // aligned while shifting the batched side's buffer position.
+                prop_assert_eq!(batched.sample(&mut rng_a), scalar.sample(&mut rng_b));
+            } else {
+                let mut got = vec![SimDuration::ZERO; size];
+                batched.fill(&mut rng_a, &mut got);
+                let want: Vec<SimDuration> =
+                    (0..size).map(|_| scalar.sample(&mut rng_b)).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+        // Equal word consumption: the next draw from each stream agrees.
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    /// `UniformBlock::fill` is bit-identical to scalar `sample` calls for
+    /// any bound (power-of-two mask path and Lemire rejection path alike)
+    /// and any batched/scalar interleaving.
+    #[test]
+    fn uniform_block_fill_matches_scalar(
+        seed in any::<u64>(),
+        bound in 1u64..=u64::MAX,
+        ops in proptest::collection::vec(0usize..=40, 1..30),
+    ) {
+        let mut batched = UniformBlock::new(bound);
+        let mut scalar = UniformBlock::new(bound);
+        let mut rng_a = BufferedRng::new(Xoshiro256StarStar::seed_from_u64(seed));
+        let mut rng_b = BufferedRng::new(Xoshiro256StarStar::seed_from_u64(seed));
+        for size in ops {
+            if size == 0 {
+                prop_assert_eq!(batched.sample(&mut rng_a), scalar.sample(&mut rng_b));
+            } else {
+                let mut got = vec![0u64; size];
+                batched.fill(&mut rng_a, &mut got);
+                let want: Vec<u64> = (0..size).map(|_| scalar.sample(&mut rng_b)).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     /// Exponential draws are nonnegative and finite in integer µs.

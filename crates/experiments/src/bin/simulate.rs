@@ -30,6 +30,10 @@
 //!   --check-serializable    record the history and run the checker
 //!   --perf                  also print engine throughput (events/sec) and
 //!                           peak calendar / lock-table occupancy
+//!   --profile               also print the per-stage cycle breakdown from
+//!                           the in-engine stage profiler (requires a build
+//!                           with `--features profile`; implies the --perf
+//!                           lines)
 //!   --audit                 attach the online invariant auditor; any
 //!                           violation is printed with its event context
 //!                           and fails the command
@@ -39,8 +43,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ccsim_core::{
-    check_conflict_serializable, run, run_with_history, run_with_perf, CcAlgorithm, Confidence,
-    MetricsConfig, Params, Report, ResourceSpec, RunBudget, RunError, SimConfig,
+    check_conflict_serializable, run, run_collecting, run_with_history, run_with_perf, CcAlgorithm,
+    Confidence, MetricsConfig, Params, PerfStats, Report, ResourceSpec, RunBudget, RunError,
+    SimConfig, STAGE_PROFILER_COMPILED,
 };
 use ccsim_des::{derive_seed, SimDuration};
 use ccsim_experiments::{aggregate_reports, write_atomic};
@@ -58,6 +63,7 @@ struct Cli {
     check_serializable: bool,
     audit: bool,
     perf: bool,
+    profile: bool,
     reps: u32,
     out: Option<PathBuf>,
 }
@@ -72,6 +78,7 @@ fn parse() -> Result<Cli, String> {
     let mut check_serializable = false;
     let mut audit = false;
     let mut perf = false;
+    let mut profile = false;
     let mut out = None;
     let mut cpus: Option<u32> = None;
     let mut disks: Option<u32> = None;
@@ -128,6 +135,7 @@ fn parse() -> Result<Cli, String> {
             "--out" => out = Some(PathBuf::from(next_val(&mut args, "--out")?)),
             "--check-serializable" => check_serializable = true,
             "--perf" => perf = true,
+            "--profile" => profile = true,
             "--audit" => audit = true,
             "--quick" => metrics = MetricsConfig::quick(),
             other => return Err(format!("unknown flag {other} (see --help in the source)")),
@@ -161,11 +169,25 @@ fn parse() -> Result<Cli, String> {
             "--perf measures the bare engine; drop --audit/--check-serializable/--reps".to_string(),
         );
     }
+    if profile && (audit || check_serializable || reps > 1) {
+        return Err(
+            "--profile measures the bare engine; drop --audit/--check-serializable/--reps"
+                .to_string(),
+        );
+    }
+    if profile && !STAGE_PROFILER_COMPILED {
+        return Err(
+            "the stage profiler is not compiled into this binary; rebuild with \
+             `cargo run -p ccsim-experiments --features profile --bin simulate`"
+                .to_string(),
+        );
+    }
     Ok(Cli {
         cfg,
         check_serializable,
         audit,
         perf,
+        profile,
         reps,
         out,
     })
@@ -267,6 +289,38 @@ fn render_report(cfg: &SimConfig, r: &Report) -> String {
         r.throughput_lag1
     );
     s
+}
+
+/// Append the `--perf` engine-counter lines to a rendered report.
+fn append_perf(text: &mut String, perf: &PerfStats) {
+    let _ = writeln!(
+        text,
+        "  engine perf      {} events in {:.3}s wall = {:.0} events/sec",
+        perf.events,
+        perf.wall.as_secs_f64(),
+        perf.events_per_sec()
+    );
+    let _ = writeln!(
+        text,
+        "  peak occupancy   {} calendar events, {} locks in table",
+        perf.peak_calendar, perf.peak_lock_table
+    );
+    let cs = perf.calendar;
+    let _ = writeln!(
+        text,
+        "  calendar ops     {} schedules, {} pops, {} cancels",
+        cs.schedules, cs.pops, cs.cancels
+    );
+    let _ = writeln!(
+        text,
+        "  near-lane split  {} lane / {} heap schedules, {} lane / {} heap pops",
+        cs.lane_schedules, cs.heap_schedules, cs.lane_pops, cs.heap_pops
+    );
+    let _ = writeln!(
+        text,
+        "  elided hops      {} cpu, {} disk (uncontended fast path)",
+        perf.elided_cpu_hops, perf.elided_disk_hops
+    );
 }
 
 /// Report a failed run and exit: exit code 2 for configuration errors
@@ -385,40 +439,30 @@ fn main() {
             cli.reps, e.mean, e.half_width
         );
         emit(&cli, &text);
+    } else if cli.profile {
+        // Collecting run: same engine loop, plus the per-stage cycle
+        // counters the `profile` feature compiles in.
+        let out = match run_collecting(cli.cfg.clone()) {
+            Ok(o) => o,
+            Err(e) => exit_run_error(&e),
+        };
+        let mut text = render_report(&cli.cfg, &out.report);
+        append_perf(&mut text, &out.perf);
+        let _ = writeln!(text);
+        match &out.stages {
+            Some(p) => text.push_str(&p.render(out.perf.wall)),
+            None => {
+                let _ = writeln!(text, "  stage profile    unavailable (no stages recorded)");
+            }
+        }
+        emit(&cli, &text);
     } else if cli.perf {
         let (report, perf) = match run_with_perf(cli.cfg.clone()) {
             Ok(rp) => rp,
             Err(e) => exit_run_error(&e),
         };
         let mut text = render_report(&cli.cfg, &report);
-        let _ = writeln!(
-            text,
-            "  engine perf      {} events in {:.3}s wall = {:.0} events/sec",
-            perf.events,
-            perf.wall.as_secs_f64(),
-            perf.events_per_sec()
-        );
-        let _ = writeln!(
-            text,
-            "  peak occupancy   {} calendar events, {} locks in table",
-            perf.peak_calendar, perf.peak_lock_table
-        );
-        let cs = perf.calendar;
-        let _ = writeln!(
-            text,
-            "  calendar ops     {} schedules, {} pops, {} cancels",
-            cs.schedules, cs.pops, cs.cancels
-        );
-        let _ = writeln!(
-            text,
-            "  near-lane split  {} lane / {} heap schedules, {} lane / {} heap pops",
-            cs.lane_schedules, cs.heap_schedules, cs.lane_pops, cs.heap_pops
-        );
-        let _ = writeln!(
-            text,
-            "  elided hops      {} cpu, {} disk (uncontended fast path)",
-            perf.elided_cpu_hops, perf.elided_disk_hops
-        );
+        append_perf(&mut text, &perf);
         emit(&cli, &text);
     } else {
         let report = match run(cli.cfg.clone()) {

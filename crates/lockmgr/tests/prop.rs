@@ -408,6 +408,115 @@ proptest! {
         }
     }
 
+    /// The lockstep comparison again, with three twists aimed at the
+    /// hashed index's probe path: object ids are remapped to arbitrary
+    /// 64-bit keys (so home slots collide and cluster unpredictably instead
+    /// of landing in Fibonacci-spread order), the table starts at minimum
+    /// capacity (so the run crosses growth/rehash boundaries and the cached
+    /// hash shift must track them), and `prefetch` is interleaved before
+    /// every request and release. Prefetch is a pure hint — if it ever
+    /// perturbed probe order, entry migration, or the peak-lock accounting,
+    /// the dense reference (which has no hashing at all) would diverge.
+    #[test]
+    fn sparse_table_matches_dense_on_wide_keys_with_prefetch(
+        salt in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(8, 6), 1..400)
+    ) {
+        // Injective for obj < 64: distinct top-6 bits, salt scrambles the
+        // rest (including the bits the Fibonacci hash feeds the home slot).
+        let wide = |o: u64| (o << 58) ^ (salt & ((1u64 << 58) - 1));
+        let mut lm = LockManager::with_capacity(1, 8);
+        let mut dr = dense_ref::DenseRef::new(6);
+        let mut blocked: std::collections::HashSet<u64> = Default::default();
+        let widen = |gs: &[Grant]| -> Vec<Grant> {
+            gs.iter()
+                .map(|g| Grant { txn: g.txn, obj: ObjId(wide(g.obj.0)), mode: g.mode })
+                .collect()
+        };
+        for op in ops {
+            match op {
+                Op::Request { txn, obj, write } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    lm.prefetch(ObjId(wide(obj)));
+                    let oi = lm.request(TxnId(txn), ObjId(wide(obj)), mode);
+                    let or = dr.request(txn, obj, mode, true);
+                    prop_assert_eq!(oi, or, "request outcome diverged");
+                    if oi == RequestOutcome::Queued {
+                        blocked.insert(txn);
+                        loop {
+                            let cycle = lm.find_deadlock(TxnId(txn));
+                            prop_assert_eq!(
+                                cycle.is_some(),
+                                dr.has_deadlock(txn),
+                                "deadlock detection diverged"
+                            );
+                            let Some(cycle) = cycle else { break };
+                            let victim = *cycle.iter().max().unwrap();
+                            let gi = lm.release_all(victim);
+                            let gr = dr.release_all(victim.0);
+                            prop_assert_eq!(&gi, &widen(&gr), "restart grant order diverged");
+                            blocked.remove(&victim.0);
+                            for g in &gi {
+                                blocked.remove(&g.txn.0);
+                            }
+                            if lm.waiting_on(TxnId(txn)).is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Op::TryRequest { txn, obj, write } => {
+                    if blocked.contains(&txn) {
+                        continue;
+                    }
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    lm.prefetch(ObjId(wide(obj)));
+                    let oi = lm.try_request(TxnId(txn), ObjId(wide(obj)), mode);
+                    let or = dr.request(txn, obj, mode, false);
+                    prop_assert_eq!(oi, or, "try_request outcome diverged");
+                }
+                Op::ReleaseAll { txn } => {
+                    let gi = lm.release_all(TxnId(txn));
+                    let gr = dr.release_all(txn);
+                    prop_assert_eq!(&gi, &widen(&gr), "release grant order diverged");
+                    blocked.remove(&txn);
+                    for g in &gi {
+                        blocked.remove(&g.txn.0);
+                    }
+                }
+            }
+            // Probe-order-sensitive accounting: exact lock counts and the
+            // peak must match a model with no hash table at all.
+            prop_assert_eq!(lm.locks_in_table(), dr.locks_in_table());
+            prop_assert_eq!(
+                lm.peak_locks_in_table(),
+                dr.peak_locks_in_table(),
+                "peak lock accounting diverged"
+            );
+            for t in 0..8u64 {
+                prop_assert_eq!(lm.locks_held(TxnId(t)), dr.locks_held(t));
+                prop_assert_eq!(
+                    lm.waiting_on(TxnId(t)).map(|o| o.0),
+                    dr.waiting_on(t).map(wide)
+                );
+            }
+            for o in 0..6u64 {
+                lm.prefetch(ObjId(wide(o)));
+                let hi: Vec<(u64, LockMode)> = lm
+                    .holders_of(ObjId(wide(o)))
+                    .iter()
+                    .map(|&(t, m)| (t.0, m))
+                    .collect();
+                prop_assert_eq!(hi, dr.holders_of(o).to_vec(), "holders diverged on obj{}", o);
+                prop_assert_eq!(lm.queue_len(ObjId(wide(o))), dr.queue_len(o));
+            }
+            lm.assert_consistent();
+        }
+    }
+
     /// After releasing everything, the table is empty — no leaks.
     #[test]
     fn full_release_leaves_no_state(

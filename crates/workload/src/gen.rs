@@ -31,6 +31,9 @@ pub struct Generator {
     /// Reused by every uniform draw so steady-state generation is
     /// allocation-free.
     scratch: Vec<u64>,
+    /// Raw-word buffer for batched Bernoulli draws (write flags, hotspot
+    /// routing), reused across specs.
+    word_scratch: Vec<u64>,
 }
 
 impl Generator {
@@ -68,7 +71,28 @@ impl Generator {
             access: params.access,
             rng: BufferedRng::new(rng),
             scratch: Vec::new(),
+            word_scratch: Vec::new(),
         }
+    }
+
+    /// Draw `n` raw words into the word buffer and return them.
+    ///
+    /// The batched-Bernoulli primitive: `n` calls to
+    /// [`RandomSource::next_bool`] with `p ∈ (0, 1)` consume exactly one
+    /// word each, so pulling the words in one [`RandomSource::fill_u64`]
+    /// and comparing afterwards yields bit-identical flags without a
+    /// buffer-position check per draw.
+    fn draw_words(&mut self, n: usize) -> &[u64] {
+        self.word_scratch.resize(n, 0);
+        self.rng.fill_u64(&mut self.word_scratch);
+        &self.word_scratch
+    }
+
+    /// The `u64 → [0,1)` mapping of [`RandomSource::next_f64`], applied to
+    /// an already-drawn word.
+    #[inline]
+    fn word_to_f64(w: u64) -> f64 {
+        (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draw the next transaction spec.
@@ -115,7 +139,18 @@ impl Generator {
             } => reads = self.sample_hotspot(size, data_frac, access_frac),
         }
         writes.clear();
-        writes.extend((0..size).map(|_| self.rng.next_bool(class.write_prob)));
+        // Batched Bernoulli write flags: degenerate probabilities consume
+        // no randomness (matching `next_bool`); otherwise one word per
+        // access, drawn in a single refill and compared branchlessly.
+        let p = class.write_prob;
+        if p <= 0.0 {
+            writes.resize(size, false);
+        } else if p >= 1.0 {
+            writes.resize(size, true);
+        } else {
+            let words = self.draw_words(size);
+            writes.extend(words.iter().map(|&w| Self::word_to_f64(w) < p));
+        }
         (class_ix, TxnSpec::new(reads, writes))
     }
 
@@ -130,9 +165,18 @@ impl Generator {
     fn sample_hotspot(&mut self, size: usize, data_frac: f64, access_frac: f64) -> Vec<ObjId> {
         let hot_size = (self.db_size as f64 * data_frac).floor() as u64;
         let cold_size = self.db_size - hot_size;
-        let n_hot = (0..size)
-            .filter(|_| self.rng.next_bool(access_frac))
-            .count();
+        // Batched hot/cold routing, word-compatible with the scalar
+        // `next_bool` loop (degenerate fractions draw nothing, like it).
+        let n_hot = if access_frac <= 0.0 {
+            0
+        } else if access_frac >= 1.0 {
+            size
+        } else {
+            self.draw_words(size)
+                .iter()
+                .filter(|&&w| Self::word_to_f64(w) < access_frac)
+                .count()
+        };
         let n_cold = size - n_hot;
         // Hot region is objects [0, hot_size); cold is [hot_size, db_size).
         let mut hot: Vec<u64> = sample_distinct(hot_size, n_hot, &mut self.rng);

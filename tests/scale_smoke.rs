@@ -1,6 +1,6 @@
 //! Budgeted smoke of the million-scale regime (`exp-scale`): the run must
 //! stop on its event budget with a salvaged window, audit clean, and — on
-//! Linux, when `BENCH_6.json` carries an archived ceiling — keep peak RSS
+//! Linux, when `BENCH_7.json` carries an archived ceiling — keep peak RSS
 //! under it. The test lives in its own integration binary so the process
 //! high-water mark (`VmHWM`) is attributable to this regime alone.
 //!
@@ -59,7 +59,7 @@ fn peak_rss_bytes() -> Option<u64> {
 /// The archived RSS ceiling from the tracked benchmark file, if present.
 fn archived_rss_ceiling() -> Option<u64> {
     let text =
-        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_6.json")).ok()?;
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_7.json")).ok()?;
     // One numeric field; a full JSON parse would drag a dependency into
     // the root test just for this.
     let key = "\"rss_ceiling_bytes\":";
