@@ -37,6 +37,14 @@ use ccsim_workload::ParamError;
 ///
 /// Exhaustion of a pool shared by concurrent runs depends on their
 /// scheduling; for deterministic failures use a per-run [`RunBudget`].
+///
+/// The counter is a lock-free atomic, so [`EventPool::depleted`] admission
+/// checks and in-flight charges are safe from any thread — including the
+/// engine's window-parallel worker lanes, which observe the pool while the
+/// merge thread charges it. Charges keep the sequential loop's exact
+/// 8192-event cadence in window mode, so a budget stop lands on the same
+/// event at any worker count (the sequential hot path itself polls a plain
+/// `u64` and only touches the atomic at block boundaries).
 #[derive(Debug, Clone)]
 pub struct EventPool {
     remaining: Arc<AtomicU64>,
@@ -308,6 +316,33 @@ mod tests {
         assert_eq!(pool.remaining(), alias.remaining());
         assert_eq!(pool, alias);
         assert_ne!(pool, EventPool::new(10_000));
+    }
+
+    #[test]
+    fn event_pool_charges_exactly_under_contention() {
+        // The worker-lane safety contract: concurrent block charges from
+        // many threads are all-or-nothing and never lose or double-spend
+        // events. 8 threads race to drain a pool holding exactly 500
+        // blocks; exactly 500 charges must succeed.
+        const BLOCKS: u64 = 500;
+        let pool = EventPool::new(BLOCKS * EventPool::BLOCK);
+        let granted: AtomicU64 = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    while pool.try_charge(EventPool::BLOCK) {
+                        granted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(granted.load(Ordering::Relaxed), BLOCKS);
+        assert_eq!(pool.remaining(), 0);
+        assert_eq!(pool.consumed(), BLOCKS * EventPool::BLOCK);
+        assert!(pool.depleted());
+        // Refunds from settlement reopen admission at the same threshold.
+        pool.refund(EventPool::BLOCK);
+        assert!(!pool.depleted());
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl SplitMix64 {
 }
 
 /// xoshiro256**: fast, 256-bit state, passes BigCrush.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full 256-bit state: two equal generators
+/// produce identical streams forever, which the speculative refill lane
+/// uses to validate that a precomputed refill still matches the live
+/// stream (see `ExpBlock::install_refill`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256StarStar {
     s: [u64; 4],
 }

@@ -121,6 +121,19 @@ impl<T> ServerPool<T> {
         self.queue_changed_at = now;
     }
 
+    /// Read-only peek at the payload of the request `server` is currently
+    /// serving, if any. Speculative worker lanes use this to resolve a
+    /// planned completion event's target without mutating the pool; the
+    /// answer is a snapshot — an earlier event in the same window may
+    /// retire the request before the completion is actually merged.
+    #[must_use]
+    pub fn in_service(&self, server: usize) -> Option<&T> {
+        self.servers
+            .get(server)
+            .and_then(|s| s.as_ref())
+            .and_then(|s| s.payload.as_ref())
+    }
+
     /// Number of servers in the pool.
     #[must_use]
     pub fn num_servers(&self) -> usize {

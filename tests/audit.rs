@@ -93,6 +93,7 @@ fn audited_sweep_replays_identically_across_thread_counts() {
         audit: true,
         retry: RetryPolicy::none(),
         event_pool: None,
+        workers: 1,
     };
     let one = run_experiment(&spec, &opts(1)).expect("sweep completes");
     let four = run_experiment(&spec, &opts(4)).expect("sweep completes");

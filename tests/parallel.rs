@@ -1,0 +1,227 @@
+//! The speculative window-parallel engine mode's core contract: at any
+//! worker count, every report, streaming quantile, and golden trace is
+//! byte-identical to the sequential loop. Speedup is a side effect the
+//! benchmarks measure; *these* tests pin the part that must never drift.
+
+use ccsim_audit::golden::serialize_trace;
+use ccsim_audit::run_with_audit;
+use ccsim_core::{
+    run, run_collecting, run_with_perf, run_with_trace, CcAlgorithm, Confidence, MetricsConfig,
+    Params, RunBudget, SimConfig,
+};
+use ccsim_des::SimDuration;
+
+fn quick() -> MetricsConfig {
+    MetricsConfig {
+        warmup_batches: 1,
+        batches: 4,
+        batch_time: SimDuration::from_secs(25),
+        confidence: Confidence::Ninety,
+    }
+}
+
+fn tracked_algorithms() -> impl Iterator<Item = CcAlgorithm> {
+    CcAlgorithm::PAPER_TRIO
+        .into_iter()
+        .chain(CcAlgorithm::MODERN_TRIO)
+}
+
+#[test]
+fn window_mode_reports_are_byte_identical() {
+    // Paper trio + modern trio at a contended mpl: the full report must be
+    // byte-equal between the sequential loop and every tested worker count.
+    for algo in tracked_algorithms() {
+        let mk = |workers| {
+            SimConfig::new(algo)
+                .with_params(Params::paper_baseline().with_mpl(50))
+                .with_metrics(quick())
+                .with_seed(0x7ACE)
+                .with_workers(workers)
+        };
+        let seq = run(mk(1)).unwrap();
+        for workers in [2, 4, 8] {
+            let par = run(mk(workers)).unwrap();
+            assert_eq!(
+                seq, par,
+                "{algo}: workers={workers} diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn window_mode_populates_parallel_stats() {
+    let mk = |workers| {
+        SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(Params::paper_baseline().with_mpl(50))
+            .with_metrics(quick())
+            .with_seed(0x7ACE)
+            .with_workers(workers)
+    };
+    // Sequential runs carry no parallel stats at all — the mode costs
+    // nothing when off (workers 0 and 1 are the same loop).
+    let (seq_report, seq_perf) = run_with_perf(mk(1)).unwrap();
+    assert!(seq_perf.parallel.is_none());
+    let (zero_report, zero_perf) = run_with_perf(mk(0)).unwrap();
+    assert!(zero_perf.parallel.is_none());
+    assert_eq!(seq_report, zero_report);
+
+    let (par_report, par_perf) = run_with_perf(mk(4)).unwrap();
+    assert_eq!(seq_report, par_report);
+    let p = par_perf.parallel.expect("window mode records stats");
+    assert_eq!(p.workers, 4);
+    assert!(p.windows > 0, "no windows were formed");
+    assert!(p.planned >= p.speculated, "speculated more than planned");
+    assert_eq!(
+        p.speculated,
+        p.applied + p.rolled_back,
+        "every speculated event is either applied or rolled back"
+    );
+    assert_eq!(p.rolled_back, p.replayed);
+    assert!(
+        (0.0..=1.0).contains(&p.rollback_ratio()),
+        "rollback ratio out of range: {}",
+        p.rollback_ratio()
+    );
+    // The merge lane (lane 0) did real work and its busy fraction is sane.
+    assert!(p.worker_busy_us[0] > 0, "merge lane recorded no busy time");
+    for lane in 0..4 {
+        let f = p.busy_fraction(lane);
+        assert!((0.0..=1.0).contains(&f), "lane {lane} busy fraction {f}");
+    }
+    // The event counts agree with the sequential run exactly.
+    assert_eq!(seq_perf.events, par_perf.events);
+}
+
+#[test]
+fn window_mode_golden_traces_are_byte_identical() {
+    // The same fixed scenario as the golden-trace harness: the serialized
+    // event stream at workers 2/4/8 must match the sequential text AND the
+    // checked-in golden file byte-for-byte.
+    for algo in tracked_algorithms() {
+        let mk = |workers: u32| {
+            let mut params = Params::paper_baseline();
+            params.db_size = 50;
+            params.min_size = 2;
+            params.max_size = 6;
+            params.write_prob = 0.5;
+            params.num_terms = 12;
+            params.mpl = 4;
+            params.ext_think_time = SimDuration::from_secs(1);
+            SimConfig::new(algo)
+                .with_params(params)
+                .with_metrics(MetricsConfig {
+                    warmup_batches: 0,
+                    batches: 1,
+                    batch_time: SimDuration::from_secs(5),
+                    confidence: Confidence::Ninety,
+                })
+                .with_seed(0x601D)
+                .with_workers(workers)
+        };
+        let cfg = mk(1);
+        let (report, trace) = run_with_trace(cfg.clone(), 1_000_000).unwrap();
+        let seq_text = serialize_trace(&cfg, &trace, &report);
+        let golden = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{}.trace", algo.label()));
+        let blessed = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{algo}: reading {}: {e}", golden.display()));
+        for workers in [2, 4, 8] {
+            let cfg = mk(workers);
+            let (report, trace) = run_with_trace(cfg.clone(), 1_000_000).unwrap();
+            let text = serialize_trace(&cfg, &trace, &report);
+            assert_eq!(
+                seq_text, text,
+                "{algo}: workers={workers} trace diverged from sequential"
+            );
+            assert_eq!(
+                blessed, text,
+                "{algo}: workers={workers} trace diverged from the golden file"
+            );
+        }
+    }
+}
+
+#[test]
+fn window_mode_scale_point_is_byte_identical() {
+    // A budget-bounded slice of the exp-scale regime (sparse lock table,
+    // arena txn state, streaming quantiles): report, quantiles, and the
+    // exact event count must survive the worker sweep, including the
+    // budget stop landing on the same event.
+    let mk = |workers| {
+        let mut params = Params::exp_scale();
+        params.num_terms = 50_000;
+        params.mpl = 5_000;
+        SimConfig::new(CcAlgorithm::Blocking)
+            .with_params(params)
+            .with_metrics(MetricsConfig {
+                warmup_batches: 0,
+                batches: 400,
+                batch_time: SimDuration::from_millis(250),
+                confidence: Confidence::Ninety,
+            })
+            .with_seed(0x5CA1ED)
+            .with_budget(RunBudget::unlimited().with_max_events(300_000))
+            .with_workers(workers)
+    };
+    let base = run_collecting(mk(1)).unwrap();
+    assert!(base.stopped.is_some(), "the point should stop on budget");
+    assert!(base.report.commits > 0, "salvaged window has no commits");
+    for workers in [2, 4] {
+        let par = run_collecting(mk(workers)).unwrap();
+        assert_eq!(
+            base.report, par.report,
+            "workers={workers} changed the scale report"
+        );
+        assert_eq!(base.quantiles, par.quantiles);
+        assert_eq!(base.perf.events, par.perf.events);
+        assert!(par.stopped.is_some(), "workers={workers} missed the budget");
+    }
+}
+
+#[test]
+fn window_mode_is_auditor_clean() {
+    // The online invariant auditor rides the window merge exactly as it
+    // rides the sequential loop: no violations, and observation does not
+    // perturb the run.
+    for algo in CcAlgorithm::PAPER_TRIO {
+        let mk = || {
+            SimConfig::new(algo)
+                .with_params(Params::paper_baseline().with_mpl(50))
+                .with_metrics(quick())
+                .with_seed(0x7ACE)
+                .with_workers(4)
+        };
+        let (audited, audit) = run_with_audit(mk()).unwrap();
+        let violations = audit.summaries();
+        assert!(
+            violations.is_empty(),
+            "{algo}: audit violations at workers=4: {violations:?}"
+        );
+        let plain = run(mk()).unwrap();
+        assert_eq!(audited, plain, "{algo}: the auditor perturbed the run");
+    }
+}
+
+#[test]
+fn sweep_runner_plumbs_workers_through() {
+    // `RunOptions::workers` reaches every grid point's SimConfig; the
+    // sweep result is identical because window mode cannot change results.
+    use ccsim_experiments::{catalog, json, run_experiment, Fidelity, RetryPolicy, RunOptions};
+    let mut spec = catalog::exp3();
+    spec.mpls = vec![10];
+    let opts = |workers| RunOptions {
+        fidelity: Fidelity::Quick,
+        base_seed: 99,
+        threads: 1,
+        replications: 1,
+        audit: false,
+        retry: RetryPolicy::none(),
+        event_pool: None,
+        workers,
+    };
+    let seq = run_experiment(&spec, &opts(1)).expect("sweep completes");
+    let par = run_experiment(&spec, &opts(4)).expect("sweep completes");
+    assert_eq!(json::to_json(&seq), json::to_json(&par));
+}

@@ -30,6 +30,7 @@ fn tiny_opts(threads: usize, replications: u32) -> RunOptions {
         audit: false,
         retry: RetryPolicy::none(),
         event_pool: None,
+        workers: 1,
     }
 }
 

@@ -36,6 +36,7 @@ fn tiny_opts() -> RunOptions {
         audit: false,
         retry: RetryPolicy::none(),
         event_pool: None,
+        workers: 1,
     }
 }
 
